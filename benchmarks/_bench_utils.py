@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["run_once"]
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under the benchmark timer.
+
+    The end-to-end experiment regenerations are too heavy for pytest-benchmark's
+    automatic calibration; a single timed execution is what we want to record.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Benchmark E11 — ablations over the construction's design choices.
+
+Covers the block count ``k`` (resilience vs time-overhead trade-off), the
+output counter size ``C`` (space only), and the adversary strategy sweep
+(the boosted counter survives all strategies, the naive baseline does not).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.ablation import (
+    run_adversary_ablation,
+    run_block_count_ablation,
+    run_counter_size_ablation,
+)
+
+
+def test_block_count_ablation(benchmark):
+    result = run_once(benchmark, run_block_count_ablation, k_values=(3, 4, 5, 6, 8))
+    rows = [row for row in result.rows if "time_overhead" in row]
+    overheads = [row["time_overhead"] for row in rows]
+    ratios = [row["resilience_per_node"] for row in rows]
+    # More blocks buy resilience density but the time overhead explodes.
+    assert overheads == sorted(overheads)
+    assert ratios[-1] >= ratios[0]
+
+
+def test_counter_size_ablation(benchmark):
+    result = run_once(benchmark, run_counter_size_ablation, counter_sizes=(2, 8, 1024))
+    times = {row["time_bound"] for row in result.rows}
+    bits = [row["state_bits"] for row in result.rows]
+    assert len(times) == 1  # C does not affect the stabilisation bound
+    assert bits == sorted(bits) and bits[0] < bits[-1]
+
+
+def test_adversary_ablation(benchmark):
+    result = run_once(
+        benchmark,
+        run_adversary_ablation,
+        trials=3,
+        max_rounds=3500,
+        seed=0,
+        strategies=("crash", "random-state", "phase-king-skew", "adaptive-split"),
+    )
+    boosted_rows = [row for row in result.rows if row["algorithm"].startswith("A(12,3)")]
+    naive_rows = [row for row in result.rows if row["algorithm"].startswith("naive")]
+    assert all(row["within_bound"] is True for row in boosted_rows)
+    assert all(row["stabilized"].split("/")[0] == row["stabilized"].split("/")[1] for row in boosted_rows)
+    assert naive_rows[0]["stabilized"] == "0/1"

@@ -1,0 +1,55 @@
+"""Component micro-benchmarks: the building blocks of the construction.
+
+Not tied to a specific table/figure; they track the cost of the primitives
+that dominate simulation time (boosted transition, majority voting, message
+coercion, exhaustive verification) so performance regressions are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.recursion import figure2_counter, optimal_resilience_counter
+from repro.core.voting import majority
+from repro.counters.trivial import TrivialCounter
+from repro.util.rng import ensure_rng
+from repro.verification.checker import verify_counter
+
+
+def test_boosted_transition_a12(benchmark):
+    counter = figure2_counter(levels=1, c=2)
+    rng = ensure_rng(0)
+    states = [counter.random_state(rng) for _ in range(counter.n)]
+
+    result = benchmark(counter.transition, 5, states)
+    assert counter.is_valid_state(result)
+
+
+def test_boosted_transition_a4(benchmark):
+    counter = optimal_resilience_counter(f=1, c=2)
+    rng = ensure_rng(1)
+    states = [counter.random_state(rng) for _ in range(counter.n)]
+
+    result = benchmark(counter.transition, 2, states)
+    assert counter.is_valid_state(result)
+
+
+def test_message_coercion(benchmark):
+    counter = figure2_counter(levels=1, c=2)
+    forged = ("garbage", 7, 2)
+
+    coerced = benchmark(counter.coerce_message, forged)
+    assert counter.is_valid_state(coerced)
+
+
+def test_majority_vote(benchmark):
+    values = [3] * 20 + [1] * 16
+
+    result = benchmark(majority, values, 0)
+    assert result == 3
+
+
+def test_exhaustive_verification_trivial(benchmark):
+    counter = TrivialCounter(c=8)
+
+    report = benchmark(verify_counter, counter)
+    assert report.is_synchronous_counter
+    assert report.stabilization_time == 0

@@ -1,0 +1,33 @@
+"""Benchmark E3 — Figure 1: leader pointer coincidence (Lemmas 1 and 2).
+
+Regenerates the pointer traces of three stabilised blocks with base
+``2m = 6`` (as drawn in the figure) and asserts that every candidate leader
+is pointed at by all blocks simultaneously for at least ``τ`` rounds within
+the ``c_{k-1}`` bound.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.core.blocks import CounterInterpretation, ideal_pointer_trace
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_common_intervals(benchmark):
+    result = run_once(benchmark, run_figure1, k=6, resilience=1, seed=0)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["within_bound"] is True
+        assert row["interval_length"] >= row["required_length"]
+
+
+def test_pointer_trace_generation_throughput(benchmark):
+    """Micro-benchmark: generating one full-period pointer trace."""
+    interp = CounterInterpretation(k=6, F=1)
+
+    def generate():
+        return ideal_pointer_trace(interp, 2, 17, interp.block_period(2))
+
+    trace = benchmark(generate)
+    assert len(trace) == interp.block_period(2)

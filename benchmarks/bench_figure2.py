@@ -1,0 +1,73 @@
+"""Benchmark E4 — Figure 2: the recursive k = 3 construction.
+
+Benchmarks one full adversarial stabilisation of the ``A(12, 3)`` counter
+(one level of recursion over the Corollary 1 base ``A(4, 1)``) and the
+construction of the two-level ``A(36, 7)`` stack, asserting the Theorem 1
+bounds that the figure illustrates.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.analysis.metrics import trial_metrics
+from repro.core.recursion import figure2_counter, plan_figure2
+from repro.network.adversary import PhaseKingSkewAdversary, random_faulty_set
+from repro.network.simulator import SimulationConfig, run_simulation
+
+
+def test_figure2_a12_stabilization(benchmark):
+    counter = figure2_counter(levels=1, c=2)
+    faulty = random_faulty_set(counter.n, counter.f, rng=1)
+
+    def run_trial():
+        return run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=SimulationConfig(
+                max_rounds=counter.stabilization_bound(),
+                stop_after_agreement=16,
+                seed=1,
+            ),
+        )
+
+    trace = run_once(benchmark, run_trial)
+    metrics = trial_metrics(trace, bound=counter.stabilization_bound())
+    assert metrics.stabilized
+    assert metrics.within_bound
+
+
+def test_figure2_construction_bounds(benchmark):
+    """Planning and instantiating the full A(4,1) -> A(12,3) -> A(36,7) stack."""
+
+    def build():
+        plan = plan_figure2(levels=2, c=2)
+        counter = plan.instantiate()
+        return plan, counter
+
+    plan, counter = benchmark(build)
+    assert (counter.n, counter.f) == (36, 7)
+    assert counter.stabilization_bound() == plan.stabilization_bound() == 2304 + 960 + 1728
+    assert counter.state_bits() == plan.state_bits_bound()
+
+
+def test_figure2_a36_round_throughput(benchmark):
+    """Per-round cost of the 36-node, 7-resilient counter under attack."""
+    from repro.network.simulator import run_round
+    from repro.util.rng import ensure_rng
+
+    counter = figure2_counter(levels=2, c=2)
+    faulty = random_faulty_set(counter.n, counter.f, rng=3)
+    adversary = PhaseKingSkewAdversary(faulty)
+    rng = ensure_rng(3)
+    states = {
+        node: counter.random_state(rng)
+        for node in range(counter.n)
+        if node not in faulty
+    }
+
+    def one_round():
+        return run_round(counter, states, adversary, 0, rng)
+
+    new_states = benchmark(one_round)
+    assert len(new_states) == counter.n - len(faulty)

@@ -1,0 +1,36 @@
+"""Benchmark E1 — regenerate Table 1 (algorithm comparison).
+
+Regenerates the published-vs-measured comparison of synchronous 2-counting
+algorithms and checks the qualitative shape of the paper's Table 1: the
+deterministic constructions of this work stabilise within their Theorem 1
+bounds while using few state bits, and the randomised baseline needs only
+``⌈log2 c⌉`` bits but exponential expected time.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_regeneration(benchmark):
+    result = run_once(benchmark, run_table1, trials=4, randomized_trials=8, max_rounds=3000, seed=0)
+    kinds = {row["kind"] for row in result.rows}
+    assert kinds == {"published", "measured"}
+
+    measured = {row["algorithm"]: row for row in result.rows if row["kind"] == "measured"}
+    corollary1 = next(row for name, row in measured.items() if "Corollary 1" in name)
+    boosted = next(row for name, row in measured.items() if "A(12,3)" in name)
+    randomized = next(row for name, row in measured.items() if "Randomised" in name)
+
+    # Shape checks mirroring the paper's table:
+    # deterministic constructions stabilise within their bounds...
+    assert "within bound: True" in corollary1["notes"]
+    assert "within bound: True" in boosted["notes"]
+    # ... the boosted counter uses more state bits than the 1-bit randomised
+    # baseline but far fewer than a consensus-cascade (O(f log f)) would need
+    # at the same resilience.
+    assert randomized["state_bits"] == 1
+    assert corollary1["state_bits"] <= 16
+    assert boosted["state_bits"] <= 32

@@ -1,0 +1,37 @@
+"""Benchmark E2 — Table 2: the phase king instruction sets (Lemmas 4 and 5).
+
+Times the behavioural verification of the instruction sets across a sweep of
+``(N, F)`` and asserts both lemmas hold in every trial, plus the classic
+phase king substrate reaching agreement in ``3(F+1)`` rounds.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.core.phase_king import PhaseKingRegisters, phase_king_step
+from repro.experiments.table2_phase_king import run_table2
+
+
+def test_table2_lemma_checks(benchmark):
+    result = run_once(
+        benchmark, run_table2, settings=((4, 1), (7, 2), (10, 3)), trials=20, seed=0
+    )
+    for row in result.rows:
+        trials = row["lemma4_agreement"].split("/")[1]
+        assert row["lemma4_agreement"] == f"{trials}/{trials}"
+        assert row["lemma5_persistence"] == f"{trials}/{trials}"
+        assert row["classic_agreed"] is True
+        assert row["classic_rounds"] == 3 * (row["F"] + 1)
+
+
+def test_phase_king_step_throughput(benchmark):
+    """Micro-benchmark: a single instruction-set execution for N = 36 nodes."""
+    registers = PhaseKingRegisters(a=3, d=1)
+    received = [3] * 30 + [0, 1, 2, -1, 4, 3]
+
+    def step():
+        return phase_king_step(registers, received, round_value=4, N=36, F=7, C=8)
+
+    updated = benchmark(step)
+    assert updated.a == 4

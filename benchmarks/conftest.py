@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmark modules live in ``bench_*.py`` files (declared in
+``pyproject.toml``'s ``python_files``); each function regenerates one of the
+paper's tables/figures or times a library component, asserting the
+qualitative claim recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the sibling helper module importable regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,63 @@
+"""Energy-budgeted counting in the pulling model (Section 5 of the paper).
+
+In a circuit, attributing communication cost to the *pulling* node lets each
+node operate under a fixed per-round energy budget.  This example compares
+
+* the deterministic broadcast construction (every node effectively hears
+  from all ``n`` nodes each round), and
+* the sampled pulling-model construction of Theorem 4, where a node pulls
+  only its own block, ``M`` samples per block, ``M`` phase king samples and
+  the ``F + 2`` potential kings,
+
+measuring messages pulled per round and the empirical reliability after
+stabilisation for a sweep of sample sizes.
+
+Run with::
+
+    python examples/energy_efficient_pulling.py
+"""
+
+from __future__ import annotations
+
+from repro.core.recursion import optimal_resilience_counter
+from repro.experiments.pulling import post_agreement_failure_rate
+from repro.network import PhaseKingSkewAdversary, random_faulty_set
+from repro.network.pulling import PullSimulationConfig, run_pull_simulation
+from repro.network.stabilization import stabilization_round
+from repro.sampling import SampledBoostedCounter, recommended_sample_size
+
+
+def main() -> None:
+    inner = optimal_resilience_counter(f=1, c=960)
+    faulty = random_faulty_set(12, 1, rng=5)
+    print("Pulling-model counter on 12 nodes (3 blocks of A(4,1)), Byzantine:", sorted(faulty))
+    print(f"Recommended sample size M0 (Lemma 8, eta=12): {recommended_sample_size(12)} "
+          "(larger than the network at this scale — the win appears for large eta)")
+    print()
+    print(f"{'M':>4} {'pulls/round':>12} {'broadcast':>10} {'stabilised':>11} {'blips/round':>12}")
+
+    for sample_size in (2, 4, 8, 16):
+        counter = SampledBoostedCounter(
+            inner=inner, k=3, counter_size=2, sample_size=sample_size
+        )
+        trace = run_pull_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=PullSimulationConfig(max_rounds=300, seed=5),
+        )
+        result = stabilization_round(trace, min_tail=20)
+        failure = post_agreement_failure_rate(trace)
+        print(
+            f"{sample_size:>4} {counter.expected_pulls_per_round():>12} "
+            f"{counter.n:>10} {str(result.stabilized):>11} {failure:>12.4f}"
+        )
+
+    print()
+    print("Each pulled message carries the full node state; the per-round energy of a")
+    print("node is therefore proportional to the pulls/round column.  Reliability")
+    print("(fewer post-agreement blips) is bought with larger samples, exactly the")
+    print("trade-off of Theorem 4 / Corollary 4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package or
+network access to build-system requirements (legacy ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

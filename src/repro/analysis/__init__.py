@@ -1,0 +1,32 @@
+"""Analysis utilities: closed-form bounds, trace metrics and statistics."""
+
+from repro.analysis.bounds import (
+    corollary1_space_bits,
+    corollary1_stabilization_bound,
+    corollary4_pull_bound,
+    theorem1_space_bits,
+    theorem1_stabilization_bound,
+    theorem3_space_envelope,
+)
+from repro.analysis.metrics import (
+    TrialMetrics,
+    agreement_fraction,
+    pull_statistics,
+    trial_metrics,
+)
+from repro.analysis.stats import SummaryStatistics, summarize
+
+__all__ = [
+    "theorem1_stabilization_bound",
+    "theorem1_space_bits",
+    "corollary1_stabilization_bound",
+    "corollary1_space_bits",
+    "corollary4_pull_bound",
+    "theorem3_space_envelope",
+    "TrialMetrics",
+    "trial_metrics",
+    "agreement_fraction",
+    "pull_statistics",
+    "SummaryStatistics",
+    "summarize",
+]

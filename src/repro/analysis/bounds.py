@@ -1,0 +1,96 @@
+"""Closed-form bounds from the paper's theorems.
+
+These are the exact expressions appearing in Theorem 1 and the asymptotic
+envelopes of Corollary 1, Theorems 2–3 and Corollary 4.  The experiments use
+them to compare *measured* behaviour against the *claimed* behaviour (the
+shape checks recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ParameterError
+from repro.util.intmath import ceil_div, ceil_log2
+
+__all__ = [
+    "theorem1_stabilization_bound",
+    "theorem1_space_bits",
+    "corollary1_stabilization_bound",
+    "corollary1_space_bits",
+    "theorem3_space_envelope",
+    "theorem3_time_envelope",
+    "corollary4_pull_bound",
+]
+
+
+def theorem1_stabilization_bound(inner_bound: int, k: int, F: int) -> int:
+    """``T(B) <= T(A) + 3(F+2)(2m)^k`` with ``m = ⌈k/2⌉`` (Theorem 1)."""
+    if k < 3:
+        raise ParameterError(f"k must be at least 3, got {k}")
+    if F < 0 or inner_bound < 0:
+        raise ParameterError("inner_bound and F must be non-negative")
+    m = ceil_div(k, 2)
+    return inner_bound + 3 * (F + 2) * (2 * m) ** k
+
+
+def theorem1_space_bits(inner_bits: int, C: int) -> int:
+    """``S(B) = S(A) + ⌈log2(C+1)⌉ + 1`` (Theorem 1)."""
+    if inner_bits < 0:
+        raise ParameterError(f"inner_bits must be non-negative, got {inner_bits}")
+    if C < 2:
+        raise ParameterError(f"C must be at least 2, got {C}")
+    return inner_bits + ceil_log2(C + 1) + 1
+
+
+def corollary1_stabilization_bound(f: int) -> int:
+    """The exact Corollary 1 bound ``3(f+2)·(2⌈(3f+1)/2⌉)^{3f+1}`` (``f^{O(f)}``)."""
+    if f < 1:
+        raise ParameterError(f"f must be at least 1, got {f}")
+    k = 3 * f + 1
+    m = ceil_div(k, 2)
+    return 3 * (f + 2) * (2 * m) ** k
+
+
+def corollary1_space_bits(f: int, c: int) -> int:
+    """The exact Corollary 1 space usage: base counter bits plus the phase king registers.
+
+    The construction stores the trivial counter (``⌈log2 c₀⌉`` bits for the
+    required inner counter size ``c₀ = 3(f+2)(2m)^k``) plus ``⌈log2(c+1)⌉ + 1``
+    bits for the output registers — ``O(f log f + log c)`` in total.
+    """
+    if f < 1:
+        raise ParameterError(f"f must be at least 1, got {f}")
+    if c < 2:
+        raise ParameterError(f"c must be at least 2, got {c}")
+    base_counter = corollary1_stabilization_bound(f)
+    return ceil_log2(base_counter) + ceil_log2(c + 1) + 1
+
+
+def theorem3_space_envelope(f: int, c: int, constant: float = 8.0) -> float:
+    """The asymptotic envelope ``constant · (log² f / log log f) + log c`` of Theorem 3."""
+    if f < 2:
+        return constant + math.log2(max(c, 2))
+    log_f = math.log2(f)
+    log_log_f = max(math.log2(log_f), 1.0)
+    return constant * (log_f**2) / log_log_f + math.log2(max(c, 2))
+
+
+def theorem3_time_envelope(f: int, constant: float = 64.0) -> float:
+    """The linear-in-``f`` stabilisation envelope ``constant · f`` of Theorem 3."""
+    if f < 1:
+        raise ParameterError(f"f must be at least 1, got {f}")
+    return constant * f
+
+
+def corollary4_pull_bound(eta: int, f: int, constant: float = 8.0) -> float:
+    """The ``O(log η · (log f / log log f)²)`` per-round pull bound of Corollary 4."""
+    if eta < 2:
+        raise ParameterError(f"eta must be at least 2, got {eta}")
+    log_eta = math.log2(eta)
+    if f < 4:
+        ratio = 1.0
+    else:
+        log_f = math.log2(f)
+        ratio = log_f / max(math.log2(log_f), 1.0)
+    return constant * log_eta * ratio**2

@@ -1,0 +1,91 @@
+"""Metrics extracted from execution traces.
+
+The experiments aggregate, over many adversarial trials, the empirical
+stabilisation time, whether the theoretical bound was respected, agreement
+quality before stabilisation and (for pulling-model traces) the per-round
+message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.network.stabilization import stabilization_round
+from repro.network.trace import ExecutionTrace
+
+__all__ = ["TrialMetrics", "trial_metrics", "agreement_fraction", "pull_statistics"]
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Summary of a single simulated trial.
+
+    Attributes
+    ----------
+    stabilized:
+        Whether the trace ends with a correct counting suffix.
+    stabilization_round:
+        Empirical stabilisation round (``None`` if never stabilised).
+    rounds_simulated:
+        Number of rounds executed.
+    within_bound:
+        True when the empirical stabilisation round does not exceed the
+        algorithm's theoretical bound (``None`` when no bound is known or the
+        trace did not stabilise).
+    agreement_fraction:
+        Fraction of rounds in which all correct nodes agreed on the output.
+    faulty:
+        The faulty set of the trial.
+    """
+
+    stabilized: bool
+    stabilization_round: int | None
+    rounds_simulated: int
+    within_bound: bool | None
+    agreement_fraction: float
+    faulty: tuple[int, ...]
+
+
+def agreement_fraction(trace: ExecutionTrace) -> float:
+    """Fraction of recorded rounds in which all correct outputs agreed."""
+    if trace.num_rounds == 0:
+        return 0.0
+    agreed = sum(1 for value in trace.agreed_values() if value is not None)
+    return agreed / trace.num_rounds
+
+
+def trial_metrics(
+    trace: ExecutionTrace, bound: int | None = None, min_tail: int = 2
+) -> TrialMetrics:
+    """Compute :class:`TrialMetrics` for one trace."""
+    result = stabilization_round(trace, min_tail=min_tail)
+    within: bool | None = None
+    if bound is not None and result.stabilized and result.round is not None:
+        within = result.round <= bound
+    return TrialMetrics(
+        stabilized=result.stabilized,
+        stabilization_round=result.round,
+        rounds_simulated=trace.num_rounds,
+        within_bound=within,
+        agreement_fraction=agreement_fraction(trace),
+        faulty=tuple(sorted(trace.faulty)),
+    )
+
+
+def pull_statistics(trace: ExecutionTrace) -> dict[str, Any]:
+    """Aggregate the pulling-model metadata recorded per round.
+
+    Returns the maximum and mean of the per-round ``max_pulls`` values plus
+    the corresponding bit counts; returns zeros for traces from the broadcast
+    simulator (which record no pull metadata).
+    """
+    max_pulls = [record.metadata.get("max_pulls", 0) for record in trace.rounds]
+    max_bits = [record.metadata.get("max_bits", 0) for record in trace.rounds]
+    if not max_pulls:
+        return {"max_pulls": 0, "mean_pulls": 0.0, "max_bits": 0}
+    return {
+        "max_pulls": max(max_pulls),
+        "mean_pulls": sum(max_pulls) / len(max_pulls),
+        "max_bits": max(max_bits),
+    }

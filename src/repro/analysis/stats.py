@@ -1,0 +1,85 @@
+"""Small statistics helpers for aggregating trial results.
+
+Kept dependency-free (no numpy) so the core library stays lightweight; the
+functions cover exactly what the experiment tables need: mean, median,
+percentiles, min/max and success counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SummaryStatistics", "summarize", "percentile", "success_rate"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-style summary of a sample of real values."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    p90: float
+    std: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary form used when rendering experiment tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p90": self.p90,
+            "std": self.std,
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in ``[0, 100]``)."""
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+def summarize(values: Iterable[float]) -> SummaryStatistics:
+    """Compute a :class:`SummaryStatistics` for the sample."""
+    data = [float(value) for value in values]
+    if not data:
+        return SummaryStatistics(
+            count=0, mean=0.0, median=0.0, minimum=0.0, maximum=0.0, p90=0.0, std=0.0
+        )
+    mean = sum(data) / len(data)
+    variance = sum((value - mean) ** 2 for value in data) / len(data)
+    return SummaryStatistics(
+        count=len(data),
+        mean=mean,
+        median=percentile(data, 50),
+        minimum=min(data),
+        maximum=max(data),
+        p90=percentile(data, 90),
+        std=math.sqrt(variance),
+    )
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of ``True`` values (0.0 for an empty sample)."""
+    data = list(outcomes)
+    if not data:
+        return 0.0
+    return sum(1 for outcome in data if outcome) / len(data)

@@ -1,0 +1,20 @@
+"""Classic (non-self-stabilising) Byzantine consensus substrate.
+
+The boosting construction controls an execution of the phase king protocol of
+Berman, Garay and Perry [1].  This package contains a standalone
+implementation of the classic protocol — one-shot consensus with fixed inputs
+— together with a small synchronous runner.  It serves three purposes:
+
+1. it documents the substrate the paper builds on,
+2. its tests pin down the agreement/validity/termination properties that the
+   self-stabilising adaptation of Section 3.4 must preserve, and
+3. it is benchmarked on its own as part of the Table 2 experiment.
+"""
+
+from repro.consensus.phase_king import (
+    ConsensusResult,
+    PhaseKingConsensus,
+    run_phase_king_consensus,
+)
+
+__all__ = ["PhaseKingConsensus", "ConsensusResult", "run_phase_king_consensus"]

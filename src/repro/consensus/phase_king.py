@@ -1,0 +1,270 @@
+"""The classic phase king consensus protocol (Berman, Garay and Perry [1]).
+
+One-shot multivalued Byzantine consensus for ``N`` nodes tolerating
+``F < N/3`` faults, running in ``F + 1`` phases of **three** communication
+rounds each — the same three-step structure that the paper's Table 2 adapts
+for counting:
+
+1. **Support round** — every node broadcasts its value; a node whose own
+   value is supported by fewer than ``N - F`` senders resets it to the
+   undefined marker ``⊥``.
+2. **Proposal round** — every node broadcasts its (possibly reset) value,
+   counts the received values ``z_j``, remembers in a flag ``d`` whether its
+   own value still enjoys ``N - F`` support, and adopts the smallest value
+   with more than ``F`` support (``⊥`` if there is none).
+3. **King round** — the phase's king broadcasts its value; every node with
+   ``d = 0`` or an undefined value adopts the king's value.
+
+After ``F + 1`` phases at least one king was non-faulty, which forces
+agreement (the analogue of Lemma 4); agreement, once present, is never lost
+because every correct node then sees ``N - F`` support for the common value
+and ignores the king (the analogue of Lemma 5).  Validity holds for the same
+reason: a value initially shared by all correct nodes is never displaced.
+
+This substrate exists so that the self-stabilising adaptation of
+Section 3.4 (:mod:`repro.core.phase_king`) can be compared against the
+original protocol in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import ParameterError, SimulationError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "UNDEFINED",
+    "PhaseKingConsensus",
+    "ConsensusResult",
+    "run_phase_king_consensus",
+]
+
+#: Marker for the "undefined" value ``⊥`` used between rounds of a phase.
+UNDEFINED: int = -1
+
+#: Type of a Byzantine value oracle: given (round_label, phase, sender,
+#: receiver, current correct values) it returns the value the faulty sender
+#: shows that receiver.  Returned values are reduced modulo the value range
+#: (returning :data:`UNDEFINED` is also allowed).
+ByzantineOracle = Callable[[str, int, int, int, Mapping[int, int]], int]
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Outcome of a phase king consensus execution.
+
+    Attributes
+    ----------
+    decisions:
+        Final value of every correct node.
+    agreed:
+        True when all correct nodes decided the same (defined) value.
+    decision:
+        The common decision (``None`` when ``agreed`` is False).
+    rounds:
+        Number of communication rounds executed (``3 (F+1)``).
+    history:
+        Per-phase snapshot of the correct nodes' values (for tracing/tests).
+    """
+
+    decisions: dict[int, int]
+    agreed: bool
+    decision: int | None
+    rounds: int
+    history: list[dict[int, int]] = field(default_factory=list)
+
+
+class PhaseKingConsensus:
+    """Configuration object for the classic phase king protocol."""
+
+    def __init__(self, n: int, f: int, value_range: int = 2) -> None:
+        if n < 1:
+            raise ParameterError(f"n must be positive, got {n}")
+        if f < 0:
+            raise ParameterError(f"f must be non-negative, got {f}")
+        if f > 0 and 3 * f >= n:
+            raise ParameterError(f"phase king requires n > 3f, got n={n}, f={f}")
+        if value_range < 2:
+            raise ParameterError(f"value_range must be at least 2, got {value_range}")
+        self.n = n
+        self.f = f
+        self.value_range = value_range
+
+    @property
+    def phases(self) -> int:
+        """Number of phases (``F + 1``)."""
+        return self.f + 1
+
+    @property
+    def rounds(self) -> int:
+        """Total number of communication rounds (three per phase)."""
+        return 3 * self.phases
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        inputs: Mapping[int, int],
+        faulty: Sequence[int] = (),
+        byzantine_oracle: ByzantineOracle | None = None,
+        rng: random.Random | int | None = 0,
+    ) -> ConsensusResult:
+        """Execute the protocol.
+
+        Parameters
+        ----------
+        inputs:
+            Initial value of every correct node (reduced modulo
+            ``value_range``).
+        faulty:
+            Identifiers of the Byzantine nodes (at most ``f``).
+        byzantine_oracle:
+            Callback producing the value a faulty sender shows a given
+            receiver; defaults to uniformly random, per-receiver values.
+        rng:
+            Randomness for the default oracle.
+        """
+        faulty_set = frozenset(faulty)
+        if len(faulty_set) > self.f:
+            raise SimulationError(
+                f"{len(faulty_set)} faulty nodes exceed the resilience f={self.f}"
+            )
+        for node in faulty_set:
+            if not 0 <= node < self.n:
+                raise SimulationError(f"faulty node {node} outside [0, {self.n})")
+        generator = ensure_rng(rng)
+        oracle = byzantine_oracle or (
+            lambda label, phase, sender, receiver, values: generator.randrange(
+                self.value_range
+            )
+        )
+
+        correct = [node for node in range(self.n) if node not in faulty_set]
+        values = {node: inputs.get(node, 0) % self.value_range for node in correct}
+        history: list[dict[int, int]] = []
+
+        for phase in range(self.phases):
+            king = phase  # node identifiers 0..F serve as kings
+            values = self._support_round(values, faulty_set, oracle, phase)
+            values, strong = self._proposal_round(values, faulty_set, oracle, phase)
+            values = self._king_round(values, strong, faulty_set, oracle, phase, king)
+            history.append(dict(values))
+
+        decisions = dict(values)
+        distinct = set(decisions.values())
+        agreed = len(distinct) == 1 and UNDEFINED not in distinct
+        return ConsensusResult(
+            decisions=decisions,
+            agreed=agreed,
+            decision=next(iter(distinct)) if agreed else None,
+            rounds=self.rounds,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Individual rounds
+    # ------------------------------------------------------------------ #
+
+    def _deliver(
+        self,
+        receiver: int,
+        values: Mapping[int, int],
+        faulty_set: frozenset[int],
+        oracle: ByzantineOracle,
+        label: str,
+        phase: int,
+    ) -> list[int]:
+        """Vector of values received by ``receiver`` in the current round."""
+        vector = []
+        for sender in range(self.n):
+            if sender in faulty_set:
+                raw = oracle(label, phase, sender, receiver, values)
+                if raw == UNDEFINED:
+                    vector.append(UNDEFINED)
+                else:
+                    vector.append(raw % self.value_range)
+            else:
+                vector.append(values[sender])
+        return vector
+
+    def _support_round(
+        self,
+        values: dict[int, int],
+        faulty_set: frozenset[int],
+        oracle: ByzantineOracle,
+        phase: int,
+    ) -> dict[int, int]:
+        updated: dict[int, int] = {}
+        for receiver in values:
+            vector = self._deliver(receiver, values, faulty_set, oracle, "support", phase)
+            support = sum(1 for value in vector if value == values[receiver])
+            updated[receiver] = values[receiver] if support >= self.n - self.f else UNDEFINED
+        return updated
+
+    def _proposal_round(
+        self,
+        values: dict[int, int],
+        faulty_set: frozenset[int],
+        oracle: ByzantineOracle,
+        phase: int,
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        updated: dict[int, int] = {}
+        strong: dict[int, int] = {}
+        for receiver in values:
+            vector = self._deliver(receiver, values, faulty_set, oracle, "proposal", phase)
+            counts = Counter(vector)
+            strong[receiver] = (
+                1
+                if values[receiver] != UNDEFINED
+                and counts.get(values[receiver], 0) >= self.n - self.f
+                else 0
+            )
+            candidates = [
+                value for value in range(self.value_range) if counts.get(value, 0) > self.f
+            ]
+            updated[receiver] = min(candidates) if candidates else UNDEFINED
+        return updated, strong
+
+    def _king_round(
+        self,
+        values: dict[int, int],
+        strong: dict[int, int],
+        faulty_set: frozenset[int],
+        oracle: ByzantineOracle,
+        phase: int,
+        king: int,
+    ) -> dict[int, int]:
+        updated: dict[int, int] = {}
+        for receiver in values:
+            if king in faulty_set:
+                raw = oracle("king", phase, king, receiver, values)
+                king_value = raw % self.value_range if raw != UNDEFINED else 0
+            else:
+                king_value = values[king] if values[king] != UNDEFINED else 0
+            if values[receiver] == UNDEFINED or strong[receiver] == 0:
+                updated[receiver] = king_value
+            else:
+                updated[receiver] = values[receiver]
+        return updated
+
+
+def run_phase_king_consensus(
+    n: int,
+    f: int,
+    inputs: Mapping[int, int],
+    faulty: Sequence[int] = (),
+    value_range: int = 2,
+    byzantine_oracle: ByzantineOracle | None = None,
+    rng: random.Random | int | None = 0,
+) -> ConsensusResult:
+    """Convenience wrapper: configure and run :class:`PhaseKingConsensus`."""
+    protocol = PhaseKingConsensus(n=n, f=f, value_range=value_range)
+    return protocol.run(
+        inputs=inputs, faulty=faulty, byzantine_oracle=byzantine_oracle, rng=rng
+    )

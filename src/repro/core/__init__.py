@@ -1,0 +1,70 @@
+"""Core algorithmic machinery: the paper's main contribution.
+
+* :mod:`repro.core.algorithm` — the ``A = (X, g, h)`` abstraction.
+* :mod:`repro.core.blocks` / :mod:`repro.core.voting` — block layout, leader
+  pointers and the majority voting scheme (Sections 3.2–3.3).
+* :mod:`repro.core.phase_king` — the self-stabilising phase king adaptation
+  (Section 3.4, Table 2).
+* :mod:`repro.core.boosting` — the resilience boosting construction
+  (Theorem 1).
+* :mod:`repro.core.recursion` / :mod:`repro.core.planner` — the recursive
+  constructions of Section 4 (Corollary 1, Figure 2, Theorems 2 and 3).
+"""
+
+from repro.core.algorithm import (
+    AlgorithmInfo,
+    State,
+    SynchronousCountingAlgorithm,
+    check_counting_parameters,
+)
+from repro.core.blocks import BlockLayout, CounterInterpretation
+from repro.core.boosting import BoostedCounter, BoostedState, boost
+from repro.core.errors import (
+    ConstructionError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    VerificationError,
+)
+from repro.core.parameters import BoostingParameters
+from repro.core.phase_king import INFINITY, PhaseKingRegisters, phase_king_step
+from repro.core.planner import ConstructionPlan, LevelSpec
+from repro.core.recursion import (
+    figure2_counter,
+    optimal_resilience_counter,
+    plan_corollary1,
+    plan_figure2,
+    plan_theorem2,
+    plan_theorem3,
+)
+from repro.core.voting import majority
+
+__all__ = [
+    "AlgorithmInfo",
+    "State",
+    "SynchronousCountingAlgorithm",
+    "check_counting_parameters",
+    "BlockLayout",
+    "CounterInterpretation",
+    "BoostedCounter",
+    "BoostedState",
+    "boost",
+    "BoostingParameters",
+    "ConstructionPlan",
+    "LevelSpec",
+    "INFINITY",
+    "PhaseKingRegisters",
+    "phase_king_step",
+    "majority",
+    "figure2_counter",
+    "optimal_resilience_counter",
+    "plan_corollary1",
+    "plan_figure2",
+    "plan_theorem2",
+    "plan_theorem3",
+    "ReproError",
+    "ParameterError",
+    "ConstructionError",
+    "SimulationError",
+    "VerificationError",
+]

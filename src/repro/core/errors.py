@@ -1,0 +1,38 @@
+"""Exception hierarchy for the synchronous counting library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ConstructionError",
+    "SimulationError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when algorithm or construction parameters violate a precondition.
+
+    The preconditions mirror the paper: for Theorem 1 these are ``k >= 3``,
+    ``F < (f+1)·⌈k/2⌉``, ``F < N/3``, ``C > 1`` and ``c`` being a multiple of
+    ``3(F+2)(2m)^k``.
+    """
+
+
+class ConstructionError(ReproError):
+    """Raised when a recursive construction cannot be realised as requested."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation is configured inconsistently (for example an
+    adversary controlling more nodes than the algorithm's resilience allows)."""
+
+
+class VerificationError(ReproError):
+    """Raised by the exhaustive model checker when its preconditions fail
+    (for example a state space too large to enumerate)."""

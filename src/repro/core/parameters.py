@@ -1,0 +1,203 @@
+"""Parameter sets for the resilience boosting construction (Theorem 1).
+
+Theorem 1 turns an inner counter ``A ∈ A(n, f, c)`` into a boosted counter
+``B ∈ A(N, F, C)`` subject to the following preconditions:
+
+* ``N = k·n`` for a number of blocks ``k >= 3``,
+* ``F < (f+1)·m`` where ``m = ⌈k/2⌉``,
+* ``C > 1``,
+* ``c`` is a multiple of ``3(F+2)·(2m)^k``,
+* ``F < N/3`` (required by the phase king protocol; implied by the other
+  constraints whenever ``f >= 1``, but checked explicitly so the degenerate
+  base cases are safe too).
+
+The resulting bounds are::
+
+    T(B) <= T(A) + 3(F+2)·(2m)^k
+    S(B)  = S(A) + ⌈log2(C+1)⌉ + 1
+
+:class:`BoostingParameters` validates all of this eagerly and exposes the
+derived quantities (``m``, ``τ``, block periods, the required counter
+multiple and the closed-form time/space bounds) used by the construction,
+the planner and the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ParameterError
+from repro.util.intmath import ceil_div, ceil_log2
+
+__all__ = ["BoostingParameters", "max_boosted_resilience"]
+
+
+def max_boosted_resilience(inner_f: int, k: int) -> int:
+    """Largest ``F`` allowed by Theorem 1 for the given inner resilience and ``k``.
+
+    This is ``min((f+1)·⌈k/2⌉ - 1, ⌈N/3⌉ - 1)`` where ``N`` is left implicit
+    because the ``N/3`` bound additionally depends on the inner node count;
+    callers that know ``n`` should use
+    :meth:`BoostingParameters.largest_feasible_resilience` instead.
+    """
+    if k < 3:
+        raise ParameterError(f"the construction requires k >= 3 blocks, got {k}")
+    if inner_f < 0:
+        raise ParameterError(f"inner resilience must be non-negative, got {inner_f}")
+    return (inner_f + 1) * ceil_div(k, 2) - 1
+
+
+@dataclass(frozen=True)
+class BoostingParameters:
+    """Validated parameter set for one application of Theorem 1.
+
+    Attributes
+    ----------
+    inner_n:
+        Number of nodes ``n`` of the inner counter.
+    inner_f:
+        Resilience ``f`` of the inner counter.
+    k:
+        Number of blocks (``>= 3``).
+    resilience:
+        The boosted resilience ``F``.
+    counter_size:
+        The boosted counter size ``C``.
+    """
+
+    inner_n: int
+    inner_f: int
+    k: int
+    resilience: int
+    counter_size: int
+
+    def __post_init__(self) -> None:
+        if self.inner_n < 1:
+            raise ParameterError(f"inner_n must be at least 1, got {self.inner_n}")
+        if self.inner_f < 0:
+            raise ParameterError(f"inner_f must be non-negative, got {self.inner_f}")
+        if self.k < 3:
+            raise ParameterError(f"the construction requires k >= 3 blocks, got {self.k}")
+        if self.counter_size < 2:
+            raise ParameterError(
+                f"boosted counter size C must be greater than 1, got {self.counter_size}"
+            )
+        if self.resilience < 0:
+            raise ParameterError(
+                f"boosted resilience F must be non-negative, got {self.resilience}"
+            )
+        limit = (self.inner_f + 1) * self.m
+        if self.resilience >= limit:
+            raise ParameterError(
+                f"boosted resilience F={self.resilience} violates F < (f+1)*ceil(k/2) = {limit} "
+                f"(inner f={self.inner_f}, k={self.k})"
+            )
+        if 3 * self.resilience >= self.total_nodes and self.resilience > 0:
+            raise ParameterError(
+                f"boosted resilience F={self.resilience} violates the phase king requirement "
+                f"F < N/3 with N={self.total_nodes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """``m = ⌈k/2⌉`` — number of candidate leader blocks."""
+        return ceil_div(self.k, 2)
+
+    @property
+    def total_nodes(self) -> int:
+        """``N = k·n``."""
+        return self.k * self.inner_n
+
+    @property
+    def tau(self) -> int:
+        """``τ = 3(F+2)`` — length of the phase king schedule."""
+        return 3 * (self.resilience + 2)
+
+    @property
+    def base(self) -> int:
+        """``2m`` — ratio between consecutive block counter periods."""
+        return 2 * self.m
+
+    @property
+    def required_inner_counter_multiple(self) -> int:
+        """The inner counter size ``c`` must be a multiple of ``3(F+2)(2m)^k``."""
+        return self.tau * self.base**self.k
+
+    def minimal_inner_counter(self, at_least: int = 1) -> int:
+        """Smallest admissible inner counter size ``>= at_least``."""
+        base = self.required_inner_counter_multiple
+        if at_least <= base:
+            return base
+        return ceil_div(at_least, base) * base
+
+    def validate_inner_counter(self, c: int) -> None:
+        """Raise unless ``c`` is a positive multiple of the required period."""
+        base = self.required_inner_counter_multiple
+        if c <= 0 or c % base != 0:
+            raise ParameterError(
+                f"inner counter size c={c} must be a positive multiple of "
+                f"3(F+2)(2m)^k = {base}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Theorem 1 bounds
+    # ------------------------------------------------------------------ #
+
+    def stabilization_overhead(self) -> int:
+        """The additive stabilisation overhead ``3(F+2)(2m)^k`` of Theorem 1."""
+        return self.required_inner_counter_multiple
+
+    def stabilization_bound(self, inner_bound: int | None) -> int | None:
+        """``T(B) <= T(A) + 3(F+2)(2m)^k`` (``None`` if ``T(A)`` is unknown)."""
+        if inner_bound is None:
+            return None
+        return inner_bound + self.stabilization_overhead()
+
+    def space_overhead_bits(self) -> int:
+        """The additive space overhead ``⌈log2(C+1)⌉ + 1`` of Theorem 1."""
+        return ceil_log2(self.counter_size + 1) + 1
+
+    def space_bound(self, inner_bits: int) -> int:
+        """``S(B) = S(A) + ⌈log2(C+1)⌉ + 1``."""
+        return inner_bits + self.space_overhead_bits()
+
+    # ------------------------------------------------------------------ #
+    # Helpers for building parameter sets
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_inner(
+        cls,
+        inner_n: int,
+        inner_f: int,
+        k: int,
+        counter_size: int,
+        resilience: int | None = None,
+    ) -> "BoostingParameters":
+        """Build a parameter set, defaulting ``F`` to the largest feasible value."""
+        if resilience is None:
+            resilience = cls.largest_feasible_resilience(inner_n, inner_f, k)
+        return cls(
+            inner_n=inner_n,
+            inner_f=inner_f,
+            k=k,
+            resilience=resilience,
+            counter_size=counter_size,
+        )
+
+    @staticmethod
+    def largest_feasible_resilience(inner_n: int, inner_f: int, k: int) -> int:
+        """Largest ``F`` compatible with both Theorem 1 and the ``F < N/3`` requirement."""
+        if k < 3:
+            raise ParameterError(f"the construction requires k >= 3 blocks, got {k}")
+        theorem_limit = (inner_f + 1) * ceil_div(k, 2) - 1
+        total_nodes = k * inner_n
+        phase_king_limit = ceil_div(total_nodes, 3) - 1
+        if total_nodes % 3 == 0:
+            phase_king_limit = total_nodes // 3 - 1
+        feasible = min(theorem_limit, phase_king_limit)
+        return max(feasible, 0)

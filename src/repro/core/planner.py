@@ -1,0 +1,262 @@
+"""Analytic construction plans for the recursive constructions of Section 4.
+
+A :class:`ConstructionPlan` describes a stack of Theorem 1 applications on
+top of the trivial one-node counter: each :class:`LevelSpec` records the
+number of blocks ``k``, the boosted resilience ``F`` and the boosted counter
+size ``C`` of one level.  The plan knows how to
+
+* compute the exact node count, resilience, stabilisation-time bound and
+  state-bits bound of the resulting counter using the Theorem 1 formulas
+  (exact integer arithmetic, so the Theorem 2/3 schedules can be evaluated
+  far beyond what could ever be simulated), and
+* *instantiate* the counter as a live, simulable
+  :class:`~repro.core.boosting.BoostedCounter` stack when the node count is
+  small enough.
+
+The concrete schedules (Corollary 1, Figure 2, Theorem 2, Theorem 3) are
+produced by :mod:`repro.core.recursion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.boosting import BoostedCounter
+from repro.core.errors import ConstructionError, ParameterError
+from repro.core.parameters import BoostingParameters
+from repro.counters.trivial import TrivialCounter
+from repro.util.intmath import ceil_log2
+
+__all__ = ["LevelSpec", "ConstructionPlan"]
+
+#: Safety cap on instantiation: plans with more nodes than this refuse to
+#: build a live counter (the analytic bounds remain available).
+DEFAULT_MAX_INSTANTIATED_NODES = 256
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One application of Theorem 1 within a recursive construction.
+
+    Attributes
+    ----------
+    k:
+        Number of blocks at this level.
+    resilience:
+        The boosted resilience ``F`` achieved by this level.
+    counter_size:
+        The boosted counter size ``C`` output by this level.  For all levels
+        below the top this is dictated by the next level's requirement that
+        its inner counter be a multiple of ``3(F+2)(2m)^k``.
+    """
+
+    k: int
+    resilience: int
+    counter_size: int
+
+    def __post_init__(self) -> None:
+        if self.k < 3:
+            raise ParameterError(f"each level needs k >= 3 blocks, got {self.k}")
+        if self.resilience < 0:
+            raise ParameterError(
+                f"level resilience must be non-negative, got {self.resilience}"
+            )
+        if self.counter_size < 2:
+            raise ParameterError(
+                f"level counter size must be at least 2, got {self.counter_size}"
+            )
+
+
+class ConstructionPlan:
+    """A validated stack of Theorem 1 levels over the trivial base counter."""
+
+    def __init__(
+        self,
+        levels: Sequence[LevelSpec],
+        base_counter_size: int,
+        name: str = "construction",
+        notes: str = "",
+    ) -> None:
+        """Validate the plan level by level.
+
+        Parameters
+        ----------
+        levels:
+            Level specifications from the bottom (applied first, directly on
+            the trivial counters) to the top.
+        base_counter_size:
+            Counter size ``c`` of the trivial one-node base counter.  It must
+            be a multiple of the first level's ``3(F+2)(2m)^k``.
+        """
+        if not levels:
+            raise ParameterError("a construction plan needs at least one level")
+        if base_counter_size < 2:
+            raise ParameterError(
+                f"base counter size must be at least 2, got {base_counter_size}"
+            )
+        self._levels = tuple(levels)
+        self._base_counter_size = base_counter_size
+        self._name = name
+        self._notes = notes
+        self._parameters = self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> list[BoostingParameters]:
+        parameters: list[BoostingParameters] = []
+        inner_n, inner_f, inner_c = 1, 0, self._base_counter_size
+        for index, level in enumerate(self._levels):
+            params = BoostingParameters(
+                inner_n=inner_n,
+                inner_f=inner_f,
+                k=level.k,
+                resilience=level.resilience,
+                counter_size=level.counter_size,
+            )
+            try:
+                params.validate_inner_counter(inner_c)
+            except ParameterError as error:
+                raise ParameterError(f"level {index}: {error}") from error
+            parameters.append(params)
+            inner_n = params.total_nodes
+            inner_f = params.resilience
+            inner_c = params.counter_size
+        return parameters
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Human readable plan name."""
+        return self._name
+
+    @property
+    def notes(self) -> str:
+        """Free-form notes (schedule description)."""
+        return self._notes
+
+    @property
+    def levels(self) -> tuple[LevelSpec, ...]:
+        """The level specifications, bottom to top."""
+        return self._levels
+
+    @property
+    def level_parameters(self) -> list[BoostingParameters]:
+        """The validated :class:`BoostingParameters` of every level."""
+        return list(self._parameters)
+
+    @property
+    def base_counter_size(self) -> int:
+        """Counter size of the trivial base counter."""
+        return self._base_counter_size
+
+    @property
+    def depth(self) -> int:
+        """Number of Theorem 1 applications."""
+        return len(self._levels)
+
+    # ------------------------------------------------------------------ #
+    # Theorem-level quantities (exact arithmetic)
+    # ------------------------------------------------------------------ #
+
+    def total_nodes(self) -> int:
+        """``n`` of the resulting counter (product of all block counts)."""
+        return self._parameters[-1].total_nodes
+
+    def resilience(self) -> int:
+        """``f`` of the resulting counter (the top level's ``F``)."""
+        return self._parameters[-1].resilience
+
+    def counter_size(self) -> int:
+        """``c`` of the resulting counter (the top level's ``C``)."""
+        return self._levels[-1].counter_size
+
+    def stabilization_bound(self) -> int:
+        """Exact Theorem 1 stabilisation bound ``sum_i 3(F_i+2)(2m_i)^{k_i}``."""
+        total = 0
+        for params in self._parameters:
+            total += params.stabilization_overhead()
+        return total
+
+    def state_bits_bound(self) -> int:
+        """Exact Theorem 1 space bound, including the trivial base's bits."""
+        bits = ceil_log2(self._base_counter_size)
+        for params in self._parameters:
+            bits += params.space_overhead_bits()
+        return bits
+
+    def node_to_fault_ratio(self) -> float:
+        """``n / f`` — the quantity the Theorem 2/3 analyses bound by ``8 f^ε``."""
+        resilience = self.resilience()
+        if resilience == 0:
+            return float("inf")
+        return self.total_nodes() / resilience
+
+    # ------------------------------------------------------------------ #
+    # Instantiation
+    # ------------------------------------------------------------------ #
+
+    def instantiate(
+        self, max_nodes: int = DEFAULT_MAX_INSTANTIATED_NODES
+    ) -> SynchronousCountingAlgorithm:
+        """Build the live counter described by the plan.
+
+        Raises :class:`ConstructionError` when the plan's node count exceeds
+        ``max_nodes`` (simulating such a counter would be impractical; use the
+        analytic bounds instead).
+        """
+        nodes = self.total_nodes()
+        if nodes > max_nodes:
+            raise ConstructionError(
+                f"plan '{self._name}' spans {nodes} nodes which exceeds the "
+                f"instantiation limit of {max_nodes}; use the analytic bounds instead"
+            )
+        algorithm: SynchronousCountingAlgorithm = TrivialCounter(c=self._base_counter_size)
+        for index, level in enumerate(self._levels):
+            algorithm = BoostedCounter(
+                inner=algorithm,
+                k=level.k,
+                counter_size=level.counter_size,
+                resilience=level.resilience,
+                name=f"{self._name}/level{index + 1}",
+            )
+        return algorithm
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> dict[str, Any]:
+        """Dictionary summary of the plan (used by the scaling experiments)."""
+        return {
+            "name": self._name,
+            "depth": self.depth,
+            "levels": [
+                {
+                    "k": level.k,
+                    "resilience": level.resilience,
+                    "counter_size": level.counter_size,
+                }
+                for level in self._levels
+            ],
+            "base_counter_size": self._base_counter_size,
+            "total_nodes": self.total_nodes(),
+            "resilience": self.resilience(),
+            "counter_size": self.counter_size(),
+            "stabilization_bound": self.stabilization_bound(),
+            "state_bits_bound": self.state_bits_bound(),
+            "node_to_fault_ratio": self.node_to_fault_ratio(),
+            "notes": self._notes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConstructionPlan(name={self._name!r}, depth={self.depth}, "
+            f"n={self.total_nodes()}, f={self.resilience()})"
+        )

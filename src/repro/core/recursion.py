@@ -1,0 +1,254 @@
+"""The recursive constructions of Section 4: Corollary 1, Figure 2, Theorems 2 and 3.
+
+All constructions are expressed as :class:`~repro.core.planner.ConstructionPlan`
+objects — stacks of Theorem 1 applications over the trivial one-node counter
+— so that the exact node counts, resiliences and Theorem 1 bounds can be
+evaluated for arbitrarily large targets, while small instances can be
+instantiated into live, simulable counters.
+
+The concrete schedules:
+
+* :func:`plan_corollary1` — a single Theorem 1 application with ``k = 3f + 1``
+  blocks of one node each; optimal resilience ``f < n/3`` but ``f^{O(f)}``
+  stabilisation time.
+* :func:`plan_figure2` — the k = 3 recursion drawn in Figure 2:
+  ``A(4,1) → A(12,3) → A(36,7) → …``.
+* :func:`plan_theorem2` — fixed block count ``k = 2h`` with
+  ``h = 2^{⌈1/ε⌉}``; resilience ``Ω(n^{1-ε})``.
+* :func:`plan_theorem3` — block counts varying over phases
+  (``k_p = 4·2^{P-p}``, ``R_p = 2 k_p`` iterations each); resilience
+  ``n^{1-o(1)}`` with ``O(log² f / log log f)`` state bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.errors import ConstructionError, ParameterError
+from repro.core.parameters import BoostingParameters
+from repro.core.planner import ConstructionPlan, LevelSpec
+from repro.counters.trivial import TrivialCounter
+from repro.util.intmath import ceil_div
+
+__all__ = [
+    "plan_corollary1",
+    "plan_figure2",
+    "plan_theorem2",
+    "plan_theorem3",
+    "optimal_resilience_counter",
+    "figure2_counter",
+    "figure2_resiliences",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Internal helper: resolve the counter sizes of a level stack top-down
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _LevelShape:
+    """Shape of one level before counter sizes are assigned."""
+
+    k: int
+    resilience: int
+
+
+def _required_multiple(k: int, resilience: int) -> int:
+    """``3(F+2)(2m)^k`` — the counter-size divisor demanded by Theorem 1."""
+    m = ceil_div(k, 2)
+    return 3 * (resilience + 2) * (2 * m) ** k
+
+
+def _assign_counter_sizes(
+    shapes: list[_LevelShape], top_counter_size: int
+) -> tuple[list[LevelSpec], int]:
+    """Assign counter sizes top-down.
+
+    The top level outputs the user-requested counter size; every level below
+    must output a counter whose size is a multiple of the next level's
+    ``3(F+2)(2m)^k`` requirement (we use the smallest admissible value), and
+    the trivial base counter in turn must satisfy the first level's
+    requirement.
+    """
+    if top_counter_size < 2:
+        raise ParameterError(
+            f"requested counter size must be at least 2, got {top_counter_size}"
+        )
+    levels: list[LevelSpec] = []
+    next_requirement: int | None = None
+    for shape in reversed(shapes):
+        counter_size = top_counter_size if next_requirement is None else next_requirement
+        levels.append(
+            LevelSpec(k=shape.k, resilience=shape.resilience, counter_size=counter_size)
+        )
+        next_requirement = _required_multiple(shape.k, shape.resilience)
+    levels.reverse()
+    base_counter_size = next_requirement if next_requirement is not None else top_counter_size
+    return levels, base_counter_size
+
+
+# ---------------------------------------------------------------------- #
+# Corollary 1
+# ---------------------------------------------------------------------- #
+
+
+def plan_corollary1(f: int, c: int = 2) -> ConstructionPlan:
+    """Plan the optimal-resilience counter of Corollary 1.
+
+    A single application of Theorem 1 with ``k = 3f + 1`` blocks consisting of
+    one (trivial) node each yields an ``f``-resilient ``c``-counter on
+    ``n = 3f + 1`` nodes that stabilises in ``f^{O(f)}`` rounds and uses
+    ``O(f log f + log c)`` state bits.
+    """
+    if f < 1:
+        raise ParameterError(
+            f"Corollary 1 requires f >= 1 (use TrivialCounter for f = 0), got {f}"
+        )
+    shapes = [_LevelShape(k=3 * f + 1, resilience=f)]
+    levels, base = _assign_counter_sizes(shapes, c)
+    return ConstructionPlan(
+        levels=levels,
+        base_counter_size=base,
+        name=f"corollary1[f={f}, c={c}]",
+        notes="single Theorem 1 application over k = 3f+1 single-node blocks",
+    )
+
+
+def optimal_resilience_counter(f: int, c: int = 2) -> SynchronousCountingAlgorithm:
+    """Instantiate the Corollary 1 counter (``f = 0`` degenerates to the trivial counter)."""
+    if f == 0:
+        return TrivialCounter(c=c)
+    return plan_corollary1(f=f, c=c).instantiate()
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2 — the k = 3 recursion
+# ---------------------------------------------------------------------- #
+
+
+def figure2_resiliences(levels: int) -> list[int]:
+    """Resiliences along the Figure 2 recursion: 1, 3, 7, 15, … (``2^{i+1} - 1``)."""
+    if levels < 0:
+        raise ParameterError(f"levels must be non-negative, got {levels}")
+    resiliences = [1]
+    for _ in range(levels):
+        resiliences.append(2 * resiliences[-1] + 1)
+    return resiliences
+
+
+def plan_figure2(levels: int = 1, c: int = 2) -> ConstructionPlan:
+    """Plan the Figure 2 recursion.
+
+    ``levels = 0`` is the base counter ``A(4, 1)`` (Corollary 1 with ``f = 1``);
+    each further level applies Theorem 1 with ``k = 3`` blocks, giving the
+    sequence ``A(4,1) → A(12,3) → A(36,7) → A(108,15) → …``.
+    """
+    if levels < 0:
+        raise ParameterError(f"levels must be non-negative, got {levels}")
+    shapes = [_LevelShape(k=4, resilience=1)]
+    resilience = 1
+    for _ in range(levels):
+        resilience = 2 * resilience + 1
+        shapes.append(_LevelShape(k=3, resilience=resilience))
+    plan_levels, base = _assign_counter_sizes(shapes, c)
+    nodes = 4 * 3**levels
+    return ConstructionPlan(
+        levels=plan_levels,
+        base_counter_size=base,
+        name=f"figure2[levels={levels}, n={nodes}, f={resilience}]",
+        notes="k = 3 recursion of Figure 2 over the Corollary 1 base A(4, 1)",
+    )
+
+
+def figure2_counter(levels: int = 1, c: int = 2) -> SynchronousCountingAlgorithm:
+    """Instantiate the Figure 2 counter (``levels = 1`` gives ``A(12, 3)``)."""
+    return plan_figure2(levels=levels, c=c).instantiate()
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 2 — fixed number of blocks
+# ---------------------------------------------------------------------- #
+
+
+def plan_theorem2(
+    epsilon: float, f_target: int, c: int = 2
+) -> ConstructionPlan:
+    """Plan the fixed-``k`` construction of Theorem 2.
+
+    Following the proof: pick ``h`` minimal with ``ε >= 1 / log2 h`` (that is
+    ``h = 2^{⌈1/ε⌉}``) and set ``k = 2h``.  Starting from the Corollary 1 base
+    ``A(4, 1)``, every iteration multiplies the resilience by ``h`` and the
+    node count by ``k``, so after ``L = ⌈log f / log h⌉`` iterations the
+    resilience is at least ``f_target`` while ``n / f <= 4·2^L <= 8 f^ε``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must lie strictly between 0 and 1, got {epsilon}")
+    if f_target < 1:
+        raise ParameterError(f"f_target must be at least 1, got {f_target}")
+    h = 2 ** max(1, math.ceil(1.0 / epsilon))
+    k = 2 * h
+    shapes = [_LevelShape(k=4, resilience=1)]
+    resilience = 1
+    while resilience < f_target:
+        resilience *= h
+        shapes.append(_LevelShape(k=k, resilience=resilience))
+    plan_levels, base = _assign_counter_sizes(shapes, c)
+    return ConstructionPlan(
+        levels=plan_levels,
+        base_counter_size=base,
+        name=f"theorem2[eps={epsilon}, f>={f_target}, c={c}]",
+        notes=f"fixed k = 2h = {k} blocks per level (h = {h})",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 3 — varying number of blocks
+# ---------------------------------------------------------------------- #
+
+
+def plan_theorem3(phases: int, c: int = 2) -> ConstructionPlan:
+    """Plan the varying-``k`` construction of Theorem 3 with ``P = phases`` phases.
+
+    Phase ``p ∈ {1, …, P}`` uses ``k_p = 4·2^{P-p}`` blocks per level and runs
+    ``R_p = 2 k_p`` iterations of Theorem 1; every iteration multiplies the
+    resilience by ``k_p / 2``.  The base is again the Corollary 1 counter
+    ``A(4, 1)``.  The schedule realises resilience ``f = n^{1-o(1)}`` with
+    ``O(log² f / log log f)`` state bits; the plan evaluates the exact values.
+    """
+    if phases < 1:
+        raise ParameterError(f"phases must be at least 1, got {phases}")
+    shapes = [_LevelShape(k=4, resilience=1)]
+    resilience = 1
+    for phase in range(1, phases + 1):
+        k_p = 4 * 2 ** (phases - phase)
+        iterations = 2 * k_p
+        for _ in range(iterations):
+            resilience *= k_p // 2
+            shapes.append(_LevelShape(k=k_p, resilience=resilience))
+    plan_levels, base = _assign_counter_sizes(shapes, c)
+    return ConstructionPlan(
+        levels=plan_levels,
+        base_counter_size=base,
+        name=f"theorem3[P={phases}, c={c}]",
+        notes="k_p = 4·2^(P-p) blocks, R_p = 2 k_p iterations per phase",
+    )
+
+
+def plan_theorem3_for_resilience(f_target: int, c: int = 2) -> ConstructionPlan:
+    """Smallest Theorem 3 plan whose resilience reaches ``f_target``."""
+    if f_target < 1:
+        raise ParameterError(f"f_target must be at least 1, got {f_target}")
+    phases = 1
+    while True:
+        plan = plan_theorem3(phases=phases, c=c)
+        if plan.resilience() >= f_target:
+            return plan
+        phases += 1
+        if phases > 8:
+            raise ConstructionError(
+                "refusing to plan more than 8 Theorem 3 phases "
+                f"(resilience target {f_target} already astronomically exceeded)"
+            )

@@ -1,0 +1,77 @@
+"""A naive follow-the-majority counter with no Byzantine resilience.
+
+Each node adopts ``(majority of received values) + 1 mod c`` and falls back to
+``(minimum received value) + 1 mod c`` when no strict majority exists.  In a
+fault-free network this synchronises within two rounds (every node sees the
+same multiset); with even a single Byzantine node an adversary can keep two
+halves of the network split forever by showing different receivers different
+evidence.  The class is used as a *negative* baseline: the adversary
+test-suite and the exhaustive verifier both demonstrate that it is **not** a
+synchronous counter for ``f >= 1``, which exercises the machinery that
+certifies the real constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core.algorithm import AlgorithmInfo, State, SynchronousCountingAlgorithm
+from repro.core.errors import ParameterError
+from repro.core.voting import majority
+from repro.util.rng import ensure_rng
+
+__all__ = ["NaiveMajorityCounter"]
+
+
+class NaiveMajorityCounter(SynchronousCountingAlgorithm):
+    """Fault-intolerant majority-following ``c``-counter on ``n`` nodes."""
+
+    def __init__(self, n: int, c: int, claimed_resilience: int = 0) -> None:
+        """Create the counter.
+
+        ``claimed_resilience`` exists so tests can *claim* a resilience and
+        let the verifier refute it; the algorithm itself only tolerates 0
+        faults.
+        """
+        if n < 1:
+            raise ParameterError(f"n must be at least 1, got {n}")
+        info = AlgorithmInfo(
+            name=f"NaiveMajority[n={n}, c={c}]",
+            deterministic=True,
+            source="baseline (not from the paper)",
+            notes="fault-intolerant; counter-example used by the verifier",
+        )
+        super().__init__(n=n, f=claimed_resilience, c=c, info=info)
+
+    def num_states(self) -> int:
+        return self.c
+
+    def stabilization_bound(self) -> int:
+        return 1 if self.f == 0 else self.c * self.n
+
+    def states(self) -> Iterator[int]:
+        return iter(range(self.c))
+
+    def default_state(self) -> int:
+        return 0
+
+    def random_state(self, rng: Any = None) -> int:
+        return ensure_rng(rng).randrange(self.c)
+
+    def is_valid_state(self, state: Any) -> bool:
+        return isinstance(state, int) and not isinstance(state, bool) and 0 <= state < self.c
+
+    def coerce_message(self, message: Any) -> int:
+        if isinstance(message, bool) or not isinstance(message, int):
+            return 0
+        return message % self.c
+
+    def transition(self, node: int, messages: Sequence[State]) -> int:
+        if len(messages) != self.n:
+            raise ParameterError(f"expected {self.n} messages, got {len(messages)}")
+        values = [self.coerce_message(message) for message in messages]
+        agreed = majority(values, min(values))
+        return (agreed + 1) % self.c
+
+    def output(self, node: int, state: State) -> int:
+        return self.coerce_message(state)

@@ -1,0 +1,154 @@
+"""Catalogue of the algorithms and models that back the Table 1 experiment.
+
+The registry provides named factories for every *executable* algorithm in the
+library (so experiments, benchmarks and examples can construct them
+uniformly) plus the published-bounds models of the prior-work rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.errors import ParameterError
+from repro.counters.baselines import PRIOR_WORK_MODELS, ComplexityModel
+from repro.counters.naive import NaiveMajorityCounter
+from repro.counters.randomized import RandomizedFollowMajorityCounter
+from repro.counters.trivial import TrivialCounter
+
+__all__ = [
+    "AlgorithmFactory",
+    "AlgorithmRegistry",
+    "default_registry",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmFactory:
+    """A named, documented constructor for an executable algorithm."""
+
+    name: str
+    description: str
+    build: Callable[..., SynchronousCountingAlgorithm]
+    deterministic: bool = True
+    source: str = ""
+
+
+class AlgorithmRegistry:
+    """Registry mapping names to algorithm factories and published models."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, AlgorithmFactory] = {}
+        self._models: list[ComplexityModel] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, factory: AlgorithmFactory) -> None:
+        """Register an executable algorithm factory under its name."""
+        if factory.name in self._factories:
+            raise ParameterError(f"algorithm '{factory.name}' is already registered")
+        self._factories[factory.name] = factory
+
+    def register_model(self, model: ComplexityModel) -> None:
+        """Register a published-bounds model (a non-executable Table 1 row)."""
+        self._models.append(model)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> list[str]:
+        """Names of all registered executable algorithms."""
+        return sorted(self._factories)
+
+    def factory(self, name: str) -> AlgorithmFactory:
+        """Return the factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "(none)"
+            raise ParameterError(
+                f"unknown algorithm '{name}'; registered algorithms: {known}"
+            ) from None
+
+    def build(self, name: str, **kwargs: Any) -> SynchronousCountingAlgorithm:
+        """Construct the algorithm registered under ``name``."""
+        return self.factory(name).build(**kwargs)
+
+    def models(self) -> list[ComplexityModel]:
+        """All registered published-bounds models."""
+        return list(self._models)
+
+
+def _build_corollary1_base(c: int = 2, f: int = 1) -> SynchronousCountingAlgorithm:
+    """Factory for the Corollary 1 counter (imported lazily to avoid cycles)."""
+    from repro.core.recursion import optimal_resilience_counter
+
+    return optimal_resilience_counter(f=f, c=c)
+
+
+def _build_figure2_counter(levels: int = 1, c: int = 2) -> SynchronousCountingAlgorithm:
+    """Factory for the Figure 2 recursive counter (k = 3 blocks per level)."""
+    from repro.core.recursion import figure2_counter
+
+    return figure2_counter(levels=levels, c=c)
+
+
+def default_registry() -> AlgorithmRegistry:
+    """Build the default registry with all executable algorithms and models."""
+    registry = AlgorithmRegistry()
+    registry.register(
+        AlgorithmFactory(
+            name="trivial",
+            description="0-resilient single-node counter (base case of Corollary 1)",
+            build=lambda c=2: TrivialCounter(c=c),
+            deterministic=True,
+            source="Section 4.1",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="naive-majority",
+            description="fault-intolerant follow-the-majority counter (negative baseline)",
+            build=lambda n=4, c=2, claimed_resilience=0: NaiveMajorityCounter(
+                n=n, c=c, claimed_resilience=claimed_resilience
+            ),
+            deterministic=True,
+            source="baseline",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="randomized-follow-majority",
+            description="randomised counter of [6, 7]: random states until a clear majority",
+            build=lambda n=4, f=1, c=2, seed=0: RandomizedFollowMajorityCounter(
+                n=n, f=f, c=c, seed=seed
+            ),
+            deterministic=False,
+            source="Table 1, [6, 7]",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="corollary1",
+            description="optimal-resilience counter built from trivial counters (Corollary 1)",
+            build=_build_corollary1_base,
+            deterministic=True,
+            source="Corollary 1",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="figure2",
+            description="recursive k=3 construction of Figure 2: A(4,1) -> A(12,3) -> A(36,7)",
+            build=_build_figure2_counter,
+            deterministic=True,
+            source="Figure 2 / Theorem 1",
+        )
+    )
+    for model in PRIOR_WORK_MODELS:
+        registry.register_model(model)
+    return registry

@@ -1,0 +1,181 @@
+"""Shared infrastructure for the experiment modules.
+
+* :class:`ExperimentResult` — a named list of dictionary rows with text and
+  Markdown renderers (the same structure is consumed by the benchmarks and
+  by EXPERIMENTS.md).
+* :func:`run_counter_trials` — run a counter repeatedly under randomly drawn
+  fault patterns and adversaries, returning per-trial metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.metrics import TrialMetrics, trial_metrics
+from repro.analysis.stats import summarize
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.network.adversary import Adversary, random_faulty_set
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.util.rng import derive_rng, ensure_rng
+
+__all__ = ["ExperimentResult", "run_counter_trials", "summarize_trials"]
+
+#: Factory turning a faulty set into an adversary instance.
+AdversaryFactory = Callable[[frozenset[int]], Adversary]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of an experiment plus free-form notes.
+
+    Rows are plain dictionaries so they can be rendered as text tables,
+    Markdown tables, or consumed programmatically by tests and benchmarks.
+    """
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row."""
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note shown below the table."""
+        self.notes.append(note)
+
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def _render_cell(self, value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e6 or abs(value) < 1e-3:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def format_table(self) -> str:
+        """Render as an aligned plain-text table."""
+        columns = self.columns()
+        if not columns:
+            return f"== {self.name} ==\n(no rows)"
+        cells = [
+            [self._render_cell(row.get(column, "")) for column in columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(column), *(len(row[i]) for row in cells)) if cells else len(column)
+            for i, column in enumerate(columns)
+        ]
+        lines = [f"== {self.name} =="]
+        lines.append("  ".join(column.ljust(widths[i]) for i, column in enumerate(columns)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+        for row in cells:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a Markdown table."""
+        columns = self.columns()
+        if not columns:
+            return f"### {self.name}\n\n(no rows)\n"
+        lines = [f"### {self.name}", ""]
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(columns)) + "|")
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(self._render_cell(row.get(column, "")) for column in columns)
+                + " |"
+            )
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines) + "\n"
+
+
+def run_counter_trials(
+    algorithm: SynchronousCountingAlgorithm,
+    adversary_factory: AdversaryFactory,
+    trials: int,
+    max_rounds: int,
+    num_faults: int | None = None,
+    stop_after_agreement: int | None = 20,
+    seed: int = 0,
+    min_tail: int = 2,
+    fault_sets: Sequence[Iterable[int]] | None = None,
+) -> list[TrialMetrics]:
+    """Run ``trials`` adversarial simulations of ``algorithm`` and collect metrics.
+
+    Parameters
+    ----------
+    algorithm:
+        Counter under test.
+    adversary_factory:
+        Callable producing an adversary from a faulty set.
+    trials:
+        Number of independent trials (different fault sets, initial states
+        and adversary randomness).
+    max_rounds:
+        Per-trial round cap (normally the theoretical stabilisation bound or
+        a generous multiple of the typical stabilisation time).
+    num_faults:
+        Number of faults to inject per trial (defaults to the algorithm's
+        resilience ``f``).
+    stop_after_agreement:
+        Early-stop window forwarded to the simulator.
+    seed:
+        Master seed; trial ``t`` derives its own seed from it.
+    fault_sets:
+        Optional explicit fault sets (cycled through) instead of random ones.
+    """
+    faults = algorithm.f if num_faults is None else num_faults
+    master = ensure_rng(seed)
+    bound = algorithm.stabilization_bound()
+    metrics: list[TrialMetrics] = []
+    for trial in range(trials):
+        trial_rng = derive_rng(master, "trial", trial)
+        if fault_sets is not None:
+            faulty = frozenset(fault_sets[trial % len(fault_sets)])
+        else:
+            faulty = random_faulty_set(algorithm.n, faults, rng=trial_rng)
+        adversary = adversary_factory(faulty)
+        config = SimulationConfig(
+            max_rounds=max_rounds,
+            stop_after_agreement=stop_after_agreement,
+            seed=trial_rng.getrandbits(32),
+        )
+        trace = run_simulation(algorithm, adversary=adversary, config=config)
+        metrics.append(trial_metrics(trace, bound=bound, min_tail=min_tail))
+    return metrics
+
+
+def summarize_trials(metrics: Sequence[TrialMetrics]) -> dict[str, Any]:
+    """Aggregate a list of :class:`TrialMetrics` into one table row."""
+    stabilized = [metric for metric in metrics if metric.stabilized]
+    rounds = [
+        metric.stabilization_round
+        for metric in stabilized
+        if metric.stabilization_round is not None
+    ]
+    summary = summarize(rounds) if rounds else summarize([])
+    within = [metric.within_bound for metric in metrics if metric.within_bound is not None]
+    return {
+        "trials": len(metrics),
+        "stabilized": len(stabilized),
+        "mean_stabilization": summary.mean,
+        "median_stabilization": summary.median,
+        "max_stabilization": summary.maximum,
+        "within_bound": all(within) if within else True,
+    }

@@ -1,0 +1,201 @@
+"""Experiment E4 — Figure 2: the recursive k = 3 construction A(4,1) → A(12,3) → A(36,7).
+
+Figure 2 of the paper shows the recursive application of Theorem 1 with
+``k = 3`` blocks per level: groups of four nodes run 1-resilient counters,
+three such groups form a 3-resilient counter on 12 nodes, and three of those
+form a 7-resilient counter on 36 nodes.  The figure also marks *faulty
+blocks* (blocks containing more than ``f`` faulty nodes) — the construction
+tolerates them as long as a majority of blocks stays non-faulty.
+
+This experiment instantiates the construction and measures stabilisation
+under several fault placements and adversary strategies:
+
+* uniformly random fault sets of maximal size,
+* the Figure 2 pattern: one entire block Byzantine plus scattered faults, and
+* an adversarially mis-aligned initial configuration (the block counters are
+  positioned so that the leader pointers have just diverged, maximising the
+  wait for the next common interval).
+
+Run with ``python -m repro.experiments.figure2`` (add ``--large`` to include
+the 36-node level, which takes a few minutes).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from repro.core.boosting import BoostedCounter, BoostedState
+from repro.core.phase_king import INFINITY
+from repro.core.recursion import figure2_counter, plan_figure2
+from repro.experiments.common import (
+    ExperimentResult,
+    run_counter_trials,
+    summarize_trials,
+)
+from repro.network.adversary import (
+    AdaptiveSplitAdversary,
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+    block_concentrated_faults,
+    random_faulty_set,
+)
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import stabilization_round
+
+__all__ = ["run_figure2", "misaligned_initial_states", "main"]
+
+_ADVERSARIES = {
+    "random-state": RandomStateAdversary,
+    "phase-king-skew": PhaseKingSkewAdversary,
+    "split-state": SplitStateAdversary,
+    "adaptive-split": AdaptiveSplitAdversary,
+}
+
+
+def misaligned_initial_states(counter: BoostedCounter, seed: int = 0) -> list[BoostedState]:
+    """An initial configuration that maximises leader-pointer disagreement.
+
+    Every node's inner counter is positioned so that its block's leader
+    pointer has just moved *past* a common value (block ``i`` starts at
+    ``y ≡ (i+1) · (2m)^i``), and the phase king registers are reset.  This is
+    the slow case for Lemma 2: the blocks must cycle most of a full period
+    before they point at the same leader again.
+    """
+    layout = counter.layout
+    interpretation = counter.interpretation
+    inner = counter.inner
+    states: list[BoostedState] = []
+    for node in range(counter.n):
+        block, _ = layout.split(node)
+        target = ((block + 1) * interpretation.base**block * interpretation.tau) % inner.c
+        inner_state = _inner_state_with_value(inner, target, seed)
+        states.append(BoostedState(inner=inner_state, a=INFINITY, d=0))
+    return states
+
+
+def _inner_state_with_value(inner, value: int, seed: int):
+    """Find an inner state whose (node 0) output equals ``value``.
+
+    For the trivial counter the state *is* the value; for nested boosted
+    counters we set the phase king register directly.
+    """
+    if isinstance(inner, BoostedCounter):
+        nested = _inner_state_with_value(inner.inner, value % inner.inner.c, seed)
+        return BoostedState(inner=nested, a=value % inner.c, d=1)
+    return value % inner.c
+
+
+def run_figure2(
+    levels: int = 1,
+    trials: int = 6,
+    max_rounds: int = 6000,
+    seed: int = 0,
+    adversaries: Sequence[str] = ("random-state", "phase-king-skew", "adaptive-split"),
+    include_misaligned: bool = True,
+) -> ExperimentResult:
+    """Regenerate the Figure 2 experiment for the given recursion depth.
+
+    ``levels = 1`` builds ``A(12, 3)``; ``levels = 2`` builds ``A(36, 7)``.
+    """
+    plan = plan_figure2(levels=levels, c=2)
+    counter = figure2_counter(levels=levels, c=2)
+    result = ExperimentResult(
+        name=(
+            f"Figure 2 — recursive construction, level {levels}: "
+            f"A({counter.n}, {counter.f}) with bound T <= {counter.stabilization_bound()}"
+        )
+    )
+
+    for adversary_name in adversaries:
+        factory = _ADVERSARIES[adversary_name]
+        metrics = run_counter_trials(
+            counter,
+            adversary_factory=factory,
+            trials=trials,
+            max_rounds=max_rounds,
+            stop_after_agreement=16,
+            seed=seed,
+        )
+        summary = summarize_trials(metrics)
+        result.add_row(
+            scenario=f"random faults / {adversary_name}",
+            trials=summary["trials"],
+            stabilized=summary["stabilized"],
+            mean_round=round(summary["mean_stabilization"], 1),
+            max_round=summary["max_stabilization"],
+            bound=counter.stabilization_bound(),
+            within_bound=summary["within_bound"],
+        )
+
+    # Figure 2 fault pattern: one whole block faulty, remaining budget scattered.
+    layout = getattr(counter, "layout", None)
+    if layout is not None:
+        block_size = layout.n
+        whole_block = block_concentrated_faults(block_size, blocks=[0], per_block=min(block_size, counter.f))
+        remaining = counter.f - len(whole_block)
+        scattered = set(whole_block)
+        candidate = block_size  # start scattering in the next block
+        while remaining > 0 and candidate < counter.n:
+            scattered.add(candidate)
+            candidate += block_size // 2 + 1
+            remaining -= 1
+        pattern = frozenset(scattered)
+        metrics = run_counter_trials(
+            counter,
+            adversary_factory=PhaseKingSkewAdversary,
+            trials=max(3, trials // 2),
+            max_rounds=max_rounds,
+            stop_after_agreement=16,
+            seed=seed + 1,
+            fault_sets=[pattern],
+        )
+        summary = summarize_trials(metrics)
+        result.add_row(
+            scenario="faulty block pattern (as drawn) / phase-king-skew",
+            trials=summary["trials"],
+            stabilized=summary["stabilized"],
+            mean_round=round(summary["mean_stabilization"], 1),
+            max_round=summary["max_stabilization"],
+            bound=counter.stabilization_bound(),
+            within_bound=summary["within_bound"],
+        )
+
+    # Adversarially mis-aligned initial configuration (worst case for Lemma 2).
+    if include_misaligned and isinstance(counter, BoostedCounter):
+        faulty = random_faulty_set(counter.n, counter.f, rng=seed + 7)
+        trace = run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=SimulationConfig(
+                max_rounds=max_rounds, stop_after_agreement=16, seed=seed + 7
+            ),
+            initial_states=misaligned_initial_states(counter, seed=seed),
+        )
+        stab = stabilization_round(trace)
+        result.add_row(
+            scenario="mis-aligned start / phase-king-skew",
+            trials=1,
+            stabilized=1 if stab.stabilized else 0,
+            mean_round=stab.round if stab.round is not None else "-",
+            max_round=stab.round if stab.round is not None else "-",
+            bound=counter.stabilization_bound(),
+            within_bound=(stab.round or 0) <= (counter.stabilization_bound() or 0),
+        )
+
+    result.add_note(f"Construction plan: {plan.summary()}")
+    result.add_note(
+        "The paper's Figure 2 depicts the structure only; the quantitative claim verified "
+        "here is Theorem 1's stabilisation bound for each level of the recursion."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    levels = 2 if "--large" in sys.argv else 1
+    print(run_figure2(levels=levels).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

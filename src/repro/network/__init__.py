@@ -1,0 +1,56 @@
+"""Synchronous network simulation substrate.
+
+This package implements the model of computation from Section 2 of the
+paper: a fully connected network of ``n`` nodes operating in synchronous
+rounds, where every node broadcasts its state, receives the vector of all
+states, and updates its state — except that up to ``f`` Byzantine nodes may
+send arbitrary (and per-receiver inconsistent) messages.
+
+Contents:
+
+* :mod:`repro.network.adversary` — Byzantine adversary strategies.
+* :mod:`repro.network.simulator` — the broadcast-model execution engine.
+* :mod:`repro.network.pulling` — the pulling-model engine of Section 5 with
+  per-node message/bit accounting.
+* :mod:`repro.network.trace` — execution traces.
+* :mod:`repro.network.stabilization` — empirical stabilisation detection.
+"""
+
+from repro.network.adversary import (
+    Adversary,
+    AdaptiveSplitAdversary,
+    CrashAdversary,
+    FixedStateAdversary,
+    MimicAdversary,
+    NoAdversary,
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+    block_concentrated_faults,
+    random_faulty_set,
+    spread_faults,
+)
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import StabilizationResult, stabilization_round
+from repro.network.trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "Adversary",
+    "NoAdversary",
+    "CrashAdversary",
+    "FixedStateAdversary",
+    "RandomStateAdversary",
+    "SplitStateAdversary",
+    "MimicAdversary",
+    "PhaseKingSkewAdversary",
+    "AdaptiveSplitAdversary",
+    "random_faulty_set",
+    "block_concentrated_faults",
+    "spread_faults",
+    "SimulationConfig",
+    "run_simulation",
+    "ExecutionTrace",
+    "RoundRecord",
+    "StabilizationResult",
+    "stabilization_round",
+]

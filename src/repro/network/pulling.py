@@ -1,0 +1,250 @@
+"""The pulling communication model of Section 5, with message accounting.
+
+In the pulling model a node does not receive a full broadcast; instead, in
+every synchronous round it
+
+1. contacts a subset of nodes by *pulling* their state,
+2. receives the state (as of the beginning of the round) of every contacted
+   node — except that faulty nodes may answer arbitrarily and differently to
+   different pullers, and
+3. updates its local state from the responses.
+
+The per-node *message complexity* is the maximum number of pulls a correct
+node issues in a round and the *bit complexity* multiplies this by the state
+size — the quantities bounded by Theorem 4 and Corollary 4.  The engine below
+records both for every round.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.algorithm import AlgorithmInfo, State, check_counting_parameters
+from repro.core.errors import SimulationError
+from repro.network.adversary import Adversary, NoAdversary
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.util.intmath import ceil_log2
+from repro.util.rng import derive_rng, ensure_rng
+
+__all__ = ["PullingAlgorithm", "PullSimulationConfig", "run_pull_simulation"]
+
+
+class PullingAlgorithm(ABC):
+    """A synchronous counting algorithm for the pulling model.
+
+    The interface mirrors :class:`~repro.core.algorithm.SynchronousCountingAlgorithm`
+    but communication is initiated by the receiver: :meth:`pull_targets`
+    names the nodes whose state is requested this round (repetitions allowed —
+    the paper samples with repetition so Chernoff bounds apply directly) and
+    :meth:`transition` consumes the aligned list of responses.
+    """
+
+    def __init__(self, n: int, f: int, c: int, info: AlgorithmInfo | None = None) -> None:
+        check_counting_parameters(n, f, c)
+        self._n = n
+        self._f = f
+        self._c = c
+        self._info = info or AlgorithmInfo(name=type(self).__name__, deterministic=False)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def f(self) -> int:
+        """Resilience."""
+        return self._f
+
+    @property
+    def c(self) -> int:
+        """Counter size."""
+        return self._c
+
+    @property
+    def info(self) -> AlgorithmInfo:
+        """Descriptive metadata."""
+        return self._info
+
+    # ------------------------------------------------------------------ #
+    # Abstract interface
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def pull_targets(self, node: int, state: State, rng: random.Random) -> list[int]:
+        """The nodes whose state ``node`` pulls this round (repetitions allowed)."""
+
+    @abstractmethod
+    def transition(
+        self,
+        node: int,
+        state: State,
+        targets: Sequence[int],
+        responses: Sequence[State],
+        rng: random.Random,
+    ) -> State:
+        """Update ``node``'s state from the pulled ``responses`` (aligned with ``targets``)."""
+
+    @abstractmethod
+    def output(self, node: int, state: State) -> int:
+        """The counter output ``h(i, s) ∈ [c]``."""
+
+    @abstractmethod
+    def random_state(self, rng: Any = None) -> State:
+        """A uniformly random valid state (arbitrary initialisation)."""
+
+    @abstractmethod
+    def coerce_message(self, message: Any) -> State:
+        """Interpret an arbitrary pulled response as a valid state."""
+
+    # ------------------------------------------------------------------ #
+    # Defaults
+    # ------------------------------------------------------------------ #
+
+    def default_state(self) -> State:
+        """A canonical valid state."""
+        return self.random_state(ensure_rng(0))
+
+    def state_bits(self) -> int:
+        """Space complexity in bits (subclasses with exact counts override)."""
+        return ceil_log2(max(2, self.num_states()))
+
+    def num_states(self) -> int:
+        """Number of distinct states (subclasses override)."""
+        raise NotImplementedError
+
+    def message_bits(self) -> int:
+        """Bits transferred per pulled message (one state)."""
+        return self.state_bits()
+
+    def describe(self) -> dict[str, Any]:
+        """Summary dictionary used by the experiment harness."""
+        return {
+            "name": self._info.name,
+            "n": self.n,
+            "f": self.f,
+            "c": self.c,
+            "deterministic": self._info.deterministic,
+        }
+
+
+@dataclass(frozen=True)
+class PullSimulationConfig:
+    """Configuration of a pulling-model simulation."""
+
+    max_rounds: int = 1000
+    stop_after_agreement: int | None = None
+    record_states: bool = False
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise SimulationError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.stop_after_agreement is not None and self.stop_after_agreement < 1:
+            raise SimulationError(
+                f"stop_after_agreement must be positive, got {self.stop_after_agreement}"
+            )
+
+
+def run_pull_simulation(
+    algorithm: PullingAlgorithm,
+    adversary: Adversary | None = None,
+    config: PullSimulationConfig | None = None,
+    initial_states: Mapping[int, State] | None = None,
+) -> ExecutionTrace:
+    """Simulate a pulling-model algorithm and record outputs plus pull counts.
+
+    The returned trace carries, per round, the metadata keys
+    ``max_pulls`` / ``mean_pulls`` (messages pulled by correct nodes) and
+    ``max_bits`` (messages times the per-message bit size), which the
+    Corollary 4 experiment aggregates.
+    """
+    adversary = adversary or NoAdversary()
+    config = config or PullSimulationConfig()
+    if len(adversary.faulty) > algorithm.f:
+        raise SimulationError(
+            f"adversary controls {len(adversary.faulty)} nodes but the algorithm "
+            f"tolerates only f={algorithm.f}"
+        )
+    for node in adversary.faulty:
+        if not 0 <= node < algorithm.n:
+            raise SimulationError(f"faulty node {node} outside [0, {algorithm.n})")
+
+    master_rng = ensure_rng(config.seed)
+    init_rng = derive_rng(master_rng, "initial-states")
+    adversary_rng = derive_rng(master_rng, "adversary")
+    sample_rng = derive_rng(master_rng, "sampling")
+
+    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
+    if initial_states is None:
+        states: dict[int, State] = {
+            node: algorithm.random_state(init_rng) for node in correct_nodes
+        }
+    else:
+        states = {node: initial_states[node] for node in correct_nodes}
+
+    trace = ExecutionTrace(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        c=algorithm.c,
+        faulty=adversary.faulty,
+        metadata={"model": "pulling", "adversary": adversary.describe(), "seed": config.seed},
+    )
+
+    agreement_streak = 0
+    previous_agreed: int | None = None
+    for round_index in range(config.max_rounds):
+        adversary.on_round_start(round_index, states, algorithm, adversary_rng)  # type: ignore[arg-type]
+        new_states: dict[int, State] = {}
+        pull_counts: list[int] = []
+        for node in correct_nodes:
+            targets = algorithm.pull_targets(node, states[node], sample_rng)
+            responses: list[State] = []
+            for target in targets:
+                if not 0 <= target < algorithm.n:
+                    raise SimulationError(
+                        f"node {node} pulled invalid target {target}"
+                    )
+                if target in adversary.faulty:
+                    forged = adversary.forge(
+                        round_index, target, node, states, algorithm, adversary_rng  # type: ignore[arg-type]
+                    )
+                    responses.append(algorithm.coerce_message(forged))
+                else:
+                    responses.append(states[target])
+            pull_counts.append(len(targets))
+            new_states[node] = algorithm.transition(
+                node, states[node], targets, responses, sample_rng
+            )
+        states = new_states
+        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        max_pulls = max(pull_counts) if pull_counts else 0
+        record = RoundRecord(
+            round_index=round_index,
+            outputs=outputs,
+            states=dict(states) if config.record_states else None,
+            metadata={
+                "max_pulls": max_pulls,
+                "mean_pulls": (sum(pull_counts) / len(pull_counts)) if pull_counts else 0.0,
+                "max_bits": max_pulls * algorithm.message_bits(),
+            },
+        )
+        trace.append(record)
+
+        if config.stop_after_agreement is not None:
+            agreed = record.agreed_value()
+            if agreed is None:
+                agreement_streak = 0
+            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
+                agreement_streak += 1
+            else:
+                agreement_streak = 1
+            previous_agreed = agreed
+            if agreement_streak >= config.stop_after_agreement:
+                trace.metadata["stopped_early"] = True
+                break
+
+    return trace

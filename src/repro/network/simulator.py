@@ -1,0 +1,207 @@
+"""The synchronous broadcast-model execution engine (Section 2 of the paper).
+
+In every round each correct node receives the vector of states broadcast by
+all nodes — with the entries of Byzantine senders replaced, per receiver, by
+whatever the adversary forges — and applies the algorithm's transition
+function.  The engine records an :class:`~repro.network.trace.ExecutionTrace`
+and can stop early once the outputs have been counting correctly for a
+configurable confirmation window (useful because worst-case stabilisation
+bounds are far larger than typical stabilisation times).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.algorithm import State, SynchronousCountingAlgorithm
+from repro.core.errors import SimulationError
+from repro.network.adversary import Adversary, NoAdversary
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.util.rng import derive_rng, ensure_rng
+
+__all__ = ["SimulationConfig", "run_simulation", "run_round"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of a broadcast-model simulation.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard cap on the number of simulated rounds.
+    stop_after_agreement:
+        If set, stop the simulation once the correct nodes have been counting
+        in agreement for this many consecutive rounds (the trace still
+        records everything up to that point).  ``None`` disables early
+        stopping.
+    record_states:
+        Whether to store the full per-round states in the trace (memory
+        heavy; off by default).
+    seed:
+        Seed for all randomness used by the run (adversary, random initial
+        states).  Runs with equal seeds and deterministic algorithms are
+        bit-for-bit reproducible.
+    """
+
+    max_rounds: int = 1000
+    stop_after_agreement: int | None = None
+    record_states: bool = False
+    seed: int | None = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise SimulationError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.stop_after_agreement is not None and self.stop_after_agreement < 1:
+            raise SimulationError(
+                f"stop_after_agreement must be positive, got {self.stop_after_agreement}"
+            )
+
+
+def run_round(
+    algorithm: SynchronousCountingAlgorithm,
+    states: Mapping[int, State],
+    adversary: Adversary,
+    round_index: int,
+    rng: random.Random,
+) -> dict[int, State]:
+    """Execute one synchronous round and return the new states of correct nodes.
+
+    ``states`` maps every *correct* node to its current state.  Faulty nodes
+    have no tracked state; their messages are produced by the adversary,
+    potentially differently for every receiver.
+    """
+    faulty = adversary.faulty
+    adversary.on_round_start(round_index, states, algorithm, rng)
+    new_states: dict[int, State] = {}
+    for receiver in states:
+        messages: list[State] = []
+        for sender in range(algorithm.n):
+            if sender in faulty:
+                forged = adversary.forge(
+                    round_index, sender, receiver, states, algorithm, rng
+                )
+                messages.append(algorithm.coerce_message(forged))
+            else:
+                messages.append(states[sender])
+        new_states[receiver] = algorithm.transition(receiver, messages)
+    return new_states
+
+
+def run_simulation(
+    algorithm: SynchronousCountingAlgorithm,
+    adversary: Adversary | None = None,
+    config: SimulationConfig | None = None,
+    initial_states: Mapping[int, State] | Sequence[State] | None = None,
+) -> ExecutionTrace:
+    """Simulate the algorithm under the given adversary from an arbitrary start.
+
+    Parameters
+    ----------
+    algorithm:
+        The synchronous counter to execute.
+    adversary:
+        Byzantine adversary (defaults to the fault-free :class:`NoAdversary`).
+    config:
+        Simulation parameters; defaults to :class:`SimulationConfig`'s
+        defaults.
+    initial_states:
+        Either a mapping from correct node ids to initial states, a sequence
+        of ``n`` states (faulty entries are ignored), or ``None`` to draw a
+        uniformly random initial configuration — self-stabilisation demands
+        correctness from *any* starting point, so random starts are the
+        default workload.
+
+    Returns
+    -------
+    ExecutionTrace
+        The recorded execution (outputs per round for all correct nodes).
+    """
+    adversary = adversary or NoAdversary()
+    config = config or SimulationConfig()
+    adversary.validate(algorithm)
+
+    master_rng = ensure_rng(config.seed)
+    init_rng = derive_rng(master_rng, "initial-states")
+    adversary_rng = derive_rng(master_rng, "adversary")
+
+    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
+    states = _resolve_initial_states(algorithm, correct_nodes, initial_states, init_rng)
+
+    trace = ExecutionTrace(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        c=algorithm.c,
+        faulty=adversary.faulty,
+        initial_outputs={
+            node: algorithm.output(node, state) for node, state in states.items()
+        },
+        metadata={
+            "adversary": adversary.describe(),
+            "seed": config.seed,
+            "max_rounds": config.max_rounds,
+        },
+    )
+
+    agreement_streak = 0
+    previous_agreed: int | None = None
+    for round_index in range(config.max_rounds):
+        states = run_round(algorithm, states, adversary, round_index, adversary_rng)
+        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        record = RoundRecord(
+            round_index=round_index,
+            outputs=outputs,
+            states=dict(states) if config.record_states else None,
+        )
+        trace.append(record)
+
+        if config.stop_after_agreement is not None:
+            agreed = record.agreed_value()
+            if agreed is None:
+                agreement_streak = 0
+            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
+                agreement_streak += 1
+            else:
+                agreement_streak = 1
+            previous_agreed = agreed
+            if agreement_streak >= config.stop_after_agreement:
+                trace.metadata["stopped_early"] = True
+                trace.metadata["agreement_streak"] = agreement_streak
+                break
+
+    return trace
+
+
+def _resolve_initial_states(
+    algorithm: SynchronousCountingAlgorithm,
+    correct_nodes: Sequence[int],
+    initial_states: Mapping[int, State] | Sequence[State] | None,
+    rng: random.Random,
+) -> dict[int, State]:
+    """Normalise the user-provided initial configuration."""
+    if initial_states is None:
+        return {node: algorithm.random_state(rng) for node in correct_nodes}
+    if isinstance(initial_states, Mapping):
+        missing = [node for node in correct_nodes if node not in initial_states]
+        if missing:
+            raise SimulationError(
+                f"initial_states mapping is missing correct nodes {missing}"
+            )
+        resolved = {node: initial_states[node] for node in correct_nodes}
+    else:
+        sequence = list(initial_states)
+        if len(sequence) != algorithm.n:
+            raise SimulationError(
+                f"initial_states sequence must have length n={algorithm.n}, "
+                f"got {len(sequence)}"
+            )
+        resolved = {node: sequence[node] for node in correct_nodes}
+    for node, state in resolved.items():
+        if not algorithm.is_valid_state(state):
+            raise SimulationError(
+                f"initial state for node {node} is not a valid state: {state!r}"
+            )
+    return resolved

@@ -1,0 +1,117 @@
+"""Empirical stabilisation detection (the ``t``-stabilisation of Section 2).
+
+An execution stabilises in time ``t`` when there is a round ``r0 <= t`` such
+that from ``r0`` on all non-faulty nodes output the same value and that value
+increases by one modulo ``c`` every round.  For a finite recorded trace we
+report the earliest round from which this holds until the end of the trace —
+an *empirical* stabilisation time.  A trailing confirmation window (the
+``min_tail`` parameter) guards against declaring stabilisation on a short
+coincidental suffix.
+
+For small algorithms the exhaustive verifier (:mod:`repro.verification`)
+complements this with a proof over *all* executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import SimulationError
+from repro.network.trace import ExecutionTrace
+
+__all__ = [
+    "StabilizationResult",
+    "stabilization_round",
+    "is_counting_suffix",
+    "agreement_round",
+]
+
+
+@dataclass(frozen=True)
+class StabilizationResult:
+    """Outcome of the stabilisation analysis of one trace.
+
+    Attributes
+    ----------
+    stabilized:
+        True when the trace ends in a correct counting suffix of length at
+        least ``min_tail``.
+    round:
+        The earliest round index from which counting is correct until the end
+        of the trace (``None`` when the trace never stabilised).
+    tail_length:
+        Length of the correct suffix.
+    total_rounds:
+        Total number of recorded rounds.
+    """
+
+    stabilized: bool
+    round: int | None
+    tail_length: int
+    total_rounds: int
+
+
+def is_counting_suffix(values: Sequence[int | None], c: int) -> bool:
+    """Check that ``values`` is a run of agreed outputs incrementing mod ``c``.
+
+    ``values`` holds the per-round agreed output (``None`` when nodes
+    disagreed); the run is correct when no entry is ``None`` and consecutive
+    entries increase by exactly one modulo ``c``.
+    """
+    if any(value is None for value in values):
+        return False
+    for previous, current in zip(values, values[1:]):
+        if (previous + 1) % c != current:
+            return False
+    return True
+
+
+def agreement_round(trace: ExecutionTrace) -> int | None:
+    """First round from which all non-faulty outputs agree until the end."""
+    agreed = trace.agreed_values()
+    last_disagreement = -1
+    for index, value in enumerate(agreed):
+        if value is None:
+            last_disagreement = index
+    start = last_disagreement + 1
+    return start if start < len(agreed) else None
+
+
+def stabilization_round(trace: ExecutionTrace, min_tail: int = 2) -> StabilizationResult:
+    """Find the earliest round from which the trace counts correctly to the end.
+
+    Parameters
+    ----------
+    trace:
+        A recorded execution.
+    min_tail:
+        Minimum length of the correct suffix required to declare
+        stabilisation.  Two rounds (one increment) is the logical minimum;
+        experiments typically use a full counter period or more.
+    """
+    if min_tail < 1:
+        raise SimulationError(f"min_tail must be at least 1, got {min_tail}")
+    agreed = trace.agreed_values()
+    total = len(agreed)
+    if total == 0:
+        return StabilizationResult(
+            stabilized=False, round=None, tail_length=0, total_rounds=0
+        )
+
+    # Walk backwards to find the longest correct suffix.
+    suffix_start = total
+    for index in range(total - 1, -1, -1):
+        if agreed[index] is None:
+            break
+        if index + 1 < total and (agreed[index] + 1) % trace.c != agreed[index + 1]:
+            break
+        suffix_start = index
+    tail_length = total - suffix_start
+    stabilized = tail_length >= min_tail
+    return StabilizationResult(
+        stabilized=stabilized,
+        round=suffix_start if stabilized else None,
+        tail_length=tail_length,
+        total_rounds=total,
+    )

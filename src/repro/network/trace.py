@@ -1,0 +1,150 @@
+"""Execution traces recorded by the simulators.
+
+A trace stores, per round, the outputs of all non-faulty nodes (and, when
+requested, their full states and the voted diagnostics).  Traces are the
+common currency between the simulators, the stabilisation detector, the
+analysis metrics and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.errors import SimulationError
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Snapshot of one synchronous round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based index of the round.  The record stores the outputs *after*
+        the round's state update has been applied.
+    outputs:
+        Mapping from non-faulty node id to its counter output ``h(i, s)``.
+    states:
+        Mapping from non-faulty node id to its full state; only populated
+        when the simulation was run with state recording enabled.
+    metadata:
+        Optional per-round extras (for example pull counts or vote
+        diagnostics).
+    """
+
+    round_index: int
+    outputs: Mapping[int, int]
+    states: Mapping[int, Any] | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def agreed_value(self) -> int | None:
+        """The common output value if all non-faulty nodes agree, else ``None``."""
+        values = set(self.outputs.values())
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+
+@dataclass
+class ExecutionTrace:
+    """A complete recorded execution of a synchronous counting algorithm."""
+
+    algorithm_name: str
+    n: int
+    c: int
+    faulty: frozenset[int]
+    rounds: list[RoundRecord] = field(default_factory=list)
+    initial_outputs: Mapping[int, int] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def append(self, record: RoundRecord) -> None:
+        """Append a round record (rounds must be appended in order)."""
+        expected = len(self.rounds)
+        if record.round_index != expected:
+            raise SimulationError(
+                f"round records must be appended in order: expected index {expected}, "
+                f"got {record.round_index}"
+            )
+        self.rounds.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.rounds)
+
+    @property
+    def correct_nodes(self) -> list[int]:
+        """Identifiers of the non-faulty nodes."""
+        return [i for i in range(self.n) if i not in self.faulty]
+
+    def output_rows(self) -> list[dict[int, int]]:
+        """Outputs per round as a list of ``{node: output}`` dictionaries."""
+        return [dict(record.outputs) for record in self.rounds]
+
+    def output_series(self, node: int) -> list[int]:
+        """The output sequence of a single non-faulty node."""
+        if node in self.faulty:
+            raise SimulationError(f"node {node} is faulty; it has no recorded outputs")
+        return [record.outputs[node] for record in self.rounds]
+
+    def agreed_values(self) -> list[int | None]:
+        """Per round, the common output value or ``None`` when nodes disagree."""
+        return [record.agreed_value() for record in self.rounds]
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    # ------------------------------------------------------------------ #
+    # Presentation helpers
+    # ------------------------------------------------------------------ #
+
+    def format_table(
+        self, first: int = 0, last: int | None = None, max_columns: int = 24
+    ) -> str:
+        """Render the trace as a small text table (rows = nodes, columns = rounds).
+
+        Mirrors the example execution shown in the introduction of the paper.
+        """
+        last = self.num_rounds if last is None else min(last, self.num_rounds)
+        first = max(0, first)
+        columns = list(range(first, last))[:max_columns]
+        lines = []
+        header = "round    " + " ".join(f"{q:>3}" for q in columns)
+        lines.append(header)
+        for node in range(self.n):
+            if node in self.faulty:
+                lines.append(f"node {node:>3} " + "  faulty (arbitrary behaviour)")
+                continue
+            values = " ".join(f"{self.rounds[q].outputs[node]:>3}" for q in columns)
+            lines.append(f"node {node:>3} " + values)
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, Any]:
+        """A compact dictionary summary used by the experiment harness."""
+        return {
+            "algorithm": self.algorithm_name,
+            "n": self.n,
+            "c": self.c,
+            "faulty": sorted(self.faulty),
+            "rounds": self.num_rounds,
+            "metadata": dict(self.metadata),
+        }
+
+
+def outputs_agree(outputs: Sequence[int]) -> bool:
+    """Return True if all values in ``outputs`` are equal (and non-empty)."""
+    return len(outputs) > 0 and len(set(outputs)) == 1

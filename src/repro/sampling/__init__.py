@@ -1,0 +1,26 @@
+"""Randomised, communication-efficient counters for the pulling model (Section 5).
+
+* :mod:`repro.sampling.thresholds` — the sampled threshold tests of Lemma 8
+  (replace ``N - F`` by ``2M/3`` and ``F + 1`` by ``M/3`` over ``M`` samples)
+  and the recommended sample size ``M₀ = Θ(log η)``.
+* :mod:`repro.sampling.pull_boosting` — :class:`SampledBoostedCounter`, the
+  randomised variant of the boosting construction (Theorem 4), where the
+  block-majority voting and the phase king thresholds operate on random
+  samples instead of full broadcasts; each node pulls ``O(k log η)`` messages
+  per round.
+* :mod:`repro.sampling.pseudo_random` — the pseudo-random variant of
+  Corollary 5: the sampling choices are fixed once (per node), which suffices
+  against an oblivious adversary and makes the stabilised behaviour
+  deterministic.
+"""
+
+from repro.sampling.pull_boosting import SampledBoostedCounter
+from repro.sampling.pseudo_random import PseudoRandomBoostedCounter
+from repro.sampling.thresholds import recommended_sample_size, sampled_phase_king_step
+
+__all__ = [
+    "SampledBoostedCounter",
+    "PseudoRandomBoostedCounter",
+    "recommended_sample_size",
+    "sampled_phase_king_step",
+]

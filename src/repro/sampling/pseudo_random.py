@@ -1,0 +1,78 @@
+"""Pseudo-random counters against an oblivious adversary (Corollary 5).
+
+Corollary 5 observes that if the set of faulty nodes is chosen *obliviously*
+(independently of the algorithm's randomness), the random communication links
+can be fixed once and for all: with high probability every correct node's
+fixed sample contains enough correct nodes, and from then on the algorithm
+behaves exactly like the deterministic construction — it stabilises with high
+probability and, once stabilised, counts correctly *deterministically*.
+
+:class:`PseudoRandomBoostedCounter` implements this by drawing each node's
+pull plan a single time from a dedicated seed and reusing it every round.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.sampling.pull_boosting import SampledBoostedCounter
+from repro.util.rng import derive_rng
+
+__all__ = ["PseudoRandomBoostedCounter"]
+
+
+class PseudoRandomBoostedCounter(SampledBoostedCounter):
+    """Sampled boosted counter whose sampling choices are fixed at construction."""
+
+    def __init__(
+        self,
+        inner: SynchronousCountingAlgorithm,
+        k: int,
+        counter_size: int,
+        resilience: int | None = None,
+        sample_size: int | None = None,
+        eta: int | None = None,
+        kappa: float = 1.0,
+        gamma: float = 0.5,
+        link_seed: int = 0,
+        name: str | None = None,
+    ) -> None:
+        """Create the pseudo-random counter.
+
+        ``link_seed`` determines the fixed communication links; two counters
+        with the same parameters and seed pull exactly the same targets in
+        every round, making executions reproducible and the post-stabilisation
+        behaviour deterministic.
+        """
+        super().__init__(
+            inner=inner,
+            k=k,
+            counter_size=counter_size,
+            resilience=resilience,
+            sample_size=sample_size,
+            eta=eta,
+            kappa=kappa,
+            gamma=gamma,
+            name=name
+            or f"PseudoRandomBoosted[{inner.info.name}, k={k}, seed={link_seed}]",
+        )
+        self._link_seed = link_seed
+        self._fixed_plans: dict[int, list[int]] = {}
+        for node in range(self.n):
+            node_rng = derive_rng(random.Random(link_seed), "links", node)
+            self._fixed_plans[node] = self._sample_plan(node, node_rng)
+
+    @property
+    def link_seed(self) -> int:
+        """The seed from which the fixed communication links were drawn."""
+        return self._link_seed
+
+    def fixed_plan(self, node: int) -> list[int]:
+        """The fixed pull plan of ``node`` (same list every round)."""
+        return list(self._fixed_plans[node])
+
+    def pull_targets(self, node: int, state: Any, rng: random.Random) -> list[int]:
+        """Return the node's fixed plan; the per-round randomness is ignored."""
+        return list(self._fixed_plans[node])

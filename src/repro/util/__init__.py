@@ -1,0 +1,39 @@
+"""Small shared utilities: integer math, RNG handling, and validation helpers.
+
+These helpers are deliberately dependency-free so that the core algorithm
+modules remain importable without numpy/scipy installed.
+"""
+
+from repro.util.intmath import (
+    ceil_div,
+    ceil_log2,
+    is_power_of_two,
+    lcm,
+    next_multiple,
+    prod,
+)
+from repro.util.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_range,
+    check_type,
+)
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "is_power_of_two",
+    "lcm",
+    "next_multiple",
+    "prod",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "check_range",
+    "check_type",
+]

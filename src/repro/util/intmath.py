@@ -1,0 +1,91 @@
+"""Integer arithmetic helpers used throughout the constructions.
+
+The paper's bounds are stated in terms of ceilings of base-2 logarithms and
+products of block counts; these helpers keep that arithmetic exact (no
+floating point), which matters when planning constructions for very large
+resilience values in the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "floor_log2",
+    "is_power_of_two",
+    "lcm",
+    "next_multiple",
+    "prod",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` using exact integer arithmetic.
+
+    Both arguments must be non-negative and ``b`` must be positive.
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def ceil_log2(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer ``value``.
+
+    This is the number of bits needed to index ``value`` distinct states,
+    matching the paper's space complexity ``S(A) = ceil(log |X|)``.
+    ``ceil_log2(1) == 0``.
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return (value - 1).bit_length()
+
+
+def floor_log2(value: int) -> int:
+    """Return ``floor(log2(value))`` for a positive integer ``value``."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return value.bit_length() - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def lcm(*values: int) -> int:
+    """Return the least common multiple of the given positive integers."""
+    if not values:
+        raise ValueError("lcm requires at least one value")
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"lcm arguments must be positive, got {value}")
+        result = result * value // math.gcd(result, value)
+    return result
+
+
+def next_multiple(value: int, base: int) -> int:
+    """Return the smallest multiple of ``base`` that is ``>= value``.
+
+    Used to pick the inner counter size ``c`` which must be an integer
+    multiple of ``3(F+2)(2m)^k`` (Theorem 1).
+    """
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    if value <= 0:
+        return base
+    return ceil_div(value, base) * base
+
+
+def prod(values: Iterable[int]) -> int:
+    """Return the product of an iterable of integers (1 for an empty iterable)."""
+    result = 1
+    for value in values:
+        result *= value
+    return result

@@ -1,0 +1,235 @@
+"""Exhaustive model checking of small synchronous counters.
+
+The checker decides, for a fixed algorithm and a fixed set of faulty nodes,
+whether **every** execution from **every** initial configuration stabilises
+to correct counting, and if so computes the exact worst-case stabilisation
+time.  Combined over all faulty sets of size at most ``f`` this certifies
+membership in ``A(n, f, c)`` exactly as defined in Section 2.
+
+The computation has two stages:
+
+1. **Good set** — the largest set ``G`` of configurations in which all
+   correct nodes agree on the output and from which *every* reachable
+   successor stays in ``G`` with the output incremented by one modulo ``c``
+   (a greatest fixed point).  Once inside ``G`` the system counts correctly
+   forever, whatever the Byzantine nodes do.
+2. **Convergence levels** — the least fixed point assigning to each
+   configuration ``e`` the worst-case number of rounds
+   ``T(e) = 1 + max_{d reachable from e} T(d)`` needed to enter ``G``.  If
+   some configuration never receives a level, the adversary can keep the
+   system outside ``G`` forever and the algorithm is **not** a synchronous
+   counter for this fault pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.errors import VerificationError
+from repro.verification.configuration import ConfigurationSpace
+
+__all__ = ["FaultPatternReport", "VerificationReport", "verify_counter"]
+
+
+@dataclass(frozen=True)
+class FaultPatternReport:
+    """Verification outcome for one fixed faulty set.
+
+    Attributes
+    ----------
+    faulty:
+        The faulty set analysed.
+    stabilizes:
+        True when every execution from every configuration reaches the good
+        set.
+    stabilization_time:
+        Exact worst-case number of rounds to reach the good set (``None`` when
+        the algorithm does not stabilise).
+    good_configurations:
+        Size of the good set.
+    total_configurations:
+        Size of the configuration space.
+    counterexample:
+        A configuration from which the adversary can avoid the good set
+        forever (``None`` when the algorithm stabilises).
+    """
+
+    faulty: frozenset[int]
+    stabilizes: bool
+    stabilization_time: int | None
+    good_configurations: int
+    total_configurations: int
+    counterexample: tuple | None = None
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Aggregated verification outcome over all analysed fault patterns."""
+
+    algorithm_name: str
+    n: int
+    f: int
+    c: int
+    patterns: tuple[FaultPatternReport, ...]
+
+    @property
+    def is_synchronous_counter(self) -> bool:
+        """True when the algorithm stabilises under every analysed fault pattern."""
+        return all(pattern.stabilizes for pattern in self.patterns)
+
+    @property
+    def stabilization_time(self) -> int | None:
+        """Worst-case stabilisation time over all fault patterns (``None`` if any fails)."""
+        if not self.is_synchronous_counter:
+            return None
+        return max(pattern.stabilization_time or 0 for pattern in self.patterns)
+
+    def failing_patterns(self) -> list[FaultPatternReport]:
+        """The fault patterns under which stabilisation fails."""
+        return [pattern for pattern in self.patterns if not pattern.stabilizes]
+
+
+def _analyse_fault_pattern(
+    algorithm: SynchronousCountingAlgorithm,
+    faulty: Sequence[int],
+    max_configurations: int,
+) -> FaultPatternReport:
+    space = ConfigurationSpace(
+        algorithm, faulty=faulty, max_configurations=max_configurations
+    )
+    configurations = list(space.configurations())
+    index = {configuration: i for i, configuration in enumerate(configurations)}
+    total = len(configurations)
+    c = algorithm.c
+
+    # Cache per-configuration data: agreed output (or None) and successor sets.
+    agreed_output: list[int | None] = []
+    successor_sets: list[list[int]] = []
+    for configuration in configurations:
+        outputs = space.outputs(configuration)
+        agreed_output.append(outputs[0] if len(set(outputs)) == 1 else None)
+        successors = {index[d] for d in space.successors(configuration)}
+        successor_sets.append(sorted(successors))
+
+    # Stage 1: greatest fixed point for the good set.
+    good = [agreed_output[i] is not None for i in range(total)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(total):
+            if not good[i]:
+                continue
+            expected = (agreed_output[i] + 1) % c  # type: ignore[operator]
+            for j in successor_sets[i]:
+                if not good[j] or agreed_output[j] != expected:
+                    good[i] = False
+                    changed = True
+                    break
+
+    good_count = sum(good)
+    if good_count == 0:
+        worst = None
+        counterexample = configurations[0] if configurations else None
+        return FaultPatternReport(
+            faulty=frozenset(faulty),
+            stabilizes=False,
+            stabilization_time=None,
+            good_configurations=0,
+            total_configurations=total,
+            counterexample=counterexample,
+        )
+
+    # Stage 2: least fixed point for the convergence levels.
+    levels: list[int | None] = [0 if good[i] else None for i in range(total)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(total):
+            if levels[i] is not None:
+                continue
+            successor_levels = []
+            complete = True
+            for j in successor_sets[i]:
+                if levels[j] is None:
+                    complete = False
+                    break
+                successor_levels.append(levels[j])
+            if complete:
+                levels[i] = 1 + max(successor_levels)
+                changed = True
+
+    unresolved = [i for i in range(total) if levels[i] is None]
+    if unresolved:
+        return FaultPatternReport(
+            faulty=frozenset(faulty),
+            stabilizes=False,
+            stabilization_time=None,
+            good_configurations=good_count,
+            total_configurations=total,
+            counterexample=configurations[unresolved[0]],
+        )
+    worst = max(level for level in levels if level is not None)
+    return FaultPatternReport(
+        faulty=frozenset(faulty),
+        stabilizes=True,
+        stabilization_time=worst,
+        good_configurations=good_count,
+        total_configurations=total,
+        counterexample=None,
+    )
+
+
+def verify_counter(
+    algorithm: SynchronousCountingAlgorithm,
+    max_faults: int | None = None,
+    max_configurations: int = 200_000,
+    fault_patterns: Sequence[Sequence[int]] | None = None,
+) -> VerificationReport:
+    """Exhaustively verify that ``algorithm`` is a synchronous counter.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to verify.  Its state space must be enumerable
+        (``algorithm.states()``).
+    max_faults:
+        Verify all faulty sets of size up to this bound (defaults to the
+        algorithm's declared resilience ``f``).
+    max_configurations:
+        Safety cap on the configuration-space size per fault pattern.
+    fault_patterns:
+        Explicit fault patterns to check instead of enumerating all subsets
+        (useful for spot checks on larger instances).
+
+    Returns
+    -------
+    VerificationReport
+        Per-pattern results plus the aggregate verdict and exact worst-case
+        stabilisation time.
+    """
+    limit = algorithm.f if max_faults is None else max_faults
+    if limit < 0:
+        raise VerificationError(f"max_faults must be non-negative, got {limit}")
+    if fault_patterns is None:
+        patterns: list[tuple[int, ...]] = []
+        for size in range(0, limit + 1):
+            if size >= algorithm.n:
+                break
+            patterns.extend(itertools.combinations(range(algorithm.n), size))
+    else:
+        patterns = [tuple(pattern) for pattern in fault_patterns]
+
+    reports = [
+        _analyse_fault_pattern(algorithm, pattern, max_configurations)
+        for pattern in patterns
+    ]
+    return VerificationReport(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        f=limit,
+        c=algorithm.c,
+        patterns=tuple(reports),
+    )

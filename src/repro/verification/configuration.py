@@ -1,0 +1,146 @@
+"""Configuration spaces and the reachability relation of Section 2.
+
+For a fixed set ``F`` of faulty nodes, a *configuration* is the projection
+``π_F`` of the global state onto the non-faulty nodes.  Configuration ``d``
+is reachable from ``e`` when, for every non-faulty node ``i``, there is a
+message vector that agrees with ``e`` on the non-faulty coordinates (the
+Byzantine coordinates are arbitrary) under which ``i`` moves to ``d_i`` —
+i.e. the Byzantine nodes can steer each non-faulty node *independently*
+within its per-node possibility set.
+
+:class:`ConfigurationSpace` enumerates configurations and per-node
+possibility sets for algorithms with small, enumerable state spaces.  It is
+the foundation of the exhaustive checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.core.algorithm import State, SynchronousCountingAlgorithm
+from repro.core.errors import VerificationError
+
+__all__ = ["ConfigurationSpace"]
+
+#: Refuse to enumerate spaces larger than this many configurations.
+DEFAULT_MAX_CONFIGURATIONS = 200_000
+
+
+class ConfigurationSpace:
+    """Enumeration of configurations for a fixed faulty set ``F``."""
+
+    def __init__(
+        self,
+        algorithm: SynchronousCountingAlgorithm,
+        faulty: Sequence[int] = (),
+        max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+    ) -> None:
+        self._algorithm = algorithm
+        self._faulty = frozenset(faulty)
+        for node in self._faulty:
+            if not 0 <= node < algorithm.n:
+                raise VerificationError(
+                    f"faulty node {node} outside [0, {algorithm.n})"
+                )
+        self._correct = [i for i in range(algorithm.n) if i not in self._faulty]
+        if not self._correct:
+            raise VerificationError("at least one node must be non-faulty")
+        # Check the size from the (cheap) state count before materialising the
+        # state space: boosted counters report num_states() in the millions and
+        # must be rejected without enumerating anything.
+        declared = algorithm.num_states()
+        size = declared ** len(self._correct)
+        if size > max_configurations:
+            raise VerificationError(
+                f"configuration space has {size} configurations which exceeds the "
+                f"limit of {max_configurations}"
+            )
+        try:
+            self._states = list(algorithm.states())
+        except NotImplementedError as error:
+            raise VerificationError(
+                f"{algorithm.info.name} does not enumerate its state space; "
+                "exhaustive verification is only possible for small algorithms"
+            ) from error
+        self._max_configurations = max_configurations
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def algorithm(self) -> SynchronousCountingAlgorithm:
+        """The algorithm under verification."""
+        return self._algorithm
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        """The fixed set of Byzantine nodes."""
+        return self._faulty
+
+    @property
+    def correct_nodes(self) -> list[int]:
+        """The non-faulty node identifiers, in increasing order."""
+        return list(self._correct)
+
+    @property
+    def states(self) -> list[State]:
+        """The algorithm's state space ``X`` as a list."""
+        return list(self._states)
+
+    def size(self) -> int:
+        """Number of configurations ``|X|^{n - |F|}``."""
+        return len(self._states) ** len(self._correct)
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+
+    def configurations(self) -> Iterator[tuple[State, ...]]:
+        """Iterate over all configurations (tuples indexed like ``correct_nodes``)."""
+        yield from itertools.product(self._states, repeat=len(self._correct))
+
+    def outputs(self, configuration: tuple[State, ...]) -> list[int]:
+        """Outputs of the non-faulty nodes in the given configuration."""
+        return [
+            self._algorithm.output(node, state)
+            for node, state in zip(self._correct, configuration)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Reachability
+    # ------------------------------------------------------------------ #
+
+    def successor_choices(
+        self, configuration: tuple[State, ...]
+    ) -> list[tuple[State, ...]]:
+        """Per-node possibility sets under the reachability relation.
+
+        ``result[p]`` is the tuple of states that correct node
+        ``correct_nodes[p]`` can be steered into by the Byzantine nodes when
+        the system is in ``configuration``.
+        """
+        base = {node: state for node, state in zip(self._correct, configuration)}
+        choices: list[tuple[State, ...]] = []
+        byzantine = sorted(self._faulty)
+        byzantine_combinations = list(itertools.product(self._states, repeat=len(byzantine)))
+        for node in self._correct:
+            reachable: set[State] = set()
+            for combo in byzantine_combinations:
+                vector: list[State] = []
+                combo_index = 0
+                for sender in range(self._algorithm.n):
+                    if sender in self._faulty:
+                        vector.append(combo[combo_index])
+                        combo_index += 1
+                    else:
+                        vector.append(base[sender])
+                reachable.add(self._algorithm.transition(node, vector))
+            choices.append(tuple(sorted(reachable, key=repr)))
+        return choices
+
+    def successors(self, configuration: tuple[State, ...]) -> Iterator[tuple[State, ...]]:
+        """Iterate over all configurations reachable from ``configuration``."""
+        choices = self.successor_choices(configuration)
+        yield from itertools.product(*choices)

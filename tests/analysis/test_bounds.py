@@ -1,0 +1,85 @@
+"""Unit tests for the closed-form bounds of the paper's theorems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    corollary1_space_bits,
+    corollary1_stabilization_bound,
+    corollary4_pull_bound,
+    theorem1_space_bits,
+    theorem1_stabilization_bound,
+    theorem3_space_envelope,
+    theorem3_time_envelope,
+)
+from repro.core.errors import ParameterError
+
+
+class TestTheorem1Bounds:
+    def test_stabilization_formula(self):
+        # k = 3, F = 3: 3 * 5 * 4^3 = 960
+        assert theorem1_stabilization_bound(0, 3, 3) == 960
+        assert theorem1_stabilization_bound(2304, 3, 3) == 3264
+
+    def test_stabilization_formula_k4(self):
+        # k = 4, F = 1: 3 * 3 * 4^4 = 2304
+        assert theorem1_stabilization_bound(0, 4, 1) == 2304
+
+    def test_space_formula(self):
+        assert theorem1_space_bits(15, 2) == 18
+        assert theorem1_space_bits(0, 8) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ParameterError):
+            theorem1_stabilization_bound(0, 2, 1)
+        with pytest.raises(ParameterError):
+            theorem1_stabilization_bound(-1, 3, 1)
+        with pytest.raises(ParameterError):
+            theorem1_space_bits(-1, 2)
+        with pytest.raises(ParameterError):
+            theorem1_space_bits(0, 1)
+
+
+class TestCorollary1Bounds:
+    def test_f1(self):
+        assert corollary1_stabilization_bound(1) == 2304
+
+    def test_grows_superexponentially(self):
+        # f^{O(f)}: each step of f multiplies the bound by several orders of magnitude.
+        values = [corollary1_stabilization_bound(f) for f in (1, 2, 3, 4)]
+        assert all(b >= 1000 * a for a, b in zip(values, values[1:]))
+
+    def test_space_bits_reasonable(self):
+        assert corollary1_space_bits(1, 2) == 15
+        assert corollary1_space_bits(2, 2) > corollary1_space_bits(1, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            corollary1_stabilization_bound(0)
+        with pytest.raises(ParameterError):
+            corollary1_space_bits(1, 1)
+
+
+class TestEnvelopes:
+    def test_theorem3_space_envelope_monotone(self):
+        assert theorem3_space_envelope(2**10, 2) < theorem3_space_envelope(2**20, 2)
+
+    def test_theorem3_space_envelope_small_f(self):
+        assert theorem3_space_envelope(1, 2) > 0
+
+    def test_theorem3_time_envelope_linear(self):
+        assert theorem3_time_envelope(10) == 2 * theorem3_time_envelope(5)
+
+    def test_theorem3_time_envelope_invalid(self):
+        with pytest.raises(ParameterError):
+            theorem3_time_envelope(0)
+
+    def test_corollary4_pull_bound_grows_slowly(self):
+        small = corollary4_pull_bound(2**10, 8)
+        large = corollary4_pull_bound(2**20, 8)
+        assert large == pytest.approx(2 * small)
+
+    def test_corollary4_pull_bound_invalid(self):
+        with pytest.raises(ParameterError):
+            corollary4_pull_bound(1, 1)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boosting import BoostedCounter
+from repro.core.recursion import figure2_counter, optimal_resilience_counter
+from repro.counters.trivial import TrivialCounter
+
+
+@pytest.fixture(scope="session")
+def corollary1_counter() -> BoostedCounter:
+    """The Corollary 1 base counter ``A(4, 1)`` counting modulo 2."""
+    return optimal_resilience_counter(f=1, c=2)
+
+
+@pytest.fixture(scope="session")
+def figure2_level1_counter() -> BoostedCounter:
+    """The Figure 2 counter ``A(12, 3)`` counting modulo 2."""
+    return figure2_counter(levels=1, c=2)
+
+
+@pytest.fixture(scope="session")
+def small_boosted_counter() -> BoostedCounter:
+    """A minimal boosted counter: k = 3 single-node blocks, F = 0, C = 2.
+
+    Small enough for exhaustive reasoning yet exercising the full Theorem 1
+    machinery (blocks, voting, phase king).
+    """
+    inner = TrivialCounter(c=3 * 2 * 4**3)
+    return BoostedCounter(inner=inner, k=3, counter_size=2, resilience=0)
+
+
+@pytest.fixture()
+def trivial_counter() -> TrivialCounter:
+    """A trivial 6-counter."""
+    return TrivialCounter(c=6)

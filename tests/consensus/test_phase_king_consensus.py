@@ -1,0 +1,111 @@
+"""Unit tests for the classic phase king consensus substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consensus.phase_king import (
+    UNDEFINED,
+    PhaseKingConsensus,
+    run_phase_king_consensus,
+)
+from repro.core.errors import ParameterError, SimulationError
+
+
+class TestConfiguration:
+    def test_round_count(self):
+        protocol = PhaseKingConsensus(n=7, f=2)
+        assert protocol.phases == 3
+        assert protocol.rounds == 9
+
+    def test_rejects_too_many_faults(self):
+        with pytest.raises(ParameterError):
+            PhaseKingConsensus(n=6, f=2)
+
+    def test_rejects_bad_value_range(self):
+        with pytest.raises(ParameterError):
+            PhaseKingConsensus(n=4, f=1, value_range=1)
+
+    def test_run_rejects_oversized_fault_set(self):
+        protocol = PhaseKingConsensus(n=4, f=1)
+        with pytest.raises(SimulationError):
+            protocol.run(inputs={i: 0 for i in range(4)}, faulty=[2, 3])
+
+    def test_run_rejects_out_of_range_fault(self):
+        protocol = PhaseKingConsensus(n=4, f=1)
+        with pytest.raises(SimulationError):
+            protocol.run(inputs={i: 0 for i in range(4)}, faulty=[7])
+
+
+class TestFaultFree:
+    def test_agreement_and_validity_unanimous(self):
+        result = run_phase_king_consensus(n=4, f=1, inputs={i: 1 for i in range(4)})
+        assert result.agreed
+        assert result.decision == 1
+
+    def test_agreement_with_mixed_inputs(self):
+        result = run_phase_king_consensus(n=4, f=1, inputs={0: 0, 1: 1, 2: 0, 3: 1})
+        assert result.agreed
+        assert result.decision in (0, 1)
+
+
+class TestByzantine:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_under_random_byzantine(self, seed):
+        rng = random.Random(seed)
+        n, f = 7, 2
+        faulty = rng.sample(range(n), f)
+        inputs = {i: rng.randrange(2) for i in range(n)}
+        result = run_phase_king_consensus(
+            n=n, f=f, inputs=inputs, faulty=faulty, rng=seed
+        )
+        assert result.agreed
+        assert result.decision != UNDEFINED
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_validity_under_byzantine(self, seed):
+        """If all correct nodes share an input, that input is the decision."""
+        n, f = 7, 2
+        rng = random.Random(seed)
+        faulty = rng.sample(range(n), f)
+        inputs = {i: 1 for i in range(n)}
+        result = run_phase_king_consensus(
+            n=n, f=f, inputs=inputs, faulty=faulty, rng=seed
+        )
+        assert result.agreed
+        assert result.decision == 1
+
+    def test_split_oracle_cannot_prevent_agreement(self):
+        """An oracle that always reinforces the receiver's opposite camp still fails."""
+
+        def oracle(label, phase, sender, receiver, values):
+            return 1 - (receiver % 2)
+
+        result = run_phase_king_consensus(
+            n=10,
+            f=3,
+            inputs={i: i % 2 for i in range(10)},
+            faulty=[7, 8, 9],
+            byzantine_oracle=oracle,
+        )
+        assert result.agreed
+
+    def test_multivalued_consensus(self):
+        result = run_phase_king_consensus(
+            n=7,
+            f=2,
+            inputs={i: i % 5 for i in range(7)},
+            faulty=[5, 6],
+            value_range=5,
+            rng=1,
+        )
+        assert result.agreed
+        assert 0 <= result.decision < 5
+
+    def test_history_length_matches_phases(self):
+        result = run_phase_king_consensus(
+            n=4, f=1, inputs={i: 0 for i in range(4)}, faulty=[3]
+        )
+        assert len(result.history) == 2

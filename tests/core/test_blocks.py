@@ -1,0 +1,167 @@
+"""Unit tests for block layout and leader-pointer arithmetic (Section 3.2, Lemmas 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import (
+    BlockLayout,
+    CounterInterpretation,
+    common_pointer_intervals,
+    ideal_pointer_trace,
+)
+from repro.core.errors import ParameterError
+
+
+class TestBlockLayout:
+    def test_total_nodes(self):
+        assert BlockLayout(k=3, n=4).total_nodes == 12
+
+    def test_split_roundtrip(self):
+        layout = BlockLayout(k=3, n=4)
+        for node in range(12):
+            block, index = layout.split(node)
+            assert layout.node_id(block, index) == node
+
+    def test_block_of(self):
+        layout = BlockLayout(k=3, n=4)
+        assert layout.block_of(0) == 0
+        assert layout.block_of(3) == 0
+        assert layout.block_of(4) == 1
+        assert layout.block_of(11) == 2
+
+    def test_index_in_block(self):
+        layout = BlockLayout(k=3, n=4)
+        assert layout.index_in_block(5) == 1
+
+    def test_block_members(self):
+        layout = BlockLayout(k=3, n=4)
+        assert list(layout.block_members(1)) == [4, 5, 6, 7]
+
+    def test_blocks_iterator(self):
+        layout = BlockLayout(k=2, n=3)
+        assert [list(block) for block in layout.blocks()] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ParameterError):
+            BlockLayout(k=2, n=2).block_of(4)
+
+    def test_out_of_range_block(self):
+        with pytest.raises(ParameterError):
+            BlockLayout(k=2, n=2).block_members(2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            BlockLayout(k=0, n=2)
+        with pytest.raises(ParameterError):
+            BlockLayout(k=2, n=0)
+
+    def test_faulty_blocks(self):
+        layout = BlockLayout(k=3, n=4)
+        # Two faults in block 0 exceed f=1; one fault in block 2 does not.
+        faulty = layout.faulty_blocks([0, 1, 9], f=1)
+        assert faulty == {0}
+
+    def test_faulty_blocks_empty(self):
+        layout = BlockLayout(k=3, n=4)
+        assert layout.faulty_blocks([], f=1) == set()
+
+
+class TestCounterInterpretation:
+    def test_basic_quantities(self):
+        interp = CounterInterpretation(k=3, F=3)
+        assert interp.m == 2
+        assert interp.tau == 15
+        assert interp.base == 4
+
+    def test_block_periods(self):
+        interp = CounterInterpretation(k=3, F=3)
+        assert interp.block_period(-1) == 15
+        assert interp.block_period(0) == 60
+        assert interp.block_period(1) == 240
+        assert interp.block_period(2) == 960
+        assert interp.max_period() == 960
+
+    def test_requires_three_blocks(self):
+        with pytest.raises(ParameterError):
+            CounterInterpretation(k=2, F=1)
+
+    def test_decompose_small_values(self):
+        interp = CounterInterpretation(k=3, F=3)
+        value = interp.decompose(0, 0)
+        assert (value.r, value.y, value.pointer) == (0, 0, 0)
+        value = interp.decompose(16, 0)
+        assert value.r == 1
+        assert value.y == 1
+
+    def test_r_increments_each_round(self):
+        interp = CounterInterpretation(k=4, F=1)
+        for start in (0, 37, 100):
+            first = interp.decompose(start, 1)
+            second = interp.decompose(start + 1, 1)
+            assert second.r == (first.r + 1) % interp.tau
+
+    def test_pointer_in_range(self):
+        interp = CounterInterpretation(k=5, F=2)
+        for value in range(0, interp.block_period(2), 7):
+            assert 0 <= interp.decompose(value, 2).pointer < interp.m
+
+    def test_pointer_dwell_time_lemma1(self):
+        """Lemma 1: once the pointer changes it keeps the value for c_{i-1} rounds."""
+        interp = CounterInterpretation(k=3, F=1)
+        block = 1
+        dwell = interp.pointer_dwell_time(block)
+        trace = ideal_pointer_trace(interp, block, 0, interp.block_period(block) * 2)
+        run_start = 0
+        for t in range(1, len(trace)):
+            if trace[t] != trace[t - 1]:
+                assert t - run_start == dwell
+                run_start = t
+
+    def test_pointer_cycles_through_all_leaders(self):
+        interp = CounterInterpretation(k=4, F=1)
+        block = 1
+        trace = ideal_pointer_trace(interp, block, 0, interp.block_period(block))
+        assert set(trace) == set(range(interp.m))
+
+    def test_decompose_reduces_modulo_block_period(self):
+        interp = CounterInterpretation(k=3, F=1)
+        period = interp.block_period(1)
+        assert interp.decompose(period + 5, 1) == interp.decompose(5, 1)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ParameterError):
+            CounterInterpretation(k=3, F=1).decompose(-1, 0)
+
+
+class TestIdealTraceHelpers:
+    def test_trace_length(self):
+        interp = CounterInterpretation(k=3, F=1)
+        assert len(ideal_pointer_trace(interp, 0, 0, 50)) == 50
+
+    def test_negative_rounds_rejected(self):
+        interp = CounterInterpretation(k=3, F=1)
+        with pytest.raises(ParameterError):
+            ideal_pointer_trace(interp, 0, 0, -1)
+
+    def test_common_intervals_simple(self):
+        traces = [[0, 0, 1, 1, 0], [0, 0, 1, 0, 0]]
+        assert common_pointer_intervals(traces, 0) == [(0, 2), (4, 5)]
+        assert common_pointer_intervals(traces, 1) == [(2, 3)]
+
+    def test_common_intervals_empty_input(self):
+        assert common_pointer_intervals([], 0) == []
+
+    def test_lemma2_common_interval_exists(self):
+        """Lemma 2: stabilised blocks share a pointer for >= tau rounds, for every leader."""
+        interp = CounterInterpretation(k=3, F=1)
+        blocks = (0, 1, 2)
+        offsets = (7, 123, 431)
+        horizon = interp.block_period(2)
+        traces = [
+            ideal_pointer_trace(interp, block, offset, horizon)
+            for block, offset in zip(blocks, offsets)
+        ]
+        for beta in range(interp.m):
+            intervals = common_pointer_intervals(traces, beta)
+            assert any(end - start >= interp.tau for start, end in intervals)

@@ -1,0 +1,131 @@
+"""Unit tests for the Theorem 1 parameter validation (repro.core.parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.parameters import BoostingParameters, max_boosted_resilience
+
+
+class TestMaxBoostedResilience:
+    def test_formula(self):
+        # F < (f+1) * ceil(k/2)
+        assert max_boosted_resilience(0, 4) == 1
+        assert max_boosted_resilience(1, 3) == 3
+        assert max_boosted_resilience(3, 3) == 7
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ParameterError):
+            max_boosted_resilience(1, 2)
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ParameterError):
+            max_boosted_resilience(-1, 4)
+
+
+class TestBoostingParametersValidation:
+    def test_figure2_level1(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        assert params.total_nodes == 12
+        assert params.m == 2
+        assert params.tau == 15
+        assert params.base == 4
+
+    def test_rejects_resilience_violating_theorem1(self):
+        with pytest.raises(ParameterError):
+            BoostingParameters(inner_n=4, inner_f=1, k=3, resilience=4, counter_size=2)
+
+    def test_rejects_resilience_violating_phase_king(self):
+        # k=3 single-node blocks: (f+1)*m allows F=1 but N=3 demands F<1.
+        with pytest.raises(ParameterError):
+            BoostingParameters(inner_n=1, inner_f=0, k=3, resilience=1, counter_size=2)
+
+    def test_rejects_small_counter(self):
+        with pytest.raises(ParameterError):
+            BoostingParameters(inner_n=4, inner_f=1, k=3, resilience=3, counter_size=1)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ParameterError):
+            BoostingParameters(inner_n=4, inner_f=1, k=2, resilience=1, counter_size=2)
+
+    def test_rejects_negative_resilience(self):
+        with pytest.raises(ParameterError):
+            BoostingParameters(inner_n=4, inner_f=1, k=3, resilience=-1, counter_size=2)
+
+    def test_zero_resilience_allowed(self):
+        params = BoostingParameters(inner_n=1, inner_f=0, k=3, resilience=0, counter_size=2)
+        assert params.tau == 6
+
+
+class TestDerivedQuantities:
+    def test_required_inner_counter_multiple(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        # 3(F+2)(2m)^k = 3*5*4^3 = 960
+        assert params.required_inner_counter_multiple == 960
+
+    def test_minimal_inner_counter(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        assert params.minimal_inner_counter() == 960
+        assert params.minimal_inner_counter(1000) == 1920
+
+    def test_validate_inner_counter_accepts_multiple(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        params.validate_inner_counter(960)
+        params.validate_inner_counter(2880)
+
+    def test_validate_inner_counter_rejects_non_multiple(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        with pytest.raises(ParameterError):
+            params.validate_inner_counter(961)
+        with pytest.raises(ParameterError):
+            params.validate_inner_counter(0)
+
+    def test_stabilization_bound(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        assert params.stabilization_overhead() == 960
+        assert params.stabilization_bound(2304) == 3264
+        assert params.stabilization_bound(None) is None
+
+    def test_space_bound(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=2
+        )
+        # ceil(log2(3)) + 1 = 2 + 1
+        assert params.space_overhead_bits() == 3
+        assert params.space_bound(15) == 18
+
+    def test_space_bound_larger_counter(self):
+        params = BoostingParameters(
+            inner_n=4, inner_f=1, k=3, resilience=3, counter_size=8
+        )
+        # ceil(log2(9)) + 1 = 4 + 1
+        assert params.space_overhead_bits() == 5
+
+
+class TestFactories:
+    def test_for_inner_defaults_to_largest_resilience(self):
+        params = BoostingParameters.for_inner(inner_n=4, inner_f=1, k=3, counter_size=2)
+        assert params.resilience == 3
+
+    def test_largest_feasible_resilience_caps_at_phase_king(self):
+        # Single-node blocks: theorem allows F = ceil(k/2)-1 but N/3 caps it lower.
+        assert BoostingParameters.largest_feasible_resilience(1, 0, 4) == 1
+        assert BoostingParameters.largest_feasible_resilience(1, 0, 7) == 2
+        assert BoostingParameters.largest_feasible_resilience(1, 0, 3) == 0
+
+    def test_largest_feasible_resilience_figure2(self):
+        assert BoostingParameters.largest_feasible_resilience(4, 1, 3) == 3
+        assert BoostingParameters.largest_feasible_resilience(12, 3, 3) == 7

@@ -1,0 +1,124 @@
+"""Unit tests for construction plans (repro.core.planner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boosting import BoostedCounter
+from repro.core.errors import ConstructionError, ParameterError
+from repro.core.planner import ConstructionPlan, LevelSpec
+
+
+def figure2_plan_levels() -> tuple[list[LevelSpec], int]:
+    """The Figure 2 A(12, 3) plan built by hand."""
+    levels = [
+        LevelSpec(k=4, resilience=1, counter_size=960),
+        LevelSpec(k=3, resilience=3, counter_size=2),
+    ]
+    return levels, 2304
+
+
+class TestLevelSpec:
+    def test_valid(self):
+        level = LevelSpec(k=3, resilience=3, counter_size=2)
+        assert level.k == 3
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ParameterError):
+            LevelSpec(k=2, resilience=1, counter_size=2)
+
+    def test_rejects_negative_resilience(self):
+        with pytest.raises(ParameterError):
+            LevelSpec(k=3, resilience=-1, counter_size=2)
+
+    def test_rejects_counter_size_one(self):
+        with pytest.raises(ParameterError):
+            LevelSpec(k=3, resilience=1, counter_size=1)
+
+
+class TestConstructionPlan:
+    def test_figure2_plan_quantities(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base, name="test")
+        assert plan.total_nodes() == 12
+        assert plan.resilience() == 3
+        assert plan.counter_size() == 2
+        assert plan.depth == 2
+        # 3*3*4^4 + 3*5*4^3 = 2304 + 960
+        assert plan.stabilization_bound() == 3264
+
+    def test_state_bits_bound(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base)
+        # base: ceil(log2 2304) = 12; level 1: ceil(log2 961)+1 = 11; level 2: ceil(log2 3)+1 = 3
+        assert plan.state_bits_bound() == 12 + 11 + 3
+
+    def test_node_to_fault_ratio(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base)
+        assert plan.node_to_fault_ratio() == pytest.approx(4.0)
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ParameterError):
+            ConstructionPlan([], base_counter_size=2)
+
+    def test_rejects_incompatible_base_counter(self):
+        levels, _ = figure2_plan_levels()
+        with pytest.raises(ParameterError):
+            ConstructionPlan(levels, base_counter_size=100)
+
+    def test_rejects_incompatible_intermediate_counter(self):
+        levels = [
+            LevelSpec(k=4, resilience=1, counter_size=100),  # not a multiple of 960
+            LevelSpec(k=3, resilience=3, counter_size=2),
+        ]
+        with pytest.raises(ParameterError):
+            ConstructionPlan(levels, base_counter_size=2304)
+
+    def test_rejects_invalid_resilience_jump(self):
+        levels = [
+            LevelSpec(k=4, resilience=1, counter_size=1728),
+            LevelSpec(k=3, resilience=5, counter_size=2),  # F=5 >= (1+1)*2
+        ]
+        with pytest.raises(ParameterError):
+            ConstructionPlan(levels, base_counter_size=2304)
+
+    def test_instantiate_builds_boosted_stack(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base, name="fig2")
+        counter = plan.instantiate()
+        assert isinstance(counter, BoostedCounter)
+        assert counter.n == 12
+        assert counter.f == 3
+        assert counter.c == 2
+        assert counter.stabilization_bound() == plan.stabilization_bound()
+        assert counter.state_bits() == plan.state_bits_bound()
+
+    def test_instantiate_respects_node_limit(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base)
+        with pytest.raises(ConstructionError):
+            plan.instantiate(max_nodes=10)
+
+    def test_summary_keys(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base, name="fig2", notes="x")
+        summary = plan.summary()
+        for key in (
+            "name",
+            "depth",
+            "levels",
+            "total_nodes",
+            "resilience",
+            "stabilization_bound",
+            "state_bits_bound",
+        ):
+            assert key in summary
+        assert summary["notes"] == "x"
+
+    def test_level_parameters_are_validated_boosting_parameters(self):
+        levels, base = figure2_plan_levels()
+        plan = ConstructionPlan(levels, base_counter_size=base)
+        params = plan.level_parameters
+        assert params[0].total_nodes == 4
+        assert params[1].total_nodes == 12

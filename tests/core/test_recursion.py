@@ -1,0 +1,199 @@
+"""Unit tests for the recursive constructions of Section 4 (repro.core.recursion)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.boosting import BoostedCounter
+from repro.core.errors import ParameterError
+from repro.core.recursion import (
+    figure2_counter,
+    figure2_resiliences,
+    optimal_resilience_counter,
+    plan_corollary1,
+    plan_figure2,
+    plan_theorem2,
+    plan_theorem3,
+    plan_theorem3_for_resilience,
+)
+from repro.counters.trivial import TrivialCounter
+
+
+class TestCorollary1:
+    def test_plan_f1(self):
+        plan = plan_corollary1(f=1, c=2)
+        assert plan.total_nodes() == 4
+        assert plan.resilience() == 1
+        assert plan.stabilization_bound() == 3 * 3 * 4**4
+
+    def test_plan_larger_f_has_optimal_resilience(self):
+        for f in (2, 3, 5):
+            plan = plan_corollary1(f=f, c=2)
+            n = plan.total_nodes()
+            assert n == 3 * f + 1
+            assert plan.resilience() == f
+            assert 3 * f < n  # optimal resilience f < n/3
+
+    def test_time_grows_superexponentially(self):
+        # f^{O(f)}: each unit increase of f multiplies the bound by orders of magnitude.
+        times = [plan_corollary1(f=f, c=2).stabilization_bound() for f in (1, 2, 3)]
+        assert times[0] < times[1] < times[2]
+        assert all(b >= 1000 * a for a, b in zip(times, times[1:]))
+
+    def test_space_is_f_log_f_like(self):
+        bits = [plan_corollary1(f=f, c=2).state_bits_bound() for f in (1, 2, 4, 8)]
+        assert all(b1 < b2 for b1, b2 in zip(bits, bits[1:]))
+        # O(f log f): at most ~ 4 f log f + O(log c) for this construction
+        for f, b in zip((1, 2, 4, 8), bits):
+            assert b <= 8 * max(1, f * math.log2(max(f, 2))) + 40
+
+    def test_rejects_f_zero(self):
+        with pytest.raises(ParameterError):
+            plan_corollary1(f=0)
+
+    def test_instantiate_f0_gives_trivial(self):
+        counter = optimal_resilience_counter(f=0, c=7)
+        assert isinstance(counter, TrivialCounter)
+        assert counter.c == 7
+
+    def test_instantiate_f1(self):
+        counter = optimal_resilience_counter(f=1, c=2)
+        assert isinstance(counter, BoostedCounter)
+        assert (counter.n, counter.f, counter.c) == (4, 1, 2)
+
+
+class TestFigure2:
+    def test_resilience_sequence(self):
+        assert figure2_resiliences(0) == [1]
+        assert figure2_resiliences(3) == [1, 3, 7, 15]
+
+    def test_resilience_sequence_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            figure2_resiliences(-1)
+
+    def test_plan_level0_is_a41(self):
+        plan = plan_figure2(levels=0, c=2)
+        assert plan.total_nodes() == 4
+        assert plan.resilience() == 1
+
+    def test_plan_level1_is_a123(self):
+        plan = plan_figure2(levels=1, c=2)
+        assert plan.total_nodes() == 12
+        assert plan.resilience() == 3
+
+    def test_plan_level2_is_a367(self):
+        plan = plan_figure2(levels=2, c=2)
+        assert plan.total_nodes() == 36
+        assert plan.resilience() == 7
+
+    def test_resilience_stays_below_n_over_3(self):
+        for levels in range(0, 5):
+            plan = plan_figure2(levels=levels, c=2)
+            assert 3 * plan.resilience() < plan.total_nodes()
+
+    def test_stabilization_bound_accumulates(self):
+        level0 = plan_figure2(levels=0, c=2).stabilization_bound()
+        level1 = plan_figure2(levels=1, c=2).stabilization_bound()
+        level2 = plan_figure2(levels=2, c=2).stabilization_bound()
+        assert level0 == 2304
+        assert level1 == 2304 + 960
+        assert level2 == 2304 + 960 + 1728
+
+    def test_counter_sizes_chain_correctly(self):
+        plan = plan_figure2(levels=2, c=5)
+        levels = plan.levels
+        # Top level outputs the requested counter.
+        assert levels[-1].counter_size == 5
+        # Each lower level outputs the multiple required by the level above.
+        assert levels[1].counter_size == 3 * (7 + 2) * 4**3
+        assert levels[0].counter_size == 3 * (3 + 2) * 4**3
+
+    def test_instantiate_level1(self):
+        counter = figure2_counter(levels=1, c=3)
+        assert (counter.n, counter.f, counter.c) == (12, 3, 3)
+
+    def test_rejects_negative_levels(self):
+        with pytest.raises(ParameterError):
+            plan_figure2(levels=-1)
+
+
+class TestTheorem2:
+    def test_reaches_target_resilience(self):
+        plan = plan_theorem2(epsilon=0.5, f_target=16, c=2)
+        assert plan.resilience() >= 16
+
+    def test_ratio_bound(self):
+        for epsilon in (0.5, 1 / 3):
+            for f_target in (4, 64, 1024):
+                plan = plan_theorem2(epsilon=epsilon, f_target=f_target, c=2)
+                f = plan.resilience()
+                assert plan.node_to_fault_ratio() <= 8 * f**epsilon + 1e-9
+
+    def test_linear_time_for_fixed_epsilon(self):
+        ratios = []
+        for f_target in (4, 64, 1024, 2**14):
+            plan = plan_theorem2(epsilon=0.5, f_target=f_target, c=2)
+            ratios.append(plan.stabilization_bound() / plan.resilience())
+        # O(f) stabilisation: the time/f ratio stays bounded (it is a geometric sum).
+        assert max(ratios) <= ratios[0] * 4
+
+    def test_space_is_polylog(self):
+        plan = plan_theorem2(epsilon=0.5, f_target=2**16, c=2)
+        f = plan.resilience()
+        assert plan.state_bits_bound() <= 40 * math.log2(f) ** 2
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            plan_theorem2(epsilon=0.0, f_target=4)
+        with pytest.raises(ParameterError):
+            plan_theorem2(epsilon=1.0, f_target=4)
+
+    def test_rejects_invalid_target(self):
+        with pytest.raises(ParameterError):
+            plan_theorem2(epsilon=0.5, f_target=0)
+
+
+class TestTheorem3:
+    def test_phases_increase_resilience(self):
+        f1 = plan_theorem3(phases=1).resilience()
+        f2 = plan_theorem3(phases=2).resilience()
+        assert f2 > f1 > 1
+
+    def test_linear_time(self):
+        """O(f) stabilisation: the T/f ratio converges while f explodes (Lemma 6)."""
+        ratios = {}
+        resiliences = {}
+        for phases in (3, 4):
+            plan = plan_theorem3(phases=phases)
+            resiliences[phases] = plan.resilience()
+            ratios[phases] = plan.stabilization_bound() / plan.resilience()
+        # Between P = 3 and P = 4 the resilience grows by a factor of 2^256 ...
+        assert resiliences[4] / resiliences[3] > 2**200
+        # ... while the time/resilience ratio grows by less than the factor-2
+        # geometric-sum slack of Lemma 6.
+        assert ratios[4] <= 2.5 * ratios[3]
+
+    def test_effective_epsilon_shrinks(self):
+        """Resilience n^{1-o(1)}: the exponent gap log(n/f)/log(f) decreases with P."""
+        gaps = []
+        for phases in (1, 2, 3):
+            plan = plan_theorem3(phases=phases)
+            f = plan.resilience()
+            gaps.append(math.log2(plan.total_nodes() / f) / math.log2(f))
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_space_beats_theorem2_at_matched_resilience(self):
+        theorem3 = plan_theorem3(phases=2)
+        theorem2 = plan_theorem2(epsilon=0.25, f_target=theorem3.resilience(), c=2)
+        assert theorem3.resilience() <= theorem2.resilience()
+        assert theorem3.state_bits_bound() < theorem2.state_bits_bound()
+
+    def test_for_resilience_helper(self):
+        plan = plan_theorem3_for_resilience(f_target=1000)
+        assert plan.resilience() >= 1000
+
+    def test_rejects_zero_phases(self):
+        with pytest.raises(ParameterError):
+            plan_theorem3(phases=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the majority voting primitives (Section 3.3)."""
+
+from __future__ import annotations
+
+from repro.core.voting import (
+    block_leader_votes,
+    global_leader_vote,
+    has_majority,
+    majority,
+    value_counts,
+)
+
+
+class TestMajority:
+    def test_clear_majority(self):
+        assert majority([1, 1, 1, 2], default=0) == 1
+
+    def test_exact_half_is_not_majority(self):
+        assert majority([1, 1, 2, 2], default=9) == 9
+
+    def test_no_majority_returns_default(self):
+        assert majority([1, 2, 3], default=7) == 7
+
+    def test_empty_returns_default(self):
+        assert majority([], default=5) == 5
+
+    def test_single_value(self):
+        assert majority([3], default=0) == 3
+
+    def test_unanimous(self):
+        assert majority([4] * 10, default=0) == 4
+
+    def test_majority_by_one(self):
+        assert majority([2, 2, 2, 1, 1], default=0) == 2
+
+    def test_works_with_tuples(self):
+        assert majority([(1, 2), (1, 2), (3, 4)], default=(0, 0)) == (1, 2)
+
+
+class TestHasMajority:
+    def test_true_case(self):
+        assert has_majority([1, 1, 1, 0], 1)
+
+    def test_false_on_tie(self):
+        assert not has_majority([1, 1, 0, 0], 1)
+
+    def test_false_for_absent_value(self):
+        assert not has_majority([1, 1, 1], 2)
+
+    def test_empty(self):
+        assert not has_majority([], 1)
+
+
+class TestValueCounts:
+    def test_counts(self):
+        counts = value_counts([1, 1, 2, 3, 3, 3])
+        assert counts[1] == 2
+        assert counts[2] == 1
+        assert counts[3] == 3
+
+
+class TestBlockVotes:
+    def test_block_leader_votes(self):
+        pointers = [[0, 0, 1], [1, 1, 1], [2, 0, 1]]
+        assert block_leader_votes(pointers, default=0) == [0, 1, 0]
+
+    def test_global_leader_vote(self):
+        assert global_leader_vote([1, 1, 0], default=0) == 1
+
+    def test_global_leader_vote_no_majority(self):
+        assert global_leader_vote([0, 1, 2, 3], default=0) == 0
+
+    def test_nested_pipeline(self):
+        """Only one value can hold a strict majority of non-faulty votes."""
+        pointers = [[0, 0, 0, 0], [0, 0, 1, 0], [1, 1, 1, 1]]
+        votes = block_leader_votes(pointers, default=0)
+        assert votes == [0, 0, 1]
+        assert global_leader_vote(votes, default=0) == 0

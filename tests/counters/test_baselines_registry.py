@@ -1,0 +1,77 @@
+"""Unit tests for the published-bounds models and the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.counters.baselines import (
+    PRIOR_WORK_MODELS,
+    DolevEtAlOneResilientModel,
+    DolevHochModel,
+    RandomizedFolkloreModel,
+)
+from repro.counters.registry import AlgorithmFactory, AlgorithmRegistry, default_registry
+from repro.counters.trivial import TrivialCounter
+
+
+class TestComplexityModels:
+    def test_all_models_produce_rows(self):
+        for model in PRIOR_WORK_MODELS:
+            row = model.row(n=4, f=1)
+            assert row["name"] == model.name
+            assert row["stabilization_bound"] > 0
+            assert row["state_bits"] > 0
+            assert row["measured"] is False
+
+    def test_dolev_hoch_is_deterministic_optimal_resilience(self):
+        assert DolevHochModel.deterministic
+        assert DolevHochModel.max_resilience(10) == 3
+        assert DolevHochModel.max_resilience(3) == 0
+
+    def test_randomized_model_expected_time(self):
+        row = RandomizedFolkloreModel.row(n=4, f=1)
+        assert row["stabilization_bound"] == 2 ** (2 * 3)
+
+    def test_one_resilient_model_matches_table1(self):
+        row = DolevEtAlOneResilientModel.row(n=4, f=1)
+        assert row["stabilization_bound"] == 7
+        assert row["state_bits"] == 2
+
+    def test_row_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            DolevHochModel.row(n=0, f=0)
+
+
+class TestRegistry:
+    def test_default_registry_names(self):
+        registry = default_registry()
+        names = registry.names()
+        for expected in ("trivial", "naive-majority", "randomized-follow-majority", "corollary1", "figure2"):
+            assert expected in names
+
+    def test_build_trivial(self):
+        registry = default_registry()
+        counter = registry.build("trivial", c=4)
+        assert isinstance(counter, TrivialCounter)
+        assert counter.c == 4
+
+    def test_build_corollary1(self):
+        registry = default_registry()
+        counter = registry.build("corollary1", c=2, f=1)
+        assert (counter.n, counter.f, counter.c) == (4, 1, 2)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ParameterError):
+            default_registry().factory("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        registry = AlgorithmRegistry()
+        factory = AlgorithmFactory(name="x", description="", build=lambda: TrivialCounter(c=2))
+        registry.register(factory)
+        with pytest.raises(ParameterError):
+            registry.register(factory)
+
+    def test_models_registered(self):
+        registry = default_registry()
+        assert len(registry.models()) == len(PRIOR_WORK_MODELS)

@@ -1,0 +1,57 @@
+"""Unit tests for the fault-intolerant naive majority counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.counters.naive import NaiveMajorityCounter
+from repro.network.adversary import AdaptiveSplitAdversary, NoAdversary
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import stabilization_round
+
+
+class TestBasics:
+    def test_parameters(self):
+        counter = NaiveMajorityCounter(n=4, c=3)
+        assert (counter.n, counter.f, counter.c) == (4, 0, 3)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            NaiveMajorityCounter(n=0, c=2)
+
+    def test_transition_follows_majority(self):
+        counter = NaiveMajorityCounter(n=4, c=3)
+        assert counter.transition(0, [1, 1, 1, 2]) == 2
+
+    def test_transition_falls_back_to_minimum(self):
+        counter = NaiveMajorityCounter(n=4, c=3)
+        assert counter.transition(2, [0, 1, 2, 1]) == 1  # no majority: min value 0 + 1
+
+    def test_transition_wrong_length(self):
+        with pytest.raises(ParameterError):
+            NaiveMajorityCounter(n=4, c=3).transition(0, [0, 1])
+
+
+class TestBehaviour:
+    def test_synchronises_without_faults(self):
+        counter = NaiveMajorityCounter(n=5, c=4)
+        trace = run_simulation(
+            counter,
+            adversary=NoAdversary(),
+            config=SimulationConfig(max_rounds=30, seed=1),
+        )
+        result = stabilization_round(trace, min_tail=10)
+        assert result.stabilized
+
+    def test_adaptive_adversary_prevents_stabilization(self):
+        """The negative baseline: one Byzantine node keeps an even split alive forever."""
+        counter = NaiveMajorityCounter(n=5, c=2, claimed_resilience=1)
+        trace = run_simulation(
+            counter,
+            adversary=AdaptiveSplitAdversary(frozenset({4})),
+            config=SimulationConfig(max_rounds=120, seed=0),
+            initial_states=[0, 0, 1, 1, 0],
+        )
+        result = stabilization_round(trace, min_tail=30)
+        assert not result.stabilized

@@ -1,0 +1,78 @@
+"""Unit tests for the randomised follow-the-majority counter ([6, 7] baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.counters.randomized import RandomizedFollowMajorityCounter
+from repro.network.adversary import NoAdversary, RandomStateAdversary
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import stabilization_round
+
+
+class TestBasics:
+    def test_parameters(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2)
+        assert (counter.n, counter.f, counter.c) == (4, 1, 2)
+        assert not counter.deterministic
+        assert counter.state_bits() == 1
+
+    def test_rejects_too_many_faults(self):
+        with pytest.raises(ParameterError):
+            RandomizedFollowMajorityCounter(n=6, f=2, c=2)
+
+    def test_expected_stabilization_rounds(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2)
+        assert counter.expected_stabilization_rounds() == 2**3
+
+
+class TestTransition:
+    def test_follows_clear_majority(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=0)
+        # value 1 has support 3 >= n - f = 3: deterministic follow.
+        assert counter.transition(0, [1, 1, 1, 0]) == 0  # (1 + 1) mod 2
+
+    def test_randomizes_without_majority(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=0)
+        values = {counter.transition(0, [0, 0, 1, 1]) for _ in range(30)}
+        assert values == {0, 1}
+
+    def test_reseed_makes_runs_reproducible(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=0)
+        counter.reseed(123)
+        first = [counter.transition(0, [0, 0, 1, 1]) for _ in range(10)]
+        counter.reseed(123)
+        second = [counter.transition(0, [0, 0, 1, 1]) for _ in range(10)]
+        assert first == second
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(ParameterError):
+            RandomizedFollowMajorityCounter(n=4, f=1).transition(0, [0])
+
+
+class TestBehaviour:
+    def test_agreement_persists_once_reached(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=0)
+        states = [1, 1, 1, 1]
+        for _ in range(6):
+            states = [counter.transition(i, states) for i in range(4)]
+            assert len(set(states)) == 1
+
+    def test_stabilizes_under_byzantine_adversary(self):
+        counter = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=3)
+        trace = run_simulation(
+            counter,
+            adversary=RandomStateAdversary(frozenset({2})),
+            config=SimulationConfig(max_rounds=300, stop_after_agreement=10, seed=3),
+        )
+        assert stabilization_round(trace).stabilized
+
+    def test_stabilizes_quickly_without_faults(self):
+        counter = RandomizedFollowMajorityCounter(n=6, f=1, c=2, seed=1)
+        trace = run_simulation(
+            counter,
+            adversary=NoAdversary(),
+            config=SimulationConfig(max_rounds=400, stop_after_agreement=10, seed=1),
+        )
+        assert stabilization_round(trace).stabilized

@@ -1,0 +1,75 @@
+"""Unit tests for the trivial 0-resilient counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.counters.trivial import TrivialCounter
+
+
+class TestConstruction:
+    def test_parameters(self):
+        counter = TrivialCounter(c=5)
+        assert (counter.n, counter.f, counter.c) == (1, 0, 5)
+        assert counter.stabilization_bound() == 0
+        assert counter.deterministic
+
+    def test_rejects_small_counter(self):
+        with pytest.raises(ParameterError):
+            TrivialCounter(c=1)
+
+    def test_num_states_and_bits(self):
+        assert TrivialCounter(c=8).num_states() == 8
+        assert TrivialCounter(c=8).state_bits() == 3
+
+
+class TestTransition:
+    def test_increments_modulo_c(self):
+        counter = TrivialCounter(c=4)
+        assert counter.transition(0, [0]) == 1
+        assert counter.transition(0, [3]) == 0
+
+    def test_counts_from_any_state(self):
+        counter = TrivialCounter(c=7)
+        state = 3
+        outputs = []
+        for _ in range(14):
+            outputs.append(counter.output(0, state))
+            state = counter.transition(0, [state])
+        assert outputs == [(3 + i) % 7 for i in range(14)]
+
+    def test_rejects_wrong_node(self):
+        with pytest.raises(ParameterError):
+            TrivialCounter(c=4).transition(1, [0])
+
+    def test_rejects_wrong_vector_length(self):
+        with pytest.raises(ParameterError):
+            TrivialCounter(c=4).transition(0, [0, 1])
+
+    def test_coerces_garbage_message(self):
+        counter = TrivialCounter(c=4)
+        assert counter.transition(0, ["junk"]) == 1
+        assert counter.transition(0, [17]) == 2  # 17 mod 4 = 1, incremented
+
+
+class TestStateHandling:
+    def test_states_enumeration(self):
+        assert list(TrivialCounter(c=4).states()) == [0, 1, 2, 3]
+
+    def test_is_valid_state(self):
+        counter = TrivialCounter(c=4)
+        assert counter.is_valid_state(3)
+        assert not counter.is_valid_state(4)
+        assert not counter.is_valid_state(-1)
+        assert not counter.is_valid_state(True)
+        assert not counter.is_valid_state("2")
+
+    def test_random_state_in_range(self):
+        counter = TrivialCounter(c=4)
+        for seed in range(10):
+            assert 0 <= counter.random_state(seed) < 4
+
+    def test_output_equals_state(self):
+        counter = TrivialCounter(c=4)
+        assert counter.output(0, 2) == 2

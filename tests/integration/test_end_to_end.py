@@ -1,0 +1,198 @@
+"""End-to-end integration tests: full constructions under Byzantine adversaries.
+
+These tests exercise the complete pipeline — recursive construction,
+broadcast simulation, adversaries, stabilisation detection — on the actual
+counters of the paper (Corollary 1's ``A(4,1)`` and Figure 2's ``A(12,3)``),
+checking the two halves of the synchronous-counting definition:
+
+* **convergence** — every trial stabilises within the Theorem 1 bound, and
+* **closure** — once counting, the counter never leaves agreement again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import trial_metrics
+from repro.core.boosting import BoostedState
+from repro.core.phase_king import INFINITY
+from repro.experiments.figure2 import misaligned_initial_states
+from repro.network.adversary import (
+    AdaptiveSplitAdversary,
+    CrashAdversary,
+    MimicAdversary,
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+    block_concentrated_faults,
+    random_faulty_set,
+)
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import stabilization_round
+
+ADVERSARIES = [
+    CrashAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+    MimicAdversary,
+    PhaseKingSkewAdversary,
+    AdaptiveSplitAdversary,
+]
+
+
+class TestCorollary1Counter:
+    """A(4, 1): the Corollary 1 base counter."""
+
+    @pytest.mark.parametrize("adversary_cls", ADVERSARIES)
+    def test_stabilizes_within_bound_under_every_adversary(
+        self, corollary1_counter, adversary_cls
+    ):
+        counter = corollary1_counter
+        bound = counter.stabilization_bound()
+        faulty = random_faulty_set(counter.n, counter.f, rng=17)
+        trace = run_simulation(
+            counter,
+            adversary=adversary_cls(faulty),
+            config=SimulationConfig(max_rounds=bound, stop_after_agreement=12, seed=17),
+        )
+        metrics = trial_metrics(trace, bound=bound)
+        assert metrics.stabilized
+        assert metrics.within_bound
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stabilizes_from_random_states_and_faults(self, corollary1_counter, seed):
+        counter = corollary1_counter
+        faulty = random_faulty_set(counter.n, counter.f, rng=seed)
+        trace = run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=SimulationConfig(
+                max_rounds=counter.stabilization_bound(),
+                stop_after_agreement=12,
+                seed=seed,
+            ),
+        )
+        result = stabilization_round(trace)
+        assert result.stabilized
+        assert result.round <= counter.stabilization_bound()
+
+    def test_closure_agreement_never_lost(self, corollary1_counter):
+        """Once the correct nodes agree with d = 1, counting continues forever."""
+        counter = corollary1_counter
+        # Start in an agreed configuration and let a Byzantine node do its worst.
+        initial = {}
+        for node in range(counter.n):
+            if node == 2:
+                continue
+            inner_state = 0
+            initial[node] = BoostedState(inner=inner_state, a=1, d=1)
+        trace = run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(frozenset({2})),
+            config=SimulationConfig(max_rounds=120, seed=5),
+            initial_states=initial,
+        )
+        agreed = trace.agreed_values()
+        assert None not in agreed
+        for previous, current in zip(agreed, agreed[1:]):
+            assert (previous + 1) % counter.c == current
+
+    def test_space_usage_matches_theorem(self, corollary1_counter):
+        counter = corollary1_counter
+        # S = log2(2304 states) + ceil(log2(2+1)) + 1 = 12 + 2 + 1
+        assert counter.state_bits() == 15
+
+
+class TestFigure2Counter:
+    """A(12, 3): one recursive application on top of A(4, 1)."""
+
+    @pytest.mark.parametrize(
+        "adversary_cls", [RandomStateAdversary, PhaseKingSkewAdversary, AdaptiveSplitAdversary]
+    )
+    def test_stabilizes_with_maximal_faults(self, figure2_level1_counter, adversary_cls):
+        counter = figure2_level1_counter
+        faulty = random_faulty_set(counter.n, counter.f, rng=3)
+        trace = run_simulation(
+            counter,
+            adversary=adversary_cls(faulty),
+            config=SimulationConfig(
+                max_rounds=counter.stabilization_bound(),
+                stop_after_agreement=16,
+                seed=3,
+            ),
+        )
+        metrics = trial_metrics(trace, bound=counter.stabilization_bound())
+        assert metrics.stabilized
+        assert metrics.within_bound
+
+    def test_tolerates_an_entire_faulty_block(self, figure2_level1_counter):
+        """The Figure 2 fault pattern: a whole block is Byzantine."""
+        counter = figure2_level1_counter
+        faulty = block_concentrated_faults(block_size=4, blocks=[1], per_block=3)
+        trace = run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=SimulationConfig(
+                max_rounds=counter.stabilization_bound(),
+                stop_after_agreement=16,
+                seed=11,
+            ),
+        )
+        result = stabilization_round(trace)
+        assert result.stabilized
+        assert result.round <= counter.stabilization_bound()
+
+    def test_misaligned_start_still_within_bound(self, figure2_level1_counter):
+        """Adversarially mis-aligned block counters: the slow case of Lemma 2."""
+        counter = figure2_level1_counter
+        faulty = frozenset({0, 4, 8})  # one fault per block: every block stays non-faulty
+        trace = run_simulation(
+            counter,
+            adversary=PhaseKingSkewAdversary(faulty),
+            config=SimulationConfig(
+                max_rounds=counter.stabilization_bound(),
+                stop_after_agreement=16,
+                seed=2,
+            ),
+            initial_states=misaligned_initial_states(counter),
+        )
+        result = stabilization_round(trace)
+        assert result.stabilized
+        assert result.round <= counter.stabilization_bound()
+
+    def test_example_trace_shape_matches_paper_intro(self, figure2_level1_counter):
+        """After stabilisation the outputs look like the introduction's example: all equal, +1 mod c."""
+        counter = figure2_level1_counter
+        faulty = random_faulty_set(counter.n, counter.f, rng=9)
+        trace = run_simulation(
+            counter,
+            adversary=RandomStateAdversary(faulty),
+            config=SimulationConfig(max_rounds=2000, stop_after_agreement=20, seed=9),
+        )
+        result = stabilization_round(trace)
+        assert result.stabilized
+        stable_rows = trace.output_rows()[result.round :]
+        for row in stable_rows:
+            assert len(set(row.values())) == 1
+        table = trace.format_table(first=result.round, last=result.round + 5)
+        assert "faulty" in table
+
+
+class TestNestedConstructionConsistency:
+    def test_nested_state_structure(self, figure2_level1_counter):
+        counter = figure2_level1_counter
+        state = counter.random_state(0)
+        assert isinstance(state, BoostedState)
+        assert isinstance(state.inner, BoostedState)
+        assert isinstance(state.inner.inner, int)
+
+    def test_nested_coercion_of_garbage(self, figure2_level1_counter):
+        counter = figure2_level1_counter
+        coerced = counter.coerce_message(("garbage", "junk", 42))
+        assert counter.is_valid_state(coerced)
+        assert coerced.a == INFINITY
+
+    def test_bounds_compose_across_levels(self, figure2_level1_counter, corollary1_counter):
+        outer = figure2_level1_counter
+        inner_bound = corollary1_counter.stabilization_bound()
+        assert outer.stabilization_bound() == inner_bound + 960

@@ -1,0 +1,196 @@
+"""Unit tests for the Byzantine adversary strategies and fault-pattern helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.boosting import BoostedState
+from repro.core.errors import SimulationError
+from repro.core.phase_king import INFINITY
+from repro.counters.trivial import TrivialCounter
+from repro.counters.naive import NaiveMajorityCounter
+from repro.network.adversary import (
+    AdaptiveSplitAdversary,
+    CrashAdversary,
+    FixedStateAdversary,
+    MimicAdversary,
+    NoAdversary,
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+    block_concentrated_faults,
+    random_faulty_set,
+    spread_faults,
+)
+
+
+def forge_args(algorithm, states, seed=0):
+    """Common keyword arguments for forge() calls in these tests."""
+    return {
+        "round_index": 0,
+        "states": states,
+        "algorithm": algorithm,
+        "rng": random.Random(seed),
+    }
+
+
+class TestAdversaryBase:
+    def test_faulty_set_exposed(self):
+        adversary = CrashAdversary([1, 3])
+        assert adversary.faulty == frozenset({1, 3})
+
+    def test_validate_accepts_within_resilience(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        CrashAdversary([2]).validate(counter)
+
+    def test_validate_rejects_excess_faults(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        with pytest.raises(SimulationError):
+            CrashAdversary([1, 2]).validate(counter)
+
+    def test_validate_rejects_out_of_range(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        with pytest.raises(SimulationError):
+            CrashAdversary([9]).validate(counter)
+
+    def test_describe(self):
+        description = RandomStateAdversary([2, 0]).describe()
+        assert description["strategy"] == "RandomStateAdversary"
+        assert description["faulty"] == [0, 2]
+
+    def test_no_adversary_never_forges(self):
+        counter = TrivialCounter(c=4)
+        adversary = NoAdversary()
+        assert adversary.faulty == frozenset()
+        with pytest.raises(SimulationError):
+            adversary.forge(0, 0, 0, {}, counter, random.Random(0))
+
+
+class TestSimpleStrategies:
+    def test_crash_sends_default_state(self):
+        counter = NaiveMajorityCounter(n=4, c=5)
+        adversary = CrashAdversary([3])
+        forged = adversary.forge(sender=3, receiver=0, **forge_args(counter, {0: 1, 1: 2, 2: 3}))
+        assert forged == counter.default_state()
+
+    def test_fixed_state(self):
+        counter = NaiveMajorityCounter(n=4, c=5)
+        adversary = FixedStateAdversary([3], state=4)
+        forged = adversary.forge(sender=3, receiver=1, **forge_args(counter, {0: 1}))
+        assert forged == 4
+
+    def test_random_state_is_valid(self):
+        counter = NaiveMajorityCounter(n=4, c=5)
+        adversary = RandomStateAdversary([3])
+        for receiver in range(3):
+            forged = adversary.forge(sender=3, receiver=receiver, **forge_args(counter, {0: 1}))
+            assert counter.is_valid_state(forged)
+
+    def test_split_state_differs_by_receiver_parity(self):
+        counter = NaiveMajorityCounter(n=6, c=50)
+        adversary = SplitStateAdversary([5])
+        states = {i: i for i in range(5)}
+        even = adversary.forge(sender=5, receiver=0, **forge_args(counter, states))
+        even2 = adversary.forge(sender=5, receiver=2, **forge_args(counter, states))
+        odd = adversary.forge(sender=5, receiver=1, **forge_args(counter, states))
+        assert even == even2
+        # With a 50-value state space the two halves almost surely differ.
+        assert even != odd or counter.c < 3
+
+    def test_mimic_replays_a_correct_state(self):
+        counter = NaiveMajorityCounter(n=4, c=9)
+        adversary = MimicAdversary([3])
+        states = {0: 4, 1: 5, 2: 6}
+        forged = adversary.forge(sender=3, receiver=1, **forge_args(counter, states))
+        assert forged in states.values()
+
+    def test_mimic_with_no_correct_nodes(self):
+        counter = NaiveMajorityCounter(n=2, c=4)
+        adversary = MimicAdversary([0, 1])
+        forged = adversary.forge(sender=0, receiver=1, **forge_args(counter, {}))
+        assert forged == counter.default_state()
+
+
+class TestPhaseKingSkew:
+    def test_skews_boosted_state(self, small_boosted_counter):
+        counter = small_boosted_counter
+        adversary = PhaseKingSkewAdversary([2])
+        states = {
+            0: BoostedState(inner=10, a=1, d=1),
+            1: BoostedState(inner=20, a=1, d=1),
+        }
+        even = adversary.forge(sender=2, receiver=0, **forge_args(counter, states))
+        odd = adversary.forge(sender=2, receiver=1, **forge_args(counter, states))
+        assert isinstance(even, BoostedState)
+        assert even.a != 1  # shifted value
+        assert odd.a == INFINITY
+
+    def test_falls_back_to_random_for_plain_states(self):
+        counter = NaiveMajorityCounter(n=4, c=5)
+        adversary = PhaseKingSkewAdversary([3])
+        forged = adversary.forge(sender=3, receiver=0, **forge_args(counter, {0: 1, 1: 2, 2: 0}))
+        assert counter.is_valid_state(forged)
+
+
+class TestAdaptiveSplit:
+    def test_shows_each_receiver_the_opposite_camp(self):
+        counter = NaiveMajorityCounter(n=5, c=2, claimed_resilience=1)
+        adversary = AdaptiveSplitAdversary([4])
+        states = {0: 0, 1: 0, 2: 1, 3: 1}
+        adversary.on_round_start(0, states, counter, random.Random(0))
+        vote_for_camp0_receiver = adversary.forge(
+            sender=4, receiver=0, **forge_args(counter, states)
+        )
+        vote_for_camp1_receiver = adversary.forge(
+            sender=4, receiver=2, **forge_args(counter, states)
+        )
+        assert counter.output(4, vote_for_camp0_receiver) == 1
+        assert counter.output(4, vote_for_camp1_receiver) == 0
+
+    def test_single_camp_still_produces_valid_state(self):
+        counter = NaiveMajorityCounter(n=5, c=3, claimed_resilience=1)
+        adversary = AdaptiveSplitAdversary([4])
+        states = {0: 2, 1: 2, 2: 2, 3: 2}
+        adversary.on_round_start(0, states, counter, random.Random(0))
+        forged = adversary.forge(sender=4, receiver=0, **forge_args(counter, states))
+        assert counter.is_valid_state(forged)
+
+
+class TestFaultPatterns:
+    def test_random_faulty_set_size_and_range(self):
+        faulty = random_faulty_set(10, 3, rng=1)
+        assert len(faulty) == 3
+        assert all(0 <= node < 10 for node in faulty)
+
+    def test_random_faulty_set_reproducible(self):
+        assert random_faulty_set(10, 3, rng=5) == random_faulty_set(10, 3, rng=5)
+
+    def test_random_faulty_set_rejects_bad_count(self):
+        with pytest.raises(SimulationError):
+            random_faulty_set(4, 5)
+
+    def test_block_concentrated_faults(self):
+        faulty = block_concentrated_faults(block_size=4, blocks=[1], per_block=2)
+        assert faulty == frozenset({4, 5})
+
+    def test_block_concentrated_multiple_blocks(self):
+        faulty = block_concentrated_faults(block_size=3, blocks=[0, 2], per_block=1)
+        assert faulty == frozenset({0, 6})
+
+    def test_block_concentrated_rejects_bad_per_block(self):
+        with pytest.raises(SimulationError):
+            block_concentrated_faults(block_size=3, blocks=[0], per_block=4)
+
+    def test_spread_faults(self):
+        faulty = spread_faults(12, 3)
+        assert len(faulty) == 3
+        assert all(0 <= node < 12 for node in faulty)
+
+    def test_spread_faults_zero(self):
+        assert spread_faults(12, 0) == frozenset()
+
+    def test_spread_faults_rejects_excess(self):
+        with pytest.raises(SimulationError):
+            spread_faults(3, 4)

@@ -1,0 +1,173 @@
+"""Unit tests for the broadcast-model simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.counters.naive import NaiveMajorityCounter
+from repro.counters.trivial import TrivialCounter
+from repro.network.adversary import (
+    CrashAdversary,
+    NoAdversary,
+    RandomStateAdversary,
+)
+from repro.network.simulator import SimulationConfig, run_round, run_simulation
+from repro.network.stabilization import stabilization_round
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.max_rounds == 1000
+        assert config.record_states is False
+
+    def test_rejects_bad_max_rounds(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(max_rounds=0)
+
+    def test_rejects_bad_agreement_window(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(stop_after_agreement=0)
+
+
+class TestRunRound:
+    def test_trivial_counter_advances(self):
+        counter = TrivialCounter(c=5)
+        new_states = run_round(counter, {0: 3}, NoAdversary(), 0, rng=None)
+        assert new_states == {0: 4}
+
+    def test_faulty_senders_replaced_by_adversary(self):
+        counter = NaiveMajorityCounter(n=4, c=4, claimed_resilience=1)
+
+        class RecordingAdversary(CrashAdversary):
+            def __init__(self):
+                super().__init__([3])
+                self.calls = []
+
+            def forge(self, round_index, sender, receiver, states, algorithm, rng):
+                self.calls.append((sender, receiver))
+                return 3
+
+        adversary = RecordingAdversary()
+        import random
+
+        run_round(counter, {0: 0, 1: 0, 2: 0}, adversary, 0, rng=random.Random(0))
+        # One forged message per (faulty sender, correct receiver) pair.
+        assert sorted(adversary.calls) == [(3, 0), (3, 1), (3, 2)]
+
+
+class TestRunSimulation:
+    def test_records_requested_rounds(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(counter, config=SimulationConfig(max_rounds=7, seed=0))
+        assert trace.num_rounds == 7
+
+    def test_trivial_counter_counts_from_any_start(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=10, seed=3),
+            initial_states=[2],
+        )
+        assert trace.output_series(0) == [(3 + i) % 4 for i in range(10)]
+
+    def test_same_seed_same_trace(self):
+        counter = NaiveMajorityCounter(n=4, c=3, claimed_resilience=1)
+        adversary = RandomStateAdversary(frozenset({1}))
+        config = SimulationConfig(max_rounds=20, seed=11)
+        first = run_simulation(counter, adversary=adversary, config=config)
+        second = run_simulation(counter, adversary=adversary, config=config)
+        assert first.output_rows() == second.output_rows()
+
+    def test_different_seed_changes_initial_states(self):
+        counter = NaiveMajorityCounter(n=6, c=10)
+        one = run_simulation(counter, config=SimulationConfig(max_rounds=1, seed=1))
+        two = run_simulation(counter, config=SimulationConfig(max_rounds=1, seed=2))
+        assert one.initial_outputs != two.initial_outputs
+
+    def test_faulty_nodes_absent_from_outputs(self):
+        counter = NaiveMajorityCounter(n=4, c=3, claimed_resilience=1)
+        trace = run_simulation(
+            counter,
+            adversary=CrashAdversary(frozenset({2})),
+            config=SimulationConfig(max_rounds=5, seed=0),
+        )
+        assert set(trace.rounds[0].outputs) == {0, 1, 3}
+
+    def test_early_stop_on_agreement(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=500, stop_after_agreement=5, seed=0),
+        )
+        assert trace.num_rounds <= 10
+        assert trace.metadata.get("stopped_early") is True
+
+    def test_record_states(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(
+            counter, config=SimulationConfig(max_rounds=3, seed=0, record_states=True)
+        )
+        assert trace.rounds[0].states is not None
+
+    def test_states_not_recorded_by_default(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(counter, config=SimulationConfig(max_rounds=3, seed=0))
+        assert trace.rounds[0].states is None
+
+    def test_rejects_adversary_exceeding_resilience(self):
+        counter = TrivialCounter(c=4)
+        with pytest.raises(SimulationError):
+            run_simulation(counter, adversary=CrashAdversary([0]))
+
+    def test_initial_states_mapping(self):
+        counter = NaiveMajorityCounter(n=3, c=5)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=1, seed=0),
+            initial_states={0: 1, 1: 1, 2: 1},
+        )
+        assert trace.initial_outputs == {0: 1, 1: 1, 2: 1}
+
+    def test_initial_states_mapping_missing_node_rejected(self):
+        counter = NaiveMajorityCounter(n=3, c=5)
+        with pytest.raises(SimulationError):
+            run_simulation(
+                counter,
+                config=SimulationConfig(max_rounds=1, seed=0),
+                initial_states={0: 1},
+            )
+
+    def test_initial_states_wrong_length_rejected(self):
+        counter = NaiveMajorityCounter(n=3, c=5)
+        with pytest.raises(SimulationError):
+            run_simulation(
+                counter,
+                config=SimulationConfig(max_rounds=1, seed=0),
+                initial_states=[1, 1],
+            )
+
+    def test_initial_states_invalid_state_rejected(self):
+        counter = NaiveMajorityCounter(n=3, c=5)
+        with pytest.raises(SimulationError):
+            run_simulation(
+                counter,
+                config=SimulationConfig(max_rounds=1, seed=0),
+                initial_states=[1, 99, 1],
+            )
+
+    def test_naive_counter_stabilizes_without_faults(self):
+        counter = NaiveMajorityCounter(n=5, c=3)
+        trace = run_simulation(counter, config=SimulationConfig(max_rounds=20, seed=4))
+        assert stabilization_round(trace, min_tail=5).stabilized
+
+    def test_metadata_mentions_adversary(self):
+        counter = NaiveMajorityCounter(n=4, c=3, claimed_resilience=1)
+        trace = run_simulation(
+            counter,
+            adversary=RandomStateAdversary([3]),
+            config=SimulationConfig(max_rounds=2, seed=0),
+        )
+        assert trace.metadata["adversary"]["strategy"] == "RandomStateAdversary"
+        assert trace.faulty == frozenset({3})

@@ -1,0 +1,111 @@
+"""Unit tests for empirical stabilisation detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.network.stabilization import (
+    agreement_round,
+    is_counting_suffix,
+    stabilization_round,
+)
+from repro.network.trace import ExecutionTrace, RoundRecord
+
+
+def trace_from_agreed(values, c=3, n=2):
+    """Build a trace whose per-round agreed outputs are ``values`` (None = disagreement)."""
+    trace = ExecutionTrace(algorithm_name="test", n=n, c=c, faulty=frozenset())
+    for index, value in enumerate(values):
+        if value is None:
+            outputs = {0: 0, 1: 1}
+        else:
+            outputs = {0: value, 1: value}
+        trace.append(RoundRecord(round_index=index, outputs=outputs))
+    return trace
+
+
+class TestIsCountingSuffix:
+    def test_valid_run(self):
+        assert is_counting_suffix([0, 1, 2, 0, 1], c=3)
+
+    def test_disagreement_breaks_run(self):
+        assert not is_counting_suffix([0, None, 2], c=3)
+
+    def test_wrong_increment_breaks_run(self):
+        assert not is_counting_suffix([0, 2], c=3)
+
+    def test_single_round_is_valid(self):
+        assert is_counting_suffix([1], c=3)
+
+
+class TestAgreementRound:
+    def test_all_agree(self):
+        trace = trace_from_agreed([0, 1, 2])
+        assert agreement_round(trace) == 0
+
+    def test_late_agreement(self):
+        trace = trace_from_agreed([None, None, 2, 0])
+        assert agreement_round(trace) == 2
+
+    def test_never_agrees(self):
+        trace = trace_from_agreed([None, None])
+        assert agreement_round(trace) is None
+
+
+class TestStabilizationRound:
+    def test_immediately_stabilized(self):
+        trace = trace_from_agreed([0, 1, 2, 0, 1, 2])
+        result = stabilization_round(trace)
+        assert result.stabilized
+        assert result.round == 0
+        assert result.tail_length == 6
+
+    def test_stabilizes_mid_trace(self):
+        trace = trace_from_agreed([None, 2, 1, 2, 0, 1])
+        result = stabilization_round(trace)
+        assert result.stabilized
+        assert result.round == 2
+
+    def test_counting_with_wrap_around(self):
+        trace = trace_from_agreed([2, 0, 1, 2, 0])
+        result = stabilization_round(trace)
+        assert result.round == 0
+
+    def test_never_stabilizes(self):
+        trace = trace_from_agreed([None, 0, None, 1, None])
+        result = stabilization_round(trace)
+        assert not result.stabilized
+        assert result.round is None
+
+    def test_agreement_without_counting_is_not_enough(self):
+        # Agreed but frozen at the same value: not a counter.
+        trace = trace_from_agreed([1, 1, 1, 1])
+        result = stabilization_round(trace)
+        assert not result.stabilized or result.tail_length == 1
+        assert result.round != 0
+
+    def test_min_tail_enforced(self):
+        trace = trace_from_agreed([None, None, None, 1, 2])
+        strict = stabilization_round(trace, min_tail=5)
+        loose = stabilization_round(trace, min_tail=2)
+        assert not strict.stabilized
+        assert loose.stabilized
+        assert loose.round == 3
+
+    def test_empty_trace(self):
+        trace = trace_from_agreed([])
+        result = stabilization_round(trace)
+        assert not result.stabilized
+        assert result.total_rounds == 0
+
+    def test_invalid_min_tail(self):
+        trace = trace_from_agreed([0, 1])
+        with pytest.raises(SimulationError):
+            stabilization_round(trace, min_tail=0)
+
+    def test_late_disagreement_resets_suffix(self):
+        """A disagreement late in the trace means the earlier prefix does not count."""
+        trace = trace_from_agreed([0, 1, 2, None, 1, 2])
+        result = stabilization_round(trace)
+        assert result.round == 4

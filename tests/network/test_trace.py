@@ -1,0 +1,87 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.network.trace import ExecutionTrace, RoundRecord, outputs_agree
+
+
+def make_trace(output_rows, faulty=frozenset(), n=3, c=4):
+    trace = ExecutionTrace(algorithm_name="test", n=n, c=c, faulty=frozenset(faulty))
+    for index, outputs in enumerate(output_rows):
+        trace.append(RoundRecord(round_index=index, outputs=outputs))
+    return trace
+
+
+class TestRoundRecord:
+    def test_agreed_value(self):
+        record = RoundRecord(round_index=0, outputs={0: 2, 1: 2, 2: 2})
+        assert record.agreed_value() == 2
+
+    def test_disagreement_gives_none(self):
+        record = RoundRecord(round_index=0, outputs={0: 2, 1: 3})
+        assert record.agreed_value() is None
+
+
+class TestExecutionTrace:
+    def test_append_in_order(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 0}, {0: 1, 1: 1, 2: 1}])
+        assert trace.num_rounds == 2
+        assert len(trace) == 2
+
+    def test_append_out_of_order_rejected(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 0}])
+        with pytest.raises(SimulationError):
+            trace.append(RoundRecord(round_index=5, outputs={0: 0, 1: 0, 2: 0}))
+
+    def test_correct_nodes(self):
+        trace = make_trace([{0: 0, 2: 0}], faulty={1})
+        assert trace.correct_nodes == [0, 2]
+
+    def test_output_series(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 1}, {0: 1, 1: 1, 2: 2}])
+        assert trace.output_series(2) == [1, 2]
+
+    def test_output_series_of_faulty_node_rejected(self):
+        trace = make_trace([{0: 0, 2: 0}], faulty={1})
+        with pytest.raises(SimulationError):
+            trace.output_series(1)
+
+    def test_agreed_values(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 0}, {0: 1, 1: 2, 2: 1}])
+        assert trace.agreed_values() == [0, None]
+
+    def test_output_rows(self):
+        rows = [{0: 0, 1: 0, 2: 0}, {0: 1, 1: 1, 2: 1}]
+        trace = make_trace(rows)
+        assert trace.output_rows() == rows
+
+    def test_format_table_marks_faulty_nodes(self):
+        trace = make_trace([{0: 0, 2: 0}, {0: 1, 2: 1}], faulty={1})
+        table = trace.format_table()
+        assert "faulty" in table
+        assert "node   0" in table
+
+    def test_summary_keys(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 0}], faulty=set())
+        summary = trace.summary()
+        assert summary["algorithm"] == "test"
+        assert summary["rounds"] == 1
+        assert summary["faulty"] == []
+
+    def test_iteration(self):
+        trace = make_trace([{0: 0, 1: 0, 2: 0}, {0: 1, 1: 1, 2: 1}])
+        assert [record.round_index for record in trace] == [0, 1]
+
+
+class TestOutputsAgree:
+    def test_agree(self):
+        assert outputs_agree([1, 1, 1])
+
+    def test_disagree(self):
+        assert not outputs_agree([1, 2, 1])
+
+    def test_empty(self):
+        assert not outputs_agree([])

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import CounterInterpretation, common_pointer_intervals, ideal_pointer_trace
+from repro.core.phase_king import INFINITY, PhaseKingRegisters, phase_king_step
+from repro.core.voting import has_majority, majority
+from repro.counters.trivial import TrivialCounter
+from repro.network.stabilization import is_counting_suffix
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.network.stabilization import stabilization_round
+from repro.util.intmath import ceil_div, ceil_log2, next_multiple
+
+
+# --------------------------------------------------------------------------- #
+# Integer math
+# --------------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+def test_ceil_div_bounds(a, b):
+    q = ceil_div(a, b)
+    assert (q - 1) * b < a or a == 0
+    assert q * b >= a
+
+
+@given(st.integers(min_value=1, max_value=2**64))
+def test_ceil_log2_is_tight(value):
+    bits = ceil_log2(value)
+    assert 2**bits >= value
+    assert bits == 0 or 2 ** (bits - 1) < value
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+def test_next_multiple_properties(value, base):
+    result = next_multiple(value, base)
+    assert result % base == 0
+    assert result >= max(value, base)
+    assert result - base < max(value, base)
+
+
+# --------------------------------------------------------------------------- #
+# Majority voting
+# --------------------------------------------------------------------------- #
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25))
+def test_majority_is_correct_when_it_exists(values):
+    result = majority(values, default=-1)
+    counts = {value: values.count(value) for value in set(values)}
+    true_majority = [value for value, count in counts.items() if 2 * count > len(values)]
+    if true_majority:
+        assert result == true_majority[0]
+    else:
+        assert result == -1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25), st.randoms())
+def test_majority_is_permutation_invariant(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    assert majority(values, default=-1) == majority(shuffled, default=-1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=20))
+def test_at_most_one_majority(values):
+    holders = [candidate for candidate in set(values) if has_majority(values, candidate)]
+    assert len(holders) <= 1
+
+
+# --------------------------------------------------------------------------- #
+# Block counters: Lemmas 1 and 2 on ideal schedules
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=5),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_decompose_invariants(k, F, value, shift):
+    interp = CounterInterpretation(k=k, F=F)
+    for block in range(k):
+        decomposed = interp.decompose(value, block)
+        assert 0 <= decomposed.r < interp.tau
+        assert 0 <= decomposed.pointer < interp.m
+        successor = interp.decompose(value + 1, block)
+        assert successor.r == (decomposed.r + 1) % interp.tau
+    # Reduction modulo the block period leaves the interpretation unchanged.
+    block = k - 1
+    period = interp.block_period(block)
+    assert interp.decompose(value + shift * period, block) == interp.decompose(value % period, block)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_lemma2_common_interval_for_every_leader(offset0, offset1, offset2):
+    """Stabilised blocks with arbitrary phases share every leader for >= tau rounds."""
+    interp = CounterInterpretation(k=3, F=0)
+    offsets = (offset0, offset1, offset2)
+    horizon = interp.block_period(2)
+    traces = [
+        ideal_pointer_trace(interp, block, offset % interp.block_period(block), horizon)
+        for block, offset in enumerate(offsets)
+    ]
+    for beta in range(interp.m):
+        intervals = common_pointer_intervals(traces, beta)
+        assert any(end - start >= interp.tau for start, end in intervals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=5), st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=10**5))
+def test_lemma1_dwell_time(k, F, offset):
+    """Once a block's pointer changes it keeps the value for exactly c_{i-1} rounds."""
+    interp = CounterInterpretation(k=k, F=F)
+    block = k - 2
+    dwell = interp.pointer_dwell_time(block)
+    trace = ideal_pointer_trace(interp, block, offset, 3 * dwell + 1)
+    changes = [t for t in range(1, len(trace)) if trace[t] != trace[t - 1]]
+    for first, second in zip(changes, changes[1:]):
+        assert second - first == dwell
+
+
+# --------------------------------------------------------------------------- #
+# Phase king persistence (Lemma 5) under arbitrary Byzantine values
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=26),  # round value R
+            st.lists(st.integers(min_value=-1, max_value=6), min_size=2, max_size=2),
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+)
+def test_phase_king_agreement_persists(start_value, rounds):
+    """Lemma 5 as a property: any R sequence, any Byzantine register values."""
+    N, F, C = 7, 2, 5
+    correct = list(range(5))
+    value = start_value % C
+    registers = {i: PhaseKingRegisters(a=value, d=1) for i in correct}
+    expected = value
+    for round_value, byzantine_values in rounds:
+        new_registers = {}
+        for node in correct:
+            received = [registers[i].a for i in correct] + list(byzantine_values)
+            new_registers[node] = phase_king_step(
+                registers[node], received, round_value, N=N, F=F, C=C
+            )
+        registers = new_registers
+        expected = (expected + 1) % C
+        assert {registers[i].a for i in correct} == {expected}
+        assert all(registers[i].d == 1 for i in correct)
+
+
+# --------------------------------------------------------------------------- #
+# Message coercion robustness
+# --------------------------------------------------------------------------- #
+
+junk = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=5),
+    st.floats(allow_nan=False),
+    st.tuples(st.integers(), st.integers()),
+    st.tuples(st.text(max_size=3), st.integers(), st.integers()),
+)
+
+
+@given(junk)
+def test_trivial_coercion_always_valid(message):
+    counter = TrivialCounter(c=6)
+    assert counter.is_valid_state(counter.coerce_message(message))
+
+
+@settings(max_examples=60, deadline=None)
+@given(message=junk)
+def test_boosted_coercion_always_valid(message, small_boosted_counter):
+    counter = small_boosted_counter
+    assert counter.is_valid_state(counter.coerce_message(message))
+
+
+@settings(max_examples=40, deadline=None)
+@given(messages=st.lists(junk, min_size=3, max_size=3))
+def test_boosted_transition_survives_garbage_messages(messages, small_boosted_counter):
+    """The transition function must produce a valid state from arbitrary inputs."""
+    counter = small_boosted_counter
+    state = counter.transition(0, messages)
+    assert counter.is_valid_state(state)
+
+
+# --------------------------------------------------------------------------- #
+# Stabilisation detection
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.one_of(st.none(), st.integers(min_value=0, max_value=3)), max_size=15),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=2, max_value=12),
+)
+def test_stabilization_detected_after_appended_counting_suffix(prefix, start, suffix_length):
+    """Appending a valid counting suffix always yields a stabilised trace."""
+    c = 4
+    suffix = [(start + i) % c for i in range(suffix_length)]
+    values = list(prefix) + suffix
+    trace = ExecutionTrace(algorithm_name="p", n=2, c=c, faulty=frozenset())
+    for index, value in enumerate(values):
+        outputs = {0: value, 1: value} if value is not None else {0: 0, 1: 1}
+        trace.append(RoundRecord(round_index=index, outputs=outputs))
+    result = stabilization_round(trace, min_tail=2)
+    assert result.stabilized
+    assert result.round is not None
+    assert result.round <= len(prefix)
+    # The detected suffix really is a counting run.
+    assert is_counting_suffix(trace.agreed_values()[result.round :], c)

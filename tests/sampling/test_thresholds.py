@@ -1,0 +1,139 @@
+"""Unit tests for the sampled thresholds of Lemma 8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.phase_king import INFINITY, PhaseKingRegisters
+from repro.sampling.thresholds import (
+    high_threshold,
+    low_threshold,
+    recommended_sample_size,
+    sampled_phase_king_step,
+)
+
+F, C = 1, 5
+
+
+class TestThresholds:
+    def test_high_threshold_two_thirds(self):
+        assert high_threshold(3) == 2
+        assert high_threshold(9) == 6
+        assert high_threshold(10) == 7
+
+    def test_low_threshold_one_third(self):
+        assert low_threshold(9) == 3.0
+
+    def test_reject_empty_sample(self):
+        with pytest.raises(ParameterError):
+            high_threshold(0)
+        with pytest.raises(ParameterError):
+            low_threshold(0)
+
+
+class TestRecommendedSampleSize:
+    def test_grows_logarithmically(self):
+        small = recommended_sample_size(100)
+        large = recommended_sample_size(100_000)
+        assert small < large
+        # Θ(log η): doubling the exponent of η roughly doubles ... at most a
+        # constant factor more than the log ratio.
+        assert large <= small * 3
+
+    def test_kappa_increases_samples(self):
+        assert recommended_sample_size(1000, kappa=2.0) > recommended_sample_size(1000, kappa=1.0)
+
+    def test_gamma_slack(self):
+        # More slack (larger gamma) means fewer samples are needed.
+        assert recommended_sample_size(1000, gamma=1.0) < recommended_sample_size(1000, gamma=0.1)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ParameterError):
+            recommended_sample_size(1)
+        with pytest.raises(ParameterError):
+            recommended_sample_size(100, kappa=0)
+        with pytest.raises(ParameterError):
+            recommended_sample_size(100, gamma=0)
+
+
+class TestSampledPhaseKingStep:
+    def test_step0_keeps_well_supported_value(self):
+        registers = PhaseKingRegisters(a=2, d=0)
+        samples = [2] * 8 + [0]
+        updated = sampled_phase_king_step(registers, samples, king_value=0, round_value=0, F=F, C=C)
+        assert updated.a == 3
+
+    def test_step0_resets_unsupported_value(self):
+        registers = PhaseKingRegisters(a=2, d=0)
+        samples = [2] * 3 + [0] * 6
+        updated = sampled_phase_king_step(registers, samples, king_value=0, round_value=0, F=F, C=C)
+        assert updated.a == INFINITY
+
+    def test_step1_sets_d_on_strong_support(self):
+        registers = PhaseKingRegisters(a=1, d=0)
+        samples = [1] * 7 + [3, 4]
+        updated = sampled_phase_king_step(registers, samples, king_value=0, round_value=1, F=F, C=C)
+        assert updated.d == 1
+        assert updated.a == 2
+
+    def test_step1_adopts_value_above_low_threshold(self):
+        registers = PhaseKingRegisters(a=0, d=0)
+        samples = [4] * 4 + [3] * 5
+        updated = sampled_phase_king_step(registers, samples, king_value=0, round_value=1, F=F, C=C)
+        # both 3 and 4 exceed M/3 = 3: min is adopted, then incremented
+        assert updated.a == 4
+
+    def test_step2_adopts_king_when_unsure(self):
+        registers = PhaseKingRegisters(a=INFINITY, d=0)
+        updated = sampled_phase_king_step(
+            registers, [0] * 6, king_value=3, round_value=2, F=F, C=C
+        )
+        assert updated.a == 4
+        assert updated.d == 1
+
+    def test_step2_keeps_value_when_confident(self):
+        registers = PhaseKingRegisters(a=1, d=1)
+        updated = sampled_phase_king_step(
+            registers, [0] * 6, king_value=3, round_value=2, F=F, C=C
+        )
+        assert updated.a == 2
+
+    def test_king_infinity_read_as_cap(self):
+        registers = PhaseKingRegisters(a=INFINITY, d=1)
+        updated = sampled_phase_king_step(
+            registers, [0] * 6, king_value=INFINITY, round_value=2, F=F, C=C
+        )
+        assert updated.a == (C + 1) % C
+
+    def test_garbage_samples_coerced(self):
+        registers = PhaseKingRegisters(a=2, d=1)
+        samples = [2, "junk", None, 2, 2, 2]
+        updated = sampled_phase_king_step(registers, samples, king_value=2, round_value=0, F=F, C=C)
+        # 4 of 6 samples equal 2 >= ceil(2*6/3) = 4: value kept and incremented.
+        assert updated.a == 3
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ParameterError):
+            sampled_phase_king_step(
+                PhaseKingRegisters(a=0, d=0), [], king_value=0, round_value=0, F=F, C=C
+            )
+
+    def test_rejects_small_counter(self):
+        with pytest.raises(ParameterError):
+            sampled_phase_king_step(
+                PhaseKingRegisters(a=0, d=0), [0], king_value=0, round_value=0, F=F, C=1
+            )
+
+    def test_persistence_under_agreement(self):
+        """Lemma 5 analogue with sampled thresholds and clean samples."""
+        registers = PhaseKingRegisters(a=3, d=1)
+        expected = 3
+        for round_value in (0, 1, 2, 4, 7, 8):
+            samples = [expected] * 9
+            registers = sampled_phase_king_step(
+                registers, samples, king_value=expected, round_value=round_value, F=F, C=C
+            )
+            expected = (expected + 1) % C
+            assert registers.a == expected
+            assert registers.d == 1

@@ -1,0 +1,143 @@
+"""Unit tests for repro.util.intmath."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.intmath import (
+    ceil_div,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    lcm,
+    next_multiple,
+    prod,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 5) == 1
+
+    def test_negative_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    def test_matches_math_ceil(self):
+        for a in range(0, 50):
+            for b in range(1, 9):
+                assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestCeilLog2:
+    def test_one(self):
+        assert ceil_log2(1) == 0
+
+    def test_two(self):
+        assert ceil_log2(2) == 1
+
+    def test_three(self):
+        assert ceil_log2(3) == 2
+
+    def test_powers_of_two(self):
+        for exponent in range(1, 20):
+            assert ceil_log2(2**exponent) == exponent
+
+    def test_just_above_power(self):
+        assert ceil_log2(2**10 + 1) == 11
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_log2(-3)
+
+
+class TestFloorLog2:
+    def test_small_values(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(2) == 1
+        assert floor_log2(3) == 1
+        assert floor_log2(4) == 2
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1024)
+
+    def test_non_powers(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(12)
+
+
+class TestLcm:
+    def test_pair(self):
+        assert lcm(4, 6) == 12
+
+    def test_single(self):
+        assert lcm(7) == 7
+
+    def test_many(self):
+        assert lcm(2, 3, 5, 7) == 210
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lcm()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            lcm(4, 0)
+
+
+class TestNextMultiple:
+    def test_already_multiple(self):
+        assert next_multiple(12, 4) == 12
+
+    def test_rounds_up(self):
+        assert next_multiple(13, 4) == 16
+
+    def test_below_base(self):
+        assert next_multiple(1, 960) == 960
+
+    def test_zero_value(self):
+        assert next_multiple(0, 7) == 7
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            next_multiple(5, 0)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_values(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_big_integers(self):
+        assert prod([10**10, 10**10]) == 10**20

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_range,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        check_type("x", 3, int)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_for_int(self):
+        with pytest.raises(TypeError):
+            check_type("x", True, int)
+
+    def test_tuple_of_types(self):
+        check_type("x", 3.5, (int, float))
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckRange:
+    def test_within(self):
+        check_range("x", 5, 0, 10)
+
+    def test_below(self):
+        with pytest.raises(ValueError):
+            check_range("x", -1, 0, 10)
+
+    def test_above(self):
+        with pytest.raises(ValueError):
+            check_range("x", 11, 0, 10)
+
+    def test_open_ends(self):
+        check_range("x", 1000, low=0)
+        check_range("x", -1000, high=0)
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        check_index("i", 0, 4)
+        check_index("i", 3, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_index("i", 4, 4)
+        with pytest.raises(ValueError):
+            check_index("i", -1, 4)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        check_probability("p", 0.5)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            check_probability("p", "0.5")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            check_probability("p", True)

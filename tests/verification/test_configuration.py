@@ -1,0 +1,79 @@
+"""Unit tests for the configuration-space enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.counters.naive import NaiveMajorityCounter
+from repro.counters.trivial import TrivialCounter
+from repro.verification.configuration import ConfigurationSpace
+
+
+class TestConstruction:
+    def test_size(self):
+        space = ConfigurationSpace(NaiveMajorityCounter(n=3, c=2))
+        assert space.size() == 8
+        assert len(list(space.configurations())) == 8
+
+    def test_size_with_faults(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        space = ConfigurationSpace(counter, faulty=[3])
+        assert space.size() == 8
+        assert space.correct_nodes == [0, 1, 2]
+
+    def test_rejects_unenumerable_state_space(self, figure2_level1_counter):
+        # The A(12, 3) counter has ~10^9 configurations; the guard must trip.
+        with pytest.raises(VerificationError):
+            ConfigurationSpace(figure2_level1_counter)
+
+    def test_rejects_too_large_space(self):
+        counter = NaiveMajorityCounter(n=10, c=4)
+        with pytest.raises(VerificationError):
+            ConfigurationSpace(counter, max_configurations=1000)
+
+    def test_rejects_all_faulty(self):
+        counter = TrivialCounter(c=2)
+        with pytest.raises(VerificationError):
+            ConfigurationSpace(counter, faulty=[0])
+
+    def test_rejects_out_of_range_fault(self):
+        counter = NaiveMajorityCounter(n=3, c=2)
+        with pytest.raises(VerificationError):
+            ConfigurationSpace(counter, faulty=[5])
+
+
+class TestOutputsAndSuccessors:
+    def test_outputs(self):
+        counter = NaiveMajorityCounter(n=3, c=3)
+        space = ConfigurationSpace(counter)
+        assert space.outputs((0, 1, 2)) == [0, 1, 2]
+
+    def test_trivial_counter_successor_is_deterministic(self):
+        counter = TrivialCounter(c=4)
+        space = ConfigurationSpace(counter)
+        successors = list(space.successors((2,)))
+        assert successors == [(3,)]
+
+    def test_fault_free_successors_are_unique(self):
+        counter = NaiveMajorityCounter(n=3, c=2)
+        space = ConfigurationSpace(counter)
+        for configuration in space.configurations():
+            assert len(list(space.successors(configuration))) == 1
+
+    def test_byzantine_node_widens_successor_choices(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        space = ConfigurationSpace(counter, faulty=[3])
+        # A correct node holding the local majority value 1 can be steered both
+        # ways: a Byzantine vote for 1 completes the majority (next value 0),
+        # a vote for 0 forces the minimum fallback (next value 1).
+        choices = space.successor_choices((1, 1, 0))
+        assert any(len(options) > 1 for options in choices)
+        successors = set(space.successors((1, 1, 0)))
+        assert len(successors) > 1
+
+    def test_successor_choices_indexed_by_correct_nodes(self):
+        counter = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        space = ConfigurationSpace(counter, faulty=[0])
+        choices = space.successor_choices((1, 1, 1))
+        assert len(choices) == 3

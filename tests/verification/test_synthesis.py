@@ -1,0 +1,78 @@
+"""Unit tests for the brute-force synthesiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError, VerificationError
+from repro.verification.checker import verify_counter
+from repro.verification.synthesis import (
+    SymmetricTableCounter,
+    synthesize_symmetric_counter,
+)
+
+
+class TestSymmetricTableCounter:
+    def test_transition_uses_sorted_multiset(self):
+        table = {(0, 0): 1, (0, 1): 0, (1, 1): 0}
+        counter = SymmetricTableCounter(n=2, c=2, table=table)
+        assert counter.transition(0, [0, 0]) == 1
+        assert counter.transition(0, [1, 0]) == 0
+        assert counter.transition(1, [0, 1]) == 0
+
+    def test_missing_entry_raises(self):
+        counter = SymmetricTableCounter(n=2, c=3, table={(0, 0): 1})
+        with pytest.raises(VerificationError):
+            counter.transition(0, [1, 2])
+
+    def test_invalid_table_key_length(self):
+        with pytest.raises(ParameterError):
+            SymmetricTableCounter(n=2, c=2, table={(0,): 1})
+
+    def test_invalid_table_value(self):
+        with pytest.raises(ParameterError):
+            SymmetricTableCounter(n=2, c=2, table={(0, 0): 5})
+
+    def test_output_is_identity(self):
+        counter = SymmetricTableCounter(n=2, c=3, table={})
+        assert counter.output(0, 2) == 2
+
+    def test_table_accessor_returns_copy(self):
+        table = {(0, 0): 1}
+        counter = SymmetricTableCounter(n=2, c=2, table=table)
+        counter.table[(0, 0)] = 0
+        assert counter.table[(0, 0)] == 1
+
+
+class TestSynthesis:
+    def test_synthesizes_two_node_counter(self):
+        result = synthesize_symmetric_counter(n=2, c=2)
+        assert result.algorithm is not None
+        assert result.candidates_checked > 0
+        report = verify_counter(result.algorithm, max_faults=0)
+        assert report.is_synchronous_counter
+
+    def test_synthesized_counter_actually_counts(self):
+        result = synthesize_symmetric_counter(n=2, c=2)
+        counter = result.algorithm
+        assert counter is not None
+        states = [0, 1]
+        seen = []
+        for _ in range(6):
+            states = [counter.transition(i, states) for i in range(2)]
+            seen.append(tuple(states))
+        # After stabilisation both nodes agree and alternate 0, 1, 0, 1, ...
+        tail = seen[-4:]
+        assert all(a == b for a, b in tail)
+        values = [pair[0] for pair in tail]
+        assert all((v + 1) % 2 == w for v, w in zip(values, values[1:]))
+
+    def test_candidate_cap_respected(self):
+        result = synthesize_symmetric_counter(n=3, c=2, max_candidates=5)
+        assert result.candidates_checked <= 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            synthesize_symmetric_counter(n=0)
+        with pytest.raises(ParameterError):
+            synthesize_symmetric_counter(n=2, c=1)
