@@ -1,0 +1,10 @@
+"""``python -m repro.campaigns`` — the campaign engine CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.campaigns.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Command-line interface for the campaign engine.
+
+Usage (``python -m repro.campaigns <command>``)::
+
+    # Write a campaign definition file
+    python -m repro.campaigns define --name demo \\
+        --algorithm "naive-majority:n=6,c=3,claimed_resilience=1" \\
+        --adversary crash --adversary random-state \\
+        --runs 25 --max-rounds 200 --stop-after-agreement 6 \\
+        --out demo.campaign.json
+
+    # Execute it (resumable; re-invoking skips completed runs)
+    python -m repro.campaigns run demo.campaign.json --store demo.jsonl --jobs 4
+
+    # Explicit resume (same as run — shown separately for discoverability)
+    python -m repro.campaigns resume demo.campaign.json --store demo.jsonl
+
+    # Stabilisation statistics from the store
+    python -m repro.campaigns summarize demo.jsonl
+
+Algorithm arguments use ``name`` or ``name:key=value,key=value`` where the
+names come from :func:`repro.counters.registry.default_registry` and values
+are parsed as JSON scalars when possible (``levels=2`` is an int).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.campaigns.executor import default_executor
+from repro.campaigns.results import CampaignStore, RunResult, summarize_results
+from repro.campaigns.runner import run_campaign
+from repro.campaigns.spec import FAULT_PATTERNS, AlgorithmSpec, CampaignSpec
+from repro.core.errors import ReproError
+from repro.network.adversary import STRATEGIES
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_scalar(text: str) -> Any:
+    """Parse a parameter value: JSON scalar when possible, else the raw string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_algorithm(argument: str) -> AlgorithmSpec:
+    """Parse ``name`` or ``name:key=value,key=value`` into an AlgorithmSpec."""
+    name, _, params_text = argument.partition(":")
+    name = name.strip()
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty algorithm name in {argument!r}")
+    params: dict[str, Any] = {}
+    if params_text.strip():
+        for pair in params_text.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise argparse.ArgumentTypeError(
+                    f"malformed algorithm parameter {pair!r} in {argument!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = _parse_scalar(value.strip())
+    return AlgorithmSpec.create(name, params)
+
+
+def _parse_num_faults(argument: str) -> int | None:
+    """Parse a fault count; ``auto`` means the algorithm's resilience ``f``."""
+    if argument.strip().lower() in ("auto", "f", "max"):
+        return None
+    try:
+        return int(argument)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"num-faults must be an integer or 'auto', got {argument!r}"
+        ) from None
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build a CampaignSpec from ``define`` flags."""
+    return CampaignSpec(
+        name=args.name,
+        algorithms=tuple(args.algorithm),
+        adversaries=tuple(args.adversary or ["random-state"]),
+        num_faults=tuple(args.num_faults or [None]),
+        runs_per_setting=args.runs,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        stop_after_agreement=args.stop_after_agreement,
+        min_tail=args.min_tail,
+        fault_pattern=args.fault_pattern,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.campaigns`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns",
+        description="Define, run, resume and summarize simulation campaigns.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    define = subparsers.add_parser(
+        "define", help="write a campaign definition file from flags"
+    )
+    define.add_argument("--name", required=True, help="campaign name")
+    define.add_argument(
+        "--algorithm",
+        action="append",
+        required=True,
+        type=_parse_algorithm,
+        metavar="NAME[:k=v,...]",
+        help="registry algorithm with parameters (repeatable)",
+    )
+    define.add_argument(
+        "--adversary",
+        action="append",
+        choices=["none", *sorted(STRATEGIES)],
+        help="adversary strategy (repeatable; default: random-state)",
+    )
+    define.add_argument(
+        "--num-faults",
+        action="append",
+        type=_parse_num_faults,
+        metavar="N|auto",
+        help="faults per run (repeatable; default: auto = the algorithm's f)",
+    )
+    define.add_argument("--runs", type=int, default=10, help="runs per grid setting")
+    define.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    define.add_argument("--max-rounds", type=int, default=1000)
+    define.add_argument(
+        "--stop-after-agreement",
+        type=int,
+        default=20,
+        help="early-stop window; 0 disables early stopping",
+    )
+    define.add_argument("--min-tail", type=int, default=2)
+    define.add_argument(
+        "--fault-pattern", choices=FAULT_PATTERNS, default="random"
+    )
+    define.add_argument("--out", required=True, help="path of the definition file")
+
+    for verb, description in (
+        ("run", "execute a campaign definition (skips completed runs)"),
+        ("resume", "alias of 'run': continue an interrupted campaign"),
+    ):
+        executor_parser = subparsers.add_parser(verb, help=description)
+        executor_parser.add_argument("spec", help="campaign definition file (JSON)")
+        executor_parser.add_argument(
+            "--store", required=True, help="JSONL result store (created if missing)"
+        )
+        executor_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes (>1 enables the multiprocessing executor)",
+        )
+        executor_parser.add_argument(
+            "--chunksize",
+            type=int,
+            default=None,
+            help="specs per worker task (parallel executor only)",
+        )
+        executor_parser.add_argument(
+            "--quiet", action="store_true", help="suppress per-run progress lines"
+        )
+
+    summarize = subparsers.add_parser(
+        "summarize", help="stabilisation statistics from a result store"
+    )
+    summarize.add_argument("store", help="JSONL result store")
+    summarize.add_argument(
+        "--group-by",
+        default="algorithm,adversary",
+        help="comma-separated RunResult fields to group rows by",
+    )
+    summarize.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown table"
+    )
+    return parser
+
+
+def _command_define(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    # Normalise 0 to None for "no early stopping".
+    if spec.stop_after_agreement == 0:
+        spec = CampaignSpec.from_dict({**spec.to_dict(), "stop_after_agreement": None})
+    runs = spec.expand()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}: campaign '{spec.name}' with {len(runs)} runs")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        spec = CampaignSpec.from_dict(json.load(handle))
+    store = CampaignStore(args.store)
+    executor = default_executor(args.jobs)
+    if args.jobs and args.jobs > 1 and args.chunksize:
+        executor.chunksize = args.chunksize
+
+    def progress(done: int, total: int, result: RunResult) -> None:
+        status = "FAIL" if result.error else (
+            f"stab@{result.stabilization_round}"
+            if result.stabilized
+            else "no-stab"
+        )
+        print(f"[{done}/{total}] {result.run_id}: {status}", flush=True)
+
+    report = run_campaign(
+        spec,
+        store=store,
+        executor=executor,
+        progress=None if args.quiet else progress,
+    )
+    print(
+        f"campaign '{spec.name}': {report.total} runs "
+        f"({report.executed} executed, {report.skipped} resumed, "
+        f"{report.failed} failed) in {report.elapsed:.2f}s -> {store.path}"
+    )
+    return 1 if report.failed else 0
+
+
+def _command_summarize(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    results = list(store.latest_by_id().values())
+    if not results:
+        print(f"no results in {store.path}")
+        return 1
+    group_by = tuple(
+        column.strip() for column in args.group_by.split(",") if column.strip()
+    )
+    valid_fields = {f.name for f in dataclasses.fields(RunResult)}
+    unknown = [column for column in group_by if column not in valid_fields]
+    if unknown:
+        print(
+            f"error: unknown --group-by field(s) {', '.join(unknown)}; "
+            f"valid fields: {', '.join(sorted(valid_fields))}",
+            file=sys.stderr,
+        )
+        return 2
+    table = summarize_results(
+        results, group_by=group_by, name=f"Campaign summary — {store.path}"
+    )
+    print(table.to_markdown() if args.markdown else table.format_table())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.campaigns``."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "define":
+            return _command_define(args)
+        if args.command in ("run", "resume"):
+            return _command_run(args)
+        if args.command == "summarize":
+            return _command_summarize(args)
+    except (ReproError, OSError, ValueError) as exc:
+        # Expected failure modes (bad names, malformed files, missing paths)
+        # become one-line diagnostics instead of tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Serial and multiprocessing executors for campaign runs.
+
+Both executors evaluate the same pure function, :func:`execute_run`, over a
+list of :class:`~repro.campaigns.spec.RunSpec` objects.  Because every spec
+pins its own faulty set and simulator seed, the per-run results are
+bit-identical regardless of executor, process count or completion order —
+parallelism changes throughput, never results.
+
+The parallel executor distributes chunks of specs over a
+:mod:`multiprocessing` pool and streams results back as they complete
+(``imap_unordered``), so the runner can persist and report progress
+incrementally.  Failures are *accounted*, not raised: a run that throws is
+returned as a :class:`~repro.campaigns.results.RunResult` with its ``error``
+field set.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.campaigns.results import RunResult, reduce_trace
+from repro.campaigns.spec import AlgorithmSpec, RunSpec
+from repro.network.adversary import Adversary
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "execute_run",
+    "ExecutorStats",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_executor",
+]
+
+#: Callback invoked with every completed result (used for persistence and
+#: progress display).
+ResultCallback = Callable[[RunResult], None]
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Execute one run spec and reduce its trace — the executors' work unit.
+
+    Never raises: any exception (bad registry name, simulation error, ...)
+    is captured in the returned result's ``error`` field so one broken run
+    cannot abort a campaign.
+
+    Purity: caller-provided algorithm/adversary *instances* are deep-copied
+    so that runs never share mutable state (a shared instance would make
+    results depend on execution order and process placement), and
+    non-deterministic algorithms exposing ``reseed`` are reseeded from the
+    spec's ``sim_seed`` so their internal randomness is pinned per run.
+    """
+    try:
+        algorithm = spec.resolve_algorithm()
+        if not isinstance(spec.algorithm, AlgorithmSpec):
+            algorithm = copy.deepcopy(algorithm)
+        reseed = getattr(algorithm, "reseed", None)
+        if not algorithm.deterministic and callable(reseed):
+            reseed(derive_rng(spec.sim_seed, "algorithm-rng").getrandbits(64))
+        adversary = spec.resolve_adversary()
+        if isinstance(spec.adversary, Adversary):
+            adversary = copy.deepcopy(adversary)
+        config = SimulationConfig(
+            max_rounds=spec.max_rounds,
+            stop_after_agreement=spec.stop_after_agreement,
+            seed=spec.sim_seed,
+            metadata={"run_id": spec.run_id, **dict(spec.tags)},
+        )
+        trace = run_simulation(algorithm, adversary=adversary, config=config)
+        return reduce_trace(spec, algorithm, trace)
+    except Exception as exc:  # noqa: BLE001 - failure accounting by design
+        return RunResult(
+            run_id=spec.run_id,
+            algorithm=spec.algorithm_label(),
+            adversary=spec.adversary_label(),
+            n=0,
+            f=0,
+            c=0,
+            faulty=tuple(spec.faulty),
+            sim_seed=spec.sim_seed,
+            rounds_simulated=0,
+            stabilized=False,
+            stabilization_round=None,
+            within_bound=None,
+            agreement_fraction=0.0,
+            stopped_early=False,
+            messages_sent=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _execute_indexed(item: tuple[int, RunSpec]) -> tuple[int, RunResult]:
+    """Pool work function: carry the submission index through the shuffle.
+
+    Results are reassembled by position, not ``run_id``, so executors behave
+    identically even when a caller-supplied spec list repeats an id.
+    """
+    index, spec = item
+    return index, execute_run(spec)
+
+
+@dataclass
+class ExecutorStats:
+    """Progress and failure accounting for one executor invocation."""
+
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def record(self, result: RunResult) -> None:
+        """Account one finished run."""
+        self.completed += 1
+        if result.error is not None:
+            self.failed += 1
+
+
+class SerialExecutor:
+    """Run every spec in-process, in order — the reference executor."""
+
+    def __init__(self) -> None:
+        self.stats = ExecutorStats()
+
+    def run(
+        self, specs: Iterable[RunSpec], on_result: ResultCallback | None = None
+    ) -> list[RunResult]:
+        """Execute all specs and return their results in submission order."""
+        spec_list = list(specs)
+        self.stats = ExecutorStats(total=len(spec_list))
+        results: list[RunResult] = []
+        for spec in spec_list:
+            result = execute_run(spec)
+            self.stats.record(result)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+
+class ParallelExecutor:
+    """Distribute specs over a :mod:`multiprocessing` pool in chunks.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; defaults to the machine's CPU count.
+    chunksize:
+        Specs per task handed to a worker; defaults to roughly four tasks
+        per worker, which amortises IPC overhead while keeping the work
+        distribution balanced when run durations vary.
+    mp_context:
+        Optional multiprocessing start-method context (e.g.
+        ``multiprocessing.get_context("spawn")``).
+    """
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        chunksize: int | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        self.processes = processes
+        self.chunksize = chunksize
+        self._mp_context = mp_context
+        self.stats = ExecutorStats()
+
+    def _resolve_pool_shape(self, num_specs: int) -> tuple[int, int]:
+        """Pick (processes, chunksize) for the given workload size."""
+        processes = self.processes or os.cpu_count() or 1
+        processes = max(1, min(processes, num_specs))
+        if self.chunksize is not None:
+            chunksize = max(1, self.chunksize)
+        else:
+            chunksize = max(1, -(-num_specs // (processes * 4)))
+        return processes, chunksize
+
+    def run(
+        self, specs: Iterable[RunSpec], on_result: ResultCallback | None = None
+    ) -> list[RunResult]:
+        """Execute all specs and return their results in submission order.
+
+        Results stream back in completion order internally (so persistence
+        and progress are incremental) but the returned list follows the
+        submission order of ``specs``, matching :class:`SerialExecutor`.
+        """
+        spec_list = list(specs)
+        self.stats = ExecutorStats(total=len(spec_list))
+        if not spec_list:
+            return []
+        processes, chunksize = self._resolve_pool_shape(len(spec_list))
+        if processes == 1:
+            # A one-worker pool would only add IPC overhead.
+            serial = SerialExecutor()
+            results = serial.run(spec_list, on_result=on_result)
+            self.stats = serial.stats
+            return results
+
+        context = self._mp_context or multiprocessing.get_context()
+        collected: list[RunResult | None] = [None] * len(spec_list)
+        with context.Pool(processes=processes) as pool:
+            for index, result in pool.imap_unordered(
+                _execute_indexed, list(enumerate(spec_list)), chunksize=chunksize
+            ):
+                self.stats.record(result)
+                if on_result is not None:
+                    on_result(result)
+                collected[index] = result
+        return [result for result in collected if result is not None]
+
+
+def default_executor(jobs: int | None = None) -> SerialExecutor | ParallelExecutor:
+    """Executor factory used by the CLIs: serial for ``jobs in (None, 0, 1)``."""
+    if jobs is not None and jobs > 1:
+        return ParallelExecutor(processes=jobs)
+    return SerialExecutor()

@@ -1,0 +1,276 @@
+"""Compact per-run results and the JSONL campaign store.
+
+A full :class:`~repro.network.trace.ExecutionTrace` is far too heavy to keep
+for thousands of runs, so every executed run is reduced to a
+:class:`RunResult` — the stabilisation statistics the experiments actually
+consume (stabilisation round, agreement fraction, message counts) plus enough
+identifying information to make the record self-describing.
+
+:class:`CampaignStore` persists results as JSON Lines: one canonical-JSON
+record per line, appended and flushed as runs complete.  Because every record
+carries its ``run_id``, an interrupted campaign resumes by skipping the runs
+already present in the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.metrics import TrialMetrics, trial_metrics
+from repro.network.trace import ExecutionTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaigns.spec import RunSpec
+    from repro.core.algorithm import SynchronousCountingAlgorithm
+    from repro.experiments.common import ExperimentResult
+
+__all__ = ["RunResult", "CampaignStore", "reduce_trace", "summarize_results"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The compact, JSON-serialisable outcome of one campaign run.
+
+    Attributes
+    ----------
+    run_id:
+        Stable identifier of the run inside its campaign (the resume key).
+    algorithm / adversary:
+        Human-readable labels of the algorithm and adversary strategy.
+    n, f, c:
+        Parameters of the executed algorithm.
+    faulty:
+        The Byzantine node set of the run.
+    sim_seed:
+        The simulator seed (results are reproducible from the run spec).
+    rounds_simulated:
+        Number of rounds executed before the trace ended.
+    stabilized / stabilization_round / within_bound / agreement_fraction:
+        The stabilisation statistics of :class:`~repro.analysis.metrics.TrialMetrics`.
+    stopped_early:
+        Whether the simulator stopped on the agreement window.
+    messages_sent:
+        Total broadcast messages delivered to correct receivers
+        (``rounds × n × |correct|``).
+    error:
+        ``None`` for successful runs; otherwise ``"ExcType: message"`` — the
+        executors never let one failed run abort a campaign.
+    """
+
+    run_id: str
+    algorithm: str
+    adversary: str
+    n: int
+    f: int
+    c: int
+    faulty: tuple[int, ...]
+    sim_seed: int
+    rounds_simulated: int
+    stabilized: bool
+    stabilization_round: int | None
+    within_bound: bool | None
+    agreement_fraction: float
+    stopped_early: bool
+    messages_sent: int
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dictionary form (tuples become lists)."""
+        data = asdict(self)
+        data["faulty"] = list(self.faulty)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            run_id=data["run_id"],
+            algorithm=data["algorithm"],
+            adversary=data["adversary"],
+            n=int(data["n"]),
+            f=int(data["f"]),
+            c=int(data["c"]),
+            faulty=tuple(data.get("faulty", ())),
+            sim_seed=int(data.get("sim_seed", 0)),
+            rounds_simulated=int(data.get("rounds_simulated", 0)),
+            stabilized=bool(data.get("stabilized", False)),
+            stabilization_round=data.get("stabilization_round"),
+            within_bound=data.get("within_bound"),
+            agreement_fraction=float(data.get("agreement_fraction", 0.0)),
+            stopped_early=bool(data.get("stopped_early", False)),
+            messages_sent=int(data.get("messages_sent", 0)),
+            error=data.get("error"),
+        )
+
+    def to_trial_metrics(self) -> TrialMetrics:
+        """Convert to the :class:`TrialMetrics` shape the experiments consume."""
+        return TrialMetrics(
+            stabilized=self.stabilized,
+            stabilization_round=self.stabilization_round,
+            rounds_simulated=self.rounds_simulated,
+            within_bound=self.within_bound,
+            agreement_fraction=self.agreement_fraction,
+            faulty=self.faulty,
+        )
+
+
+def reduce_trace(
+    spec: "RunSpec",
+    algorithm: "SynchronousCountingAlgorithm",
+    trace: ExecutionTrace,
+) -> RunResult:
+    """Reduce a recorded execution to its compact campaign result."""
+    metrics = trial_metrics(
+        trace, bound=algorithm.stabilization_bound(), min_tail=spec.min_tail
+    )
+    correct = algorithm.n - len(trace.faulty)
+    return RunResult(
+        run_id=spec.run_id,
+        algorithm=spec.algorithm_label(),
+        adversary=spec.adversary_label(),
+        n=algorithm.n,
+        f=algorithm.f,
+        c=algorithm.c,
+        faulty=tuple(sorted(trace.faulty)),
+        sim_seed=spec.sim_seed,
+        rounds_simulated=trace.num_rounds,
+        stabilized=metrics.stabilized,
+        stabilization_round=metrics.stabilization_round,
+        within_bound=metrics.within_bound,
+        agreement_fraction=metrics.agreement_fraction,
+        stopped_early=bool(trace.metadata.get("stopped_early", False)),
+        messages_sent=trace.num_rounds * algorithm.n * correct,
+        error=None,
+    )
+
+
+class CampaignStore:
+    """Append-only JSONL persistence for campaign results.
+
+    One :class:`RunResult` per line.  Appends are flushed immediately so an
+    interrupted campaign loses at most the in-flight run; on resume,
+    :meth:`completed_ids` tells the runner which runs to skip.  Malformed
+    lines (for example a partial line from a hard kill) are ignored — the
+    corresponding runs simply execute again.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """Location of the JSONL file."""
+        return self._path
+
+    def append(self, result: RunResult) -> None:
+        """Persist one result (creates the file and parents on first use)."""
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        # A hard kill can leave the file ending in a partial line; appending
+        # directly would corrupt the next record too.  Terminate the stray
+        # line first so only the partial record is lost (and re-run).
+        needs_newline = False
+        if self._path.exists() and self._path.stat().st_size > 0:
+            with self._path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                needs_newline = handle.read(1) != b"\n"
+        with self._path.open("a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            handle.write(result.to_json() + "\n")
+            handle.flush()
+
+    def __iter__(self) -> Iterator[RunResult]:
+        if not self._path.exists():
+            return
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    yield RunResult.from_dict(data)
+                except (ValueError, KeyError, TypeError):
+                    continue
+
+    def load(self) -> list[RunResult]:
+        """All parseable results, in file order."""
+        return list(self)
+
+    def latest_by_id(self) -> dict[str, RunResult]:
+        """The most recent result per run id (later lines supersede earlier)."""
+        latest: dict[str, RunResult] = {}
+        for result in self:
+            latest[result.run_id] = result
+        return latest
+
+    def completed_ids(self) -> set[str]:
+        """Run ids that finished successfully (errored runs are retried)."""
+        return {
+            run_id
+            for run_id, result in self.latest_by_id().items()
+            if result.error is None
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+def summarize_results(
+    results: Iterable[RunResult],
+    group_by: Sequence[str] = ("algorithm", "adversary"),
+    name: str = "Campaign summary",
+) -> "ExperimentResult":
+    """Aggregate run results into a stabilisation-statistics table.
+
+    Groups by the given :class:`RunResult` attributes (default: algorithm and
+    adversary) and reports, per group, how many runs stabilised and the
+    distribution of stabilisation rounds.
+    """
+    # Imported lazily: experiments.common itself builds on the campaign
+    # engine, so a module-level import would be circular.
+    from repro.analysis.stats import summarize
+    from repro.experiments.common import ExperimentResult
+
+    groups: dict[tuple, list[RunResult]] = {}
+    for result in results:
+        key = tuple(getattr(result, attribute) for attribute in group_by)
+        groups.setdefault(key, []).append(result)
+
+    table = ExperimentResult(name=name)
+    for key in sorted(groups, key=str):
+        bucket = groups[key]
+        failed = [result for result in bucket if result.error is not None]
+        ok = [result for result in bucket if result.error is None]
+        stabilized = [result for result in ok if result.stabilized]
+        rounds = [
+            result.stabilization_round
+            for result in stabilized
+            if result.stabilization_round is not None
+        ]
+        stats = summarize(rounds) if rounds else None
+        within = [r.within_bound for r in ok if r.within_bound is not None]
+        row: dict[str, Any] = dict(zip(group_by, key))
+        row.update(
+            runs=len(bucket),
+            failed=len(failed),
+            stabilized=len(stabilized),
+            mean_round="-" if stats is None else round(stats.mean, 1),
+            median_round="-" if stats is None else stats.median,
+            p90_round="-" if stats is None else stats.p90,
+            max_round="-" if stats is None else stats.maximum,
+            within_bound=all(within) if within else True,
+            mean_messages=(
+                round(sum(r.messages_sent for r in ok) / len(ok), 1) if ok else 0
+            ),
+        )
+        table.add_row(**row)
+    return table

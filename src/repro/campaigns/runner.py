@@ -1,0 +1,116 @@
+"""Campaign orchestration: expand, skip completed, execute, persist.
+
+:func:`run_campaign` ties the pieces together: it expands a
+:class:`~repro.campaigns.spec.CampaignSpec` (or takes pre-expanded run
+specs), consults the :class:`~repro.campaigns.results.CampaignStore` for runs
+that already finished, executes only the remainder on the chosen executor,
+appends each result to the store the moment it completes, and returns a
+:class:`CampaignReport` with the full result set in grid order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.campaigns.executor import ParallelExecutor, SerialExecutor
+from repro.campaigns.results import CampaignStore, RunResult
+from repro.campaigns.spec import CampaignSpec, RunSpec
+
+__all__ = ["CampaignReport", "run_campaign"]
+
+#: Progress callback ``(done, total, result)`` invoked per completed run.
+ProgressCallback = Callable[[int, int, RunResult], None]
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation.
+
+    Attributes
+    ----------
+    results:
+        One result per expanded run, in grid order — both the runs executed
+        now and those recovered from the store.
+    executed / skipped / failed:
+        How many runs were executed in this invocation, skipped because the
+        store already held them, and finished with an error.
+    elapsed:
+        Wall-clock seconds spent executing (zero when everything was skipped).
+    """
+
+    results: list[RunResult] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Number of runs in the campaign."""
+        return len(self.results)
+
+
+def run_campaign(
+    campaign: CampaignSpec | Sequence[RunSpec] | Iterable[RunSpec],
+    store: CampaignStore | None = None,
+    executor: SerialExecutor | ParallelExecutor | None = None,
+    progress: ProgressCallback | None = None,
+) -> CampaignReport:
+    """Run a campaign (resuming from ``store`` when one is given).
+
+    Parameters
+    ----------
+    campaign:
+        A declarative campaign or an explicit list of run specs.
+    store:
+        Optional JSONL store.  Runs whose ids are already present with a
+        successful result are skipped; newly completed runs are appended
+        immediately, so interrupting and re-invoking continues where the
+        previous invocation stopped.  Errored runs are retried.
+    executor:
+        Defaults to the in-process :class:`SerialExecutor`.
+    progress:
+        Optional callback ``(done, total, result)`` fired per completed run.
+    """
+    if isinstance(campaign, CampaignSpec):
+        runs = campaign.expand()
+    else:
+        runs = list(campaign)
+    executor = executor or SerialExecutor()
+
+    recovered: dict[str, RunResult] = {}
+    if store is not None:
+        run_ids = {run.run_id for run in runs}
+        recovered = {
+            run_id: result
+            for run_id, result in store.latest_by_id().items()
+            if run_id in run_ids and result.error is None
+        }
+    pending = [run for run in runs if run.run_id not in recovered]
+
+    done = 0
+
+    def on_result(result: RunResult) -> None:
+        nonlocal done
+        done += 1
+        if store is not None:
+            store.append(result)
+        if progress is not None:
+            progress(done, len(pending), result)
+
+    started = time.perf_counter()
+    executed = executor.run(pending, on_result=on_result) if pending else []
+    elapsed = time.perf_counter() - started if pending else 0.0
+
+    by_id = dict(recovered)
+    by_id.update({result.run_id: result for result in executed})
+    results = [by_id[run.run_id] for run in runs]
+    return CampaignReport(
+        results=results,
+        executed=len(executed),
+        skipped=len(recovered),
+        failed=sum(1 for result in executed if result.error is not None),
+        elapsed=elapsed,
+    )

@@ -1,0 +1,301 @@
+"""Declarative campaign specifications and their expansion into runs.
+
+A *campaign* is a grid of simulation settings: algorithms (named registry
+entries with parameters), adversary strategies, fault counts and repetitions,
+sharing one :class:`~repro.network.simulator.SimulationConfig` envelope.
+:meth:`CampaignSpec.expand` flattens the grid into fully explicit
+:class:`RunSpec` objects — each one a pure, self-contained description of a
+single simulation (algorithm, adversary, faulty set, simulation seed).
+
+Expansion performs all randomness derivation *eagerly* (fault-set sampling
+and per-run seeds come from :func:`repro.util.rng.derive_rng` on the campaign
+seed), so executing a ``RunSpec`` is a deterministic function of the spec
+alone.  This is what makes the serial and parallel executors bit-identical:
+they run the same pure function over the same specs, only in a different
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.errors import ParameterError, SimulationError
+from repro.network.adversary import (
+    STRATEGIES,
+    Adversary,
+    NoAdversary,
+    build_adversary,
+    random_faulty_set,
+    spread_faults,
+)
+from repro.util.rng import derive_rng
+
+__all__ = ["AlgorithmSpec", "RunSpec", "CampaignSpec", "FAULT_PATTERNS"]
+
+#: Supported fault-placement patterns for campaign grids.
+FAULT_PATTERNS = ("random", "spread")
+
+
+def _as_items(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> tuple:
+    """Normalise a parameter mapping into a sorted, hashable item tuple."""
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = list(params)
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named, parameterised algorithm from the registry.
+
+    The registry (:func:`repro.counters.registry.default_registry`) is the
+    construction vocabulary, so specs stay plain data — serialisable to JSON
+    and picklable across worker processes.
+    """
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls, name: str, params: Mapping[str, Any] | None = None
+    ) -> "AlgorithmSpec":
+        """Build a spec from a name and a parameter mapping."""
+        return cls(name=name, params=_as_items(params))
+
+    def build(self) -> SynchronousCountingAlgorithm:
+        """Construct the algorithm instance."""
+        from repro.counters.registry import default_registry
+
+        return default_registry().build(self.name, **dict(self.params))
+
+    def label(self) -> str:
+        """Compact human-readable identifier, e.g. ``figure2(c=2,levels=1)``."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.name}({inner})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AlgorithmSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls.create(data["name"], data.get("params"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully explicit description of one simulation run.
+
+    All randomness is pinned: the faulty set is spelled out and ``sim_seed``
+    seeds the simulator, so executing the spec is deterministic.  The
+    ``algorithm`` is either a declarative :class:`AlgorithmSpec` (campaigns,
+    CLI) or a pre-built algorithm instance (library callers such as
+    :func:`repro.experiments.common.run_counter_trials`); likewise the
+    ``adversary`` is a strategy name or a pre-built instance.
+    """
+
+    run_id: str
+    algorithm: AlgorithmSpec | SynchronousCountingAlgorithm
+    adversary: str | Adversary | None = None
+    adversary_params: tuple[tuple[str, Any], ...] = ()
+    faulty: tuple[int, ...] = ()
+    sim_seed: int = 0
+    max_rounds: int = 1000
+    stop_after_agreement: int | None = 20
+    min_tail: int = 2
+    tags: tuple[tuple[str, Any], ...] = ()
+
+    def resolve_algorithm(self) -> SynchronousCountingAlgorithm:
+        """Return the algorithm instance this run executes."""
+        if isinstance(self.algorithm, AlgorithmSpec):
+            return self.algorithm.build()
+        return self.algorithm
+
+    def resolve_adversary(self) -> Adversary:
+        """Return the adversary instance this run executes under."""
+        if self.adversary is None:
+            if self.faulty:
+                raise SimulationError(
+                    f"run {self.run_id!r} lists faulty nodes {list(self.faulty)} "
+                    "but no adversary strategy"
+                )
+            return NoAdversary()
+        if isinstance(self.adversary, Adversary):
+            return self.adversary
+        return build_adversary(
+            self.adversary, self.faulty, **dict(self.adversary_params)
+        )
+
+    def algorithm_label(self) -> str:
+        """Human-readable algorithm identifier for results and tables."""
+        if isinstance(self.algorithm, AlgorithmSpec):
+            return self.algorithm.label()
+        return self.algorithm.info.name
+
+    def adversary_label(self) -> str:
+        """Human-readable adversary identifier for results and tables."""
+        if self.adversary is None:
+            return "none"
+        if isinstance(self.adversary, Adversary):
+            return type(self.adversary).__name__
+        return self.adversary
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative grid of simulation runs.
+
+    The cartesian product ``algorithms × adversaries × num_faults ×
+    runs_per_setting`` expands into :class:`RunSpec` objects with stable,
+    human-readable ``run_id`` strings — the keys used by the result store to
+    resume interrupted campaigns.
+    """
+
+    name: str
+    algorithms: tuple[AlgorithmSpec, ...]
+    adversaries: tuple[str, ...] = ("random-state",)
+    num_faults: tuple[int | None, ...] = (None,)
+    runs_per_setting: int = 10
+    seed: int = 0
+    max_rounds: int = 1000
+    stop_after_agreement: int | None = 20
+    min_tail: int = 2
+    fault_pattern: str = "random"
+    metadata: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("campaign name must be non-empty")
+        if not self.algorithms:
+            raise ParameterError("campaign must list at least one algorithm")
+        if not self.adversaries:
+            raise ParameterError("campaign must list at least one adversary strategy")
+        if self.runs_per_setting < 1:
+            raise ParameterError(
+                f"runs_per_setting must be positive, got {self.runs_per_setting}"
+            )
+        if self.max_rounds < 1:
+            raise ParameterError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.fault_pattern not in FAULT_PATTERNS:
+            raise ParameterError(
+                f"unknown fault pattern {self.fault_pattern!r}; "
+                f"expected one of {FAULT_PATTERNS}"
+            )
+        for strategy in self.adversaries:
+            if strategy != "none" and strategy not in STRATEGIES:
+                known = ", ".join(["none", *sorted(STRATEGIES)])
+                raise ParameterError(
+                    f"unknown adversary strategy {strategy!r}; known: {known}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+
+    def expand(self) -> list[RunSpec]:
+        """Flatten the grid into explicit, deterministic run specifications."""
+        runs: dict[str, RunSpec] = {}
+        for algorithm_spec in self.algorithms:
+            algorithm = algorithm_spec.build()
+            for strategy in self.adversaries:
+                for requested_faults in self.num_faults:
+                    faults = (
+                        algorithm.f if requested_faults is None else requested_faults
+                    )
+                    if strategy == "none":
+                        faults = 0
+                    if not 0 <= faults <= algorithm.f:
+                        raise ParameterError(
+                            f"campaign {self.name!r} requests {faults} faults for "
+                            f"{algorithm_spec.label()} (resilience f={algorithm.f})"
+                        )
+                    for repetition in range(self.runs_per_setting):
+                        spec = self._make_run(
+                            algorithm_spec, algorithm, strategy, faults, repetition
+                        )
+                        # Grid coordinates that collapse onto the same run id
+                        # (e.g. num_faults listing both None and f) describe
+                        # the same run; keep the first occurrence.
+                        runs.setdefault(spec.run_id, spec)
+        return list(runs.values())
+
+    def _make_run(
+        self,
+        algorithm_spec: AlgorithmSpec,
+        algorithm: SynchronousCountingAlgorithm,
+        strategy: str,
+        faults: int,
+        repetition: int,
+    ) -> RunSpec:
+        """Derive the explicit run for one grid coordinate."""
+        rng = derive_rng(
+            self.seed, "campaign", algorithm_spec.label(), strategy, faults, repetition
+        )
+        if self.fault_pattern == "spread":
+            faulty = spread_faults(algorithm.n, faults)
+        else:
+            faulty = random_faulty_set(algorithm.n, faults, rng=rng)
+        sim_seed = rng.getrandbits(32)
+        run_id = (
+            f"{algorithm_spec.label()}/{strategy}/f{faults}/"
+            f"{self.fault_pattern}/r{repetition}"
+        )
+        return RunSpec(
+            run_id=run_id,
+            algorithm=algorithm_spec,
+            adversary=None if strategy == "none" else strategy,
+            faulty=tuple(sorted(faulty)),
+            sim_seed=sim_seed,
+            max_rounds=self.max_rounds,
+            stop_after_agreement=self.stop_after_agreement,
+            min_tail=self.min_tail,
+            tags=(("campaign", self.name), ("repetition", repetition)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the campaign definition file format)."""
+        return {
+            "name": self.name,
+            "algorithms": [spec.to_dict() for spec in self.algorithms],
+            "adversaries": list(self.adversaries),
+            "num_faults": list(self.num_faults),
+            "runs_per_setting": self.runs_per_setting,
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+            "stop_after_agreement": self.stop_after_agreement,
+            "min_tail": self.min_tail,
+            "fault_pattern": self.fault_pattern,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            algorithms=tuple(
+                AlgorithmSpec.from_dict(entry) for entry in data["algorithms"]
+            ),
+            adversaries=tuple(data.get("adversaries", ("random-state",))),
+            num_faults=tuple(data.get("num_faults", (None,))),
+            runs_per_setting=int(data.get("runs_per_setting", 10)),
+            seed=int(data.get("seed", 0)),
+            max_rounds=int(data.get("max_rounds", 1000)),
+            stop_after_agreement=data.get("stop_after_agreement", 20),
+            min_tail=int(data.get("min_tail", 2)),
+            fault_pattern=data.get("fault_pattern", "random"),
+            metadata=_as_items(data.get("metadata")),
+        )

@@ -25,14 +25,7 @@ from repro.core.recursion import figure2_counter
 from repro.counters.naive import NaiveMajorityCounter
 from repro.counters.trivial import TrivialCounter
 from repro.experiments.common import ExperimentResult, run_counter_trials, summarize_trials
-from repro.network.adversary import (
-    AdaptiveSplitAdversary,
-    CrashAdversary,
-    MimicAdversary,
-    PhaseKingSkewAdversary,
-    RandomStateAdversary,
-    SplitStateAdversary,
-)
+from repro.network.adversary import STRATEGIES, AdaptiveSplitAdversary
 
 __all__ = [
     "run_block_count_ablation",
@@ -40,15 +33,6 @@ __all__ = [
     "run_adversary_ablation",
     "main",
 ]
-
-_STRATEGIES = {
-    "crash": CrashAdversary,
-    "random-state": RandomStateAdversary,
-    "split-state": SplitStateAdversary,
-    "mimic": MimicAdversary,
-    "phase-king-skew": PhaseKingSkewAdversary,
-    "adaptive-split": AdaptiveSplitAdversary,
-}
 
 
 def run_block_count_ablation(
@@ -112,12 +96,13 @@ def run_adversary_ablation(
         "phase-king-skew",
         "adaptive-split",
     ),
+    executor=None,
 ) -> ExperimentResult:
     """Stabilisation of A(12, 3) under different adversary strategies, plus the naive baseline."""
     result = ExperimentResult(name="Ablation — adversary strategies on A(12, 3)")
     counter = figure2_counter(levels=1, c=2)
     for name in strategies:
-        factory = _STRATEGIES[name]
+        factory = STRATEGIES[name]
         metrics = run_counter_trials(
             counter,
             adversary_factory=factory,
@@ -125,6 +110,7 @@ def run_adversary_ablation(
             max_rounds=max_rounds,
             stop_after_agreement=16,
             seed=seed,
+            executor=executor,
         )
         summary = summarize_trials(metrics)
         result.add_row(
@@ -171,11 +157,20 @@ def run_adversary_ablation(
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper
+    import argparse
+
+    from repro.campaigns.executor import default_executor
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    )
+    args = parser.parse_args()
     print(run_block_count_ablation().format_table())
     print()
     print(run_counter_size_ablation().format_table())
     print()
-    print(run_adversary_ablation().format_table())
+    print(run_adversary_ablation(executor=default_executor(args.jobs)).format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

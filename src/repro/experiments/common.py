@@ -12,11 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.analysis.metrics import TrialMetrics, trial_metrics
+from repro.analysis.metrics import TrialMetrics
 from repro.analysis.stats import summarize
+from repro.campaigns.executor import ParallelExecutor, SerialExecutor
+from repro.campaigns.spec import RunSpec
 from repro.core.algorithm import SynchronousCountingAlgorithm
+from repro.core.errors import SimulationError
 from repro.network.adversary import Adversary, random_faulty_set
-from repro.network.simulator import SimulationConfig, run_simulation
 from repro.util.rng import derive_rng, ensure_rng
 
 __all__ = ["ExperimentResult", "run_counter_trials", "summarize_trials"]
@@ -115,8 +117,15 @@ def run_counter_trials(
     seed: int = 0,
     min_tail: int = 2,
     fault_sets: Sequence[Iterable[int]] | None = None,
+    executor: SerialExecutor | ParallelExecutor | None = None,
 ) -> list[TrialMetrics]:
     """Run ``trials`` adversarial simulations of ``algorithm`` and collect metrics.
+
+    The trials are expressed as campaign-engine run specs and executed by the
+    given executor (serial by default); passing a
+    :class:`~repro.campaigns.executor.ParallelExecutor` fans the trials out
+    over worker processes.  The randomness derivation is independent of the
+    executor, so results are identical either way.
 
     Parameters
     ----------
@@ -139,26 +148,38 @@ def run_counter_trials(
         Master seed; trial ``t`` derives its own seed from it.
     fault_sets:
         Optional explicit fault sets (cycled through) instead of random ones.
+    executor:
+        Campaign executor to run the trials on (default: serial, in-process).
     """
     faults = algorithm.f if num_faults is None else num_faults
     master = ensure_rng(seed)
-    bound = algorithm.stabilization_bound()
-    metrics: list[TrialMetrics] = []
+    specs: list[RunSpec] = []
     for trial in range(trials):
         trial_rng = derive_rng(master, "trial", trial)
         if fault_sets is not None:
             faulty = frozenset(fault_sets[trial % len(fault_sets)])
         else:
             faulty = random_faulty_set(algorithm.n, faults, rng=trial_rng)
-        adversary = adversary_factory(faulty)
-        config = SimulationConfig(
-            max_rounds=max_rounds,
-            stop_after_agreement=stop_after_agreement,
-            seed=trial_rng.getrandbits(32),
+        specs.append(
+            RunSpec(
+                run_id=f"trial-{trial}",
+                algorithm=algorithm,
+                adversary=adversary_factory(faulty),
+                faulty=tuple(sorted(faulty)),
+                sim_seed=trial_rng.getrandbits(32),
+                max_rounds=max_rounds,
+                stop_after_agreement=stop_after_agreement,
+                min_tail=min_tail,
+            )
         )
-        trace = run_simulation(algorithm, adversary=adversary, config=config)
-        metrics.append(trial_metrics(trace, bound=bound, min_tail=min_tail))
-    return metrics
+    executor = executor or SerialExecutor()
+    results = executor.run(specs)
+    for result in results:
+        if result.error is not None:
+            raise SimulationError(
+                f"trial {result.run_id} failed: {result.error}"
+            )
+    return [result.to_trial_metrics() for result in results]
 
 
 def summarize_trials(metrics: Sequence[TrialMetrics]) -> dict[str, Any]:

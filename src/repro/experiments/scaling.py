@@ -51,6 +51,7 @@ def run_theorem1_bounds(
     trials: int = 4,
     seed: int = 0,
     max_rounds_cap: int = 40_000,
+    executor=None,
 ) -> ExperimentResult:
     """E5 — Theorem 1's exact time/space bounds on single-level boosted counters.
 
@@ -76,6 +77,7 @@ def run_theorem1_bounds(
             max_rounds=min(counter.stabilization_bound() or max_rounds_cap, max_rounds_cap),
             stop_after_agreement=12,
             seed=seed + k,
+            executor=executor,
         )
         summary = summarize_trials(metrics)
         result.add_row(
@@ -101,6 +103,7 @@ def run_corollary1_scaling(
     c: int = 2,
     measured_trials: int = 4,
     seed: int = 0,
+    executor=None,
 ) -> ExperimentResult:
     """E6 — Corollary 1: optimal resilience at the price of f^{O(f)} stabilisation."""
     result = ExperimentResult(name="Corollary 1 — optimal resilience, f^{O(f)} stabilisation")
@@ -123,6 +126,7 @@ def run_corollary1_scaling(
                 max_rounds=counter.stabilization_bound() or 4000,
                 stop_after_agreement=12,
                 seed=seed,
+                executor=executor,
             )
             summary = summarize_trials(metrics)
             row["measured_max"] = summary["max_stabilization"]
@@ -211,9 +215,19 @@ def run_theorem3_scaling(
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper
-    print(run_theorem1_bounds().format_table())
+    import argparse
+
+    from repro.campaigns.executor import default_executor
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    )
+    args = parser.parse_args()
+    executor = default_executor(args.jobs)
+    print(run_theorem1_bounds(executor=executor).format_table())
     print()
-    print(run_corollary1_scaling().format_table())
+    print(run_corollary1_scaling(executor=executor).format_table())
     print()
     print(run_theorem2_scaling().format_table())
     print()

@@ -26,7 +26,9 @@ from repro.network.adversary import (
     PhaseKingSkewAdversary,
     RandomStateAdversary,
     SplitStateAdversary,
+    STRATEGIES,
     block_concentrated_faults,
+    build_adversary,
     random_faulty_set,
     spread_faults,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "MimicAdversary",
     "PhaseKingSkewAdversary",
     "AdaptiveSplitAdversary",
+    "STRATEGIES",
+    "build_adversary",
     "random_faulty_set",
     "block_concentrated_faults",
     "spread_faults",

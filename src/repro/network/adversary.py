@@ -39,6 +39,8 @@ __all__ = [
     "MimicAdversary",
     "PhaseKingSkewAdversary",
     "AdaptiveSplitAdversary",
+    "STRATEGIES",
+    "build_adversary",
     "random_faulty_set",
     "block_concentrated_faults",
     "spread_faults",
@@ -295,6 +297,48 @@ class AdaptiveSplitAdversary(Adversary):
         if isinstance(candidate, BoostedState):
             return BoostedState(inner=candidate.inner, a=target % algorithm.c, d=1)
         return candidate
+
+
+# ---------------------------------------------------------------------- #
+# Strategy registry
+# ---------------------------------------------------------------------- #
+
+#: Named adversary strategies, the shared vocabulary of the ablation
+#: experiment, the campaign engine and the ``repro.campaigns`` CLI.  Every
+#: entry is constructible as ``cls(faulty, **params)``; ``"none"`` ignores the
+#: faulty set entirely.
+STRATEGIES: dict[str, type[Adversary]] = {
+    "crash": CrashAdversary,
+    "random-state": RandomStateAdversary,
+    "split-state": SplitStateAdversary,
+    "mimic": MimicAdversary,
+    "phase-king-skew": PhaseKingSkewAdversary,
+    "adaptive-split": AdaptiveSplitAdversary,
+}
+
+
+def build_adversary(
+    strategy: str, faulty: Iterable[int] = (), **params: Any
+) -> Adversary:
+    """Construct a registered adversary strategy by name.
+
+    ``"none"`` returns the fault-free :class:`NoAdversary` (and requires the
+    faulty set to be empty).  All other names come from :data:`STRATEGIES`.
+    """
+    if strategy == "none":
+        if frozenset(faulty):
+            raise SimulationError(
+                f"strategy 'none' cannot control faulty nodes {sorted(faulty)}"
+            )
+        return NoAdversary()
+    try:
+        cls = STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(["none", *sorted(STRATEGIES)])
+        raise SimulationError(
+            f"unknown adversary strategy '{strategy}'; known strategies: {known}"
+        ) from None
+    return cls(faulty, **params)
 
 
 # ---------------------------------------------------------------------- #

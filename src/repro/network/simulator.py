@@ -77,16 +77,30 @@ def run_round(
     faulty = adversary.faulty
     adversary.on_round_start(round_index, states, algorithm, rng)
     new_states: dict[int, State] = {}
+
+    # Correct senders broadcast the same state to every receiver, so the
+    # shared part of the message vector can be built once per round; only the
+    # entries of faulty senders differ per receiver.  Without faults the whole
+    # vector is shared — as an immutable tuple, so a transition that mutated
+    # its input would fail loudly instead of corrupting sibling receivers —
+    # turning the former O(n²) per-round vector construction into O(n).
+    base: tuple[State, ...] = tuple(
+        None if sender in faulty else states[sender] for sender in range(algorithm.n)
+    )
+
+    if not faulty:
+        for receiver in states:
+            new_states[receiver] = algorithm.transition(receiver, base)
+        return new_states
+
+    faulty_senders = sorted(faulty)
     for receiver in states:
-        messages: list[State] = []
-        for sender in range(algorithm.n):
-            if sender in faulty:
-                forged = adversary.forge(
-                    round_index, sender, receiver, states, algorithm, rng
-                )
-                messages.append(algorithm.coerce_message(forged))
-            else:
-                messages.append(states[sender])
+        messages = list(base)
+        for sender in faulty_senders:
+            forged = adversary.forge(
+                round_index, sender, receiver, states, algorithm, rng
+            )
+            messages[sender] = algorithm.coerce_message(forged)
         new_states[receiver] = algorithm.transition(receiver, messages)
     return new_states
 
@@ -140,6 +154,7 @@ def run_simulation(
             node: algorithm.output(node, state) for node, state in states.items()
         },
         metadata={
+            **dict(config.metadata),
             "adversary": adversary.describe(),
             "seed": config.seed,
             "max_rounds": config.max_rounds,

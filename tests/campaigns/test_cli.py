@@ -1,0 +1,187 @@
+"""End-to-end tests of the ``python -m repro.campaigns`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns.cli import main
+
+
+def define_small_campaign(tmp_path, runs: int = 2) -> str:
+    spec_path = str(tmp_path / "demo.campaign.json")
+    code = main(
+        [
+            "define",
+            "--name",
+            "demo",
+            "--algorithm",
+            "naive-majority:n=6,c=3,claimed_resilience=1",
+            "--adversary",
+            "crash",
+            "--adversary",
+            "random-state",
+            "--runs",
+            str(runs),
+            "--max-rounds",
+            "60",
+            "--stop-after-agreement",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            spec_path,
+        ]
+    )
+    assert code == 0
+    return spec_path
+
+
+class TestDefine:
+    def test_writes_spec_file(self, tmp_path, capsys):
+        spec_path = define_small_campaign(tmp_path)
+        data = json.loads(open(spec_path, encoding="utf-8").read())
+        assert data["name"] == "demo"
+        assert data["adversaries"] == ["crash", "random-state"]
+        assert data["algorithms"][0]["params"]["n"] == 6
+        assert "4 runs" in capsys.readouterr().out
+
+    def test_rejects_malformed_algorithm(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "define",
+                    "--name",
+                    "bad",
+                    "--algorithm",
+                    "trivial:c",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
+
+class TestRunAndResume:
+    def test_run_persists_store_and_resume_skips(self, tmp_path, capsys):
+        spec_path = define_small_campaign(tmp_path)
+        store_path = str(tmp_path / "demo.jsonl")
+
+        code = main(["run", spec_path, "--store", store_path, "--quiet"])
+        assert code == 0
+        lines = [
+            line
+            for line in open(store_path, encoding="utf-8").read().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 4
+        out = capsys.readouterr().out
+        assert "4 executed, 0 resumed, 0 failed" in out
+
+        code = main(["resume", spec_path, "--store", store_path, "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 resumed, 0 failed" in out
+        # No duplicate lines were appended on resume.
+        lines_after = [
+            line
+            for line in open(store_path, encoding="utf-8").read().splitlines()
+            if line.strip()
+        ]
+        assert lines_after == lines
+
+    def test_parallel_run_matches_serial(self, tmp_path):
+        spec_path = define_small_campaign(tmp_path, runs=3)
+        serial_store = str(tmp_path / "serial.jsonl")
+        parallel_store = str(tmp_path / "parallel.jsonl")
+
+        assert main(["run", spec_path, "--store", serial_store, "--quiet"]) == 0
+        assert (
+            main(
+                [
+                    "run",
+                    spec_path,
+                    "--store",
+                    parallel_store,
+                    "--jobs",
+                    "2",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        parse = lambda path: sorted(
+            json.loads(line)["run_id"] + ":" + line
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        )
+        assert parse(serial_store) == parse(parallel_store)
+
+    def test_progress_lines_printed(self, tmp_path, capsys):
+        spec_path = define_small_campaign(tmp_path)
+        store_path = str(tmp_path / "demo.jsonl")
+        main(["run", spec_path, "--store", store_path])
+        out = capsys.readouterr().out
+        assert "[1/4]" in out and "[4/4]" in out
+
+
+class TestErrorPaths:
+    def test_unknown_algorithm_is_one_line_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "define",
+                "--name",
+                "x",
+                "--algorithm",
+                "does-not-exist",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does-not-exist" in err
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        code = main(
+            ["run", str(tmp_path / "missing.json"), "--store", str(tmp_path / "s.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_spec_file(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["run", str(bad), "--store", str(tmp_path / "s.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_group_by_field(self, tmp_path, capsys):
+        spec_path = define_small_campaign(tmp_path)
+        store_path = str(tmp_path / "demo.jsonl")
+        main(["run", spec_path, "--store", store_path, "--quiet"])
+        capsys.readouterr()
+        code = main(["summarize", store_path, "--group-by", "bogus_field"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus_field" in err and "valid fields" in err
+
+
+class TestSummarize:
+    def test_summarize_reports_stabilization_statistics(self, tmp_path, capsys):
+        spec_path = define_small_campaign(tmp_path)
+        store_path = str(tmp_path / "demo.jsonl")
+        main(["run", spec_path, "--store", store_path, "--quiet"])
+        capsys.readouterr()
+
+        assert main(["summarize", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "stabilized" in out
+        assert "mean_round" in out
+
+    def test_summarize_empty_store(self, tmp_path, capsys):
+        missing = str(tmp_path / "empty.jsonl")
+        assert main(["summarize", missing]) == 1
+        assert "no results" in capsys.readouterr().out

@@ -1,0 +1,282 @@
+"""Executor, result-store and runner tests — including the serial-vs-parallel
+bit-identity guarantee the campaign engine is built around."""
+
+from __future__ import annotations
+
+from repro.campaigns.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_run,
+)
+from repro.campaigns.results import CampaignStore, RunResult, summarize_results
+from repro.campaigns.runner import run_campaign
+from repro.campaigns.spec import AlgorithmSpec, CampaignSpec, RunSpec
+
+
+def fixed_campaign(runs_per_setting: int = 25) -> CampaignSpec:
+    """A 100-run campaign that is cheap enough for the test suite."""
+    return CampaignSpec(
+        name="fixed",
+        algorithms=(
+            AlgorithmSpec.create(
+                "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+            ),
+            AlgorithmSpec.create("trivial", {"c": 4}),
+        ),
+        adversaries=("crash", "random-state"),
+        runs_per_setting=runs_per_setting,
+        seed=11,
+        max_rounds=40,
+        stop_after_agreement=5,
+    )
+
+
+class TestExecuteRun:
+    def test_successful_run_produces_metrics(self):
+        spec = RunSpec(
+            run_id="ok",
+            algorithm=AlgorithmSpec.create("trivial", {"c": 4}),
+            sim_seed=3,
+            max_rounds=12,
+            stop_after_agreement=None,
+        )
+        result = execute_run(spec)
+        assert result.error is None
+        assert result.rounds_simulated == 12
+        assert result.stabilized
+        assert result.stabilization_round == 0
+        assert result.messages_sent == 12  # 12 rounds x 1 sender x 1 receiver
+        assert result.n == 1 and result.c == 4
+
+    def test_failure_is_accounted_not_raised(self):
+        spec = RunSpec(
+            run_id="broken", algorithm=AlgorithmSpec.create("no-such-algorithm")
+        )
+        result = execute_run(spec)
+        assert result.error is not None
+        assert "no-such-algorithm" in result.error
+        assert not result.stabilized
+
+    def test_trace_metadata_carries_run_id(self):
+        # The config.metadata merge makes campaign traces self-describing.
+        from repro.network.simulator import SimulationConfig, run_simulation
+
+        spec = RunSpec(
+            run_id="tagged",
+            algorithm=AlgorithmSpec.create("trivial", {"c": 2}),
+            tags=(("campaign", "meta-test"),),
+        )
+        config = SimulationConfig(
+            max_rounds=2, seed=0, metadata={"run_id": spec.run_id, **dict(spec.tags)}
+        )
+        trace = run_simulation(spec.resolve_algorithm(), config=config)
+        assert trace.metadata["run_id"] == "tagged"
+        assert trace.metadata["campaign"] == "meta-test"
+
+
+class TestSerialVsParallel:
+    def test_results_bit_identical_on_100_run_campaign(self):
+        runs = fixed_campaign().expand()
+        assert len(runs) == 100
+
+        serial = SerialExecutor()
+        serial_results = serial.run(runs)
+        parallel = ParallelExecutor(processes=2, chunksize=7)
+        parallel_results = parallel.run(runs)
+
+        assert serial.stats.completed == parallel.stats.completed == 100
+        assert serial.stats.failed == parallel.stats.failed == 0
+        serial_lines = [result.to_json() for result in serial_results]
+        parallel_lines = [result.to_json() for result in parallel_results]
+        assert serial_lines == parallel_lines
+
+    def test_parallel_handles_instance_specs(self):
+        from repro.counters.naive import NaiveMajorityCounter
+        from repro.network.adversary import CrashAdversary
+
+        algorithm = NaiveMajorityCounter(n=5, c=2, claimed_resilience=1)
+        specs = [
+            RunSpec(
+                run_id=f"inst-{index}",
+                algorithm=algorithm,
+                adversary=CrashAdversary([4]),
+                faulty=(4,),
+                sim_seed=index,
+                max_rounds=20,
+            )
+            for index in range(6)
+        ]
+        serial = SerialExecutor().run(specs)
+        parallel = ParallelExecutor(processes=2).run(specs)
+        assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+    def test_stateful_algorithm_instances_do_not_leak_state_across_runs(self):
+        # A shared non-deterministic instance must not make results depend on
+        # execution order: execute_run deep-copies it and reseeds from the
+        # spec, so serial and parallel agree run for run.
+        from repro.counters.randomized import RandomizedFollowMajorityCounter
+        from repro.network.adversary import CrashAdversary
+
+        algorithm = RandomizedFollowMajorityCounter(n=4, f=1, c=2, seed=0)
+        specs = [
+            RunSpec(
+                run_id=f"rand-{index}",
+                algorithm=algorithm,
+                adversary=CrashAdversary([3]),
+                faulty=(3,),
+                sim_seed=1000 + index,
+                max_rounds=300,
+                stop_after_agreement=4,
+            )
+            for index in range(8)
+        ]
+        serial = {r.run_id: r.to_json() for r in SerialExecutor().run(specs)}
+        parallel = {
+            r.run_id: r.to_json()
+            for r in ParallelExecutor(processes=2, chunksize=3).run(specs)
+        }
+        assert serial == parallel
+        # Order independence within one executor too: reversing the spec list
+        # yields the same per-run results.
+        reversed_serial = {
+            r.run_id: r.to_json() for r in SerialExecutor().run(specs[::-1])
+        }
+        assert reversed_serial == serial
+
+    def test_duplicate_run_ids_not_dropped(self):
+        spec = RunSpec(
+            run_id="same", algorithm=AlgorithmSpec.create("trivial", {"c": 2})
+        )
+        specs = [spec, spec, spec]
+        serial = SerialExecutor().run(specs)
+        parallel = ParallelExecutor(processes=2, chunksize=1).run(specs)
+        assert len(serial) == len(parallel) == 3
+        assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+    def test_parallel_failure_accounting(self):
+        specs = [
+            RunSpec(run_id="good", algorithm=AlgorithmSpec.create("trivial", {"c": 2})),
+            RunSpec(run_id="bad", algorithm=AlgorithmSpec.create("nope")),
+        ]
+        executor = ParallelExecutor(processes=2)
+        results = executor.run(specs)
+        assert executor.stats.failed == 1
+        assert [result.run_id for result in results] == ["good", "bad"]
+        assert results[0].error is None and results[1].error is not None
+
+
+class TestCampaignStore:
+    def test_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path / "results.jsonl")
+        spec = RunSpec(
+            run_id="rt", algorithm=AlgorithmSpec.create("trivial", {"c": 3})
+        )
+        result = execute_run(spec)
+        store.append(result)
+        loaded = store.load()
+        assert loaded == [result]
+        assert store.completed_ids() == {"rt"}
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = CampaignStore(path)
+        result = execute_run(
+            RunSpec(run_id="ok", algorithm=AlgorithmSpec.create("trivial", {"c": 3}))
+        )
+        store.append(result)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"truncated": ')  # simulated hard kill mid-write
+        assert store.load() == [result]
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        # A hard kill can leave a partial final line; the next append must
+        # not concatenate onto it (that would corrupt a healthy record too).
+        path = tmp_path / "results.jsonl"
+        store = CampaignStore(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write('{"partial": ')
+        result = execute_run(
+            RunSpec(run_id="ok", algorithm=AlgorithmSpec.create("trivial", {"c": 3}))
+        )
+        store.append(result)
+        assert store.load() == [result]
+
+    def test_errored_runs_not_completed(self, tmp_path):
+        store = CampaignStore(tmp_path / "results.jsonl")
+        store.append(execute_run(RunSpec(run_id="x", algorithm=AlgorithmSpec.create("nope"))))
+        assert store.completed_ids() == set()
+
+    def test_latest_line_wins(self, tmp_path):
+        store = CampaignStore(tmp_path / "results.jsonl")
+        failed = execute_run(RunSpec(run_id="x", algorithm=AlgorithmSpec.create("nope")))
+        ok = execute_run(
+            RunSpec(run_id="x", algorithm=AlgorithmSpec.create("trivial", {"c": 2}))
+        )
+        store.append(failed)
+        store.append(ok)
+        assert store.latest_by_id()["x"].error is None
+        assert store.completed_ids() == {"x"}
+
+
+class TestRunCampaign:
+    def test_persists_and_resumes(self, tmp_path):
+        campaign = fixed_campaign(runs_per_setting=3)
+        store = CampaignStore(tmp_path / "campaign.jsonl")
+
+        first = run_campaign(campaign, store=store)
+        assert first.executed == first.total == 12
+        assert first.skipped == 0
+        assert len(store.load()) == 12
+
+        # Re-running skips everything: the store already holds all runs.
+        second = run_campaign(campaign, store=store)
+        assert second.executed == 0
+        assert second.skipped == 12
+        assert [r.to_json() for r in second.results] == [
+            r.to_json() for r in first.results
+        ]
+
+    def test_resumes_after_interruption(self, tmp_path):
+        campaign = fixed_campaign(runs_per_setting=3)
+        runs = campaign.expand()
+        store = CampaignStore(tmp_path / "campaign.jsonl")
+
+        # Simulate an interrupted campaign: only the first 5 runs persisted.
+        for spec in runs[:5]:
+            store.append(execute_run(spec))
+
+        report = run_campaign(campaign, store=store)
+        assert report.skipped == 5
+        assert report.executed == len(runs) - 5
+
+        # The resumed store matches a clean serial pass, run for run.
+        clean = {r.run_id: r.to_json() for r in SerialExecutor().run(runs)}
+        resumed = {r.run_id: r.to_json() for r in report.results}
+        assert resumed == clean
+
+    def test_progress_callback_fires_per_executed_run(self):
+        campaign = fixed_campaign(runs_per_setting=1)
+        seen: list[tuple[int, int]] = []
+        report = run_campaign(
+            campaign, progress=lambda done, total, result: seen.append((done, total))
+        )
+        assert len(seen) == report.executed
+        assert seen[-1] == (report.executed, report.executed)
+
+
+class TestSummarize:
+    def test_groups_and_statistics(self):
+        report = run_campaign(fixed_campaign(runs_per_setting=5))
+        table = summarize_results(report.results)
+        # 2 algorithms x 2 adversaries, but the trivial counter ignores
+        # adversaries only in effect, not in grouping: 4 groups.
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert row["runs"] == 5
+            assert row["failed"] == 0
+            assert 0 <= row["stabilized"] <= row["runs"]
+
+    def test_summary_serialises_to_text(self):
+        report = run_campaign(fixed_campaign(runs_per_setting=2))
+        text = summarize_results(report.results).format_table()
+        assert "algorithm" in text and "stabilized" in text

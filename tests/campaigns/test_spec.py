@@ -1,0 +1,145 @@
+"""Unit tests for campaign and run specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.spec import AlgorithmSpec, CampaignSpec, RunSpec
+from repro.core.errors import ParameterError, SimulationError
+from repro.counters.naive import NaiveMajorityCounter
+from repro.network.adversary import CrashAdversary, NoAdversary
+
+
+class TestAlgorithmSpec:
+    def test_build_from_registry(self):
+        spec = AlgorithmSpec.create("naive-majority", {"n": 5, "c": 3})
+        algorithm = spec.build()
+        assert algorithm.n == 5
+        assert algorithm.c == 3
+
+    def test_label_and_dict_round_trip(self):
+        spec = AlgorithmSpec.create("figure2", {"levels": 1, "c": 2})
+        assert spec.label() == "figure2(c=2,levels=1)"
+        assert AlgorithmSpec.from_dict(spec.to_dict()) == spec
+
+    def test_params_are_order_insensitive(self):
+        one = AlgorithmSpec.create("trivial", {"c": 4})
+        two = AlgorithmSpec.create("trivial", dict([("c", 4)]))
+        assert one == two
+
+
+class TestRunSpec:
+    def test_resolves_declarative_algorithm_and_adversary(self):
+        spec = RunSpec(
+            run_id="r0",
+            algorithm=AlgorithmSpec.create(
+                "naive-majority", {"n": 4, "c": 2, "claimed_resilience": 1}
+            ),
+            adversary="crash",
+            faulty=(3,),
+        )
+        assert spec.resolve_algorithm().n == 4
+        assert isinstance(spec.resolve_adversary(), CrashAdversary)
+        assert spec.algorithm_label().startswith("naive-majority(")
+        assert spec.adversary_label() == "crash"
+
+    def test_resolves_instances_directly(self):
+        algorithm = NaiveMajorityCounter(n=4, c=2, claimed_resilience=1)
+        adversary = CrashAdversary([3])
+        spec = RunSpec(run_id="r0", algorithm=algorithm, adversary=adversary)
+        assert spec.resolve_algorithm() is algorithm
+        assert spec.resolve_adversary() is adversary
+        assert spec.adversary_label() == "CrashAdversary"
+
+    def test_no_adversary_means_fault_free(self):
+        spec = RunSpec(
+            run_id="r0", algorithm=AlgorithmSpec.create("trivial", {"c": 3})
+        )
+        assert isinstance(spec.resolve_adversary(), NoAdversary)
+
+    def test_faulty_without_adversary_rejected(self):
+        spec = RunSpec(
+            run_id="r0",
+            algorithm=AlgorithmSpec.create("trivial", {"c": 3}),
+            faulty=(0,),
+        )
+        with pytest.raises(SimulationError):
+            spec.resolve_adversary()
+
+
+def small_campaign(**overrides) -> CampaignSpec:
+    settings = dict(
+        name="unit",
+        algorithms=(
+            AlgorithmSpec.create(
+                "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+            ),
+        ),
+        adversaries=("crash", "random-state"),
+        runs_per_setting=3,
+        seed=5,
+        max_rounds=50,
+        stop_after_agreement=4,
+    )
+    settings.update(overrides)
+    return CampaignSpec(**settings)
+
+
+class TestCampaignSpec:
+    def test_expand_size_and_unique_ids(self):
+        runs = small_campaign().expand()
+        assert len(runs) == 2 * 3  # adversaries x repetitions
+        assert len({run.run_id for run in runs}) == len(runs)
+
+    def test_expand_is_deterministic(self):
+        first = small_campaign().expand()
+        second = small_campaign().expand()
+        assert first == second
+
+    def test_expand_pins_faulty_sets_and_seeds(self):
+        for run in small_campaign().expand():
+            assert len(run.faulty) == 1  # num_faults defaults to f=1
+            assert all(0 <= node < 6 for node in run.faulty)
+            assert run.max_rounds == 50
+
+    def test_none_strategy_forces_zero_faults(self):
+        runs = small_campaign(adversaries=("none",)).expand()
+        assert all(run.faulty == () for run in runs)
+        assert all(run.adversary is None for run in runs)
+
+    def test_duplicate_grid_coordinates_collapse(self):
+        # None means "the algorithm's f", which is 1 here — same runs as f=1.
+        runs = small_campaign(num_faults=(None, 1)).expand()
+        assert len(runs) == 2 * 3
+
+    def test_spread_pattern_is_deterministic(self):
+        runs = small_campaign(
+            fault_pattern="spread", adversaries=("crash",)
+        ).expand()
+        assert {run.faulty for run in runs} == {(0,)}
+
+    def test_excessive_faults_rejected(self):
+        with pytest.raises(ParameterError):
+            small_campaign(num_faults=(2,)).expand()
+
+    def test_dict_round_trip(self):
+        spec = small_campaign(num_faults=(None, 0))
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"algorithms": ()},
+            {"adversaries": ()},
+            {"adversaries": ("no-such-strategy",)},
+            {"runs_per_setting": 0},
+            {"max_rounds": 0},
+            {"fault_pattern": "clustered"},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ParameterError):
+            small_campaign(**overrides)

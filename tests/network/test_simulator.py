@@ -162,6 +162,28 @@ class TestRunSimulation:
         trace = run_simulation(counter, config=SimulationConfig(max_rounds=20, seed=4))
         assert stabilization_round(trace, min_tail=5).stabilized
 
+    def test_config_metadata_merged_into_trace(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(
+                max_rounds=2, seed=0, metadata={"campaign": "demo", "run_id": "r7"}
+            ),
+        )
+        assert trace.metadata["campaign"] == "demo"
+        assert trace.metadata["run_id"] == "r7"
+        # Simulator-owned keys are still present and win on collision.
+        assert trace.metadata["seed"] == 0
+        assert trace.metadata["max_rounds"] == 2
+
+    def test_config_metadata_cannot_clobber_simulator_keys(self):
+        counter = TrivialCounter(c=4)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=3, seed=5, metadata={"seed": "bogus"}),
+        )
+        assert trace.metadata["seed"] == 5
+
     def test_metadata_mentions_adversary(self):
         counter = NaiveMajorityCounter(n=4, c=3, claimed_resilience=1)
         trace = run_simulation(
@@ -171,3 +193,152 @@ class TestRunSimulation:
         )
         assert trace.metadata["adversary"]["strategy"] == "RandomStateAdversary"
         assert trace.faulty == frozenset({3})
+
+
+class _CaptureAlgorithm(NaiveMajorityCounter):
+    """Stores the received message vector as the new state (for fast-path tests)."""
+
+    def transition(self, node, messages):
+        return tuple(messages)
+
+    def is_valid_state(self, state):
+        return True
+
+    def coerce_message(self, message):
+        return message
+
+    def output(self, node, state):
+        return 0
+
+
+class TestRunRoundFastPath:
+    """The shared-message-vector optimisation must be observationally identical
+    to building the vector from scratch for every receiver."""
+
+    def test_per_receiver_forgeries_patch_only_faulty_entries(self):
+        import random
+
+        capture = _CaptureAlgorithm(n=4, c=2, claimed_resilience=1)
+
+        class PerReceiverAdversary(CrashAdversary):
+            def forge(self, round_index, sender, receiver, states, algorithm, rng):
+                return f"forged-for-{receiver}"
+
+        new_states = run_round(
+            capture,
+            {0: "s0", 2: "s2", 3: "s3"},
+            PerReceiverAdversary([1]),
+            0,
+            rng=random.Random(0),
+        )
+        assert new_states[0] == ("s0", "forged-for-0", "s2", "s3")
+        assert new_states[2] == ("s0", "forged-for-2", "s2", "s3")
+        assert new_states[3] == ("s0", "forged-for-3", "s2", "s3")
+
+    def test_fault_free_shared_vector_matches_states(self):
+        capture = _CaptureAlgorithm(n=3, c=2)
+        new_states = run_round(capture, {0: "a", 1: "b", 2: "c"}, NoAdversary(), 0, None)
+        assert new_states == {
+            0: ("a", "b", "c"),
+            1: ("a", "b", "c"),
+            2: ("a", "b", "c"),
+        }
+
+    def test_fast_path_preserves_rng_stream(self):
+        # The refactored loop must consume adversary randomness in the same
+        # order as the original per-receiver reconstruction, so seeded runs
+        # stay bit-for-bit reproducible across versions.  The golden sequence
+        # below was recorded with the pre-refactor run_round (per-receiver
+        # rebuild over all senders): receivers in states order, and for each
+        # receiver the faulty senders in ascending order, drawing from one
+        # shared RNG.
+        import random
+
+        golden = [
+            (0, 2, 0, 3), (0, 5, 0, 3), (0, 2, 1, 1), (0, 5, 1, 4),
+            (0, 2, 3, 1), (0, 5, 3, 1), (0, 2, 4, 1), (0, 5, 4, 1),
+            (0, 2, 6, 0), (0, 5, 6, 2), (1, 2, 0, 5), (1, 5, 0, 3),
+            (1, 2, 1, 4), (1, 5, 1, 5), (1, 2, 3, 5), (1, 5, 3, 4),
+            (1, 2, 4, 0), (1, 5, 4, 4), (1, 2, 6, 3), (1, 5, 6, 1),
+        ]
+
+        class Recording(RandomStateAdversary):
+            def __init__(self, faulty):
+                super().__init__(faulty)
+                self.calls = []
+
+            def forge(self, round_index, sender, receiver, states, algorithm, rng):
+                value = super().forge(
+                    round_index, sender, receiver, states, algorithm, rng
+                )
+                self.calls.append((round_index, sender, receiver, value))
+                return value
+
+        counter = NaiveMajorityCounter(n=7, c=6, claimed_resilience=2)
+        adversary = Recording([2, 5])
+        rng = random.Random(99)
+        states = {0: 0, 1: 1, 3: 3, 4: 4, 6: 5}
+        for round_index in range(2):
+            states = run_round(counter, states, adversary, round_index, rng)
+        assert adversary.calls == golden
+
+
+class _FrozenCounter(NaiveMajorityCounter):
+    """Outputs a constant value: agreement without counting."""
+
+    def transition(self, node, messages):
+        return messages[node]
+
+
+class TestStopAfterAgreementWraparound:
+    def test_streak_counts_across_modulo_wraparound(self):
+        # Starting from state c-2 = 1 the outputs run 2, 0, 1, 2 — the streak
+        # must keep growing across the c-1 -> 0 step.
+        counter = TrivialCounter(c=3)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=50, stop_after_agreement=4, seed=0),
+            initial_states=[1],
+        )
+        assert trace.num_rounds == 4
+        assert trace.metadata["agreement_streak"] == 4
+        assert trace.output_series(0) == [2, 0, 1, 2]
+
+    def test_streak_requires_increments_not_mere_agreement(self):
+        # All nodes agree on a frozen value forever; without increments the
+        # streak must never exceed 1, so the simulation runs to max_rounds.
+        frozen = _FrozenCounter(n=3, c=3)
+        trace = run_simulation(
+            frozen,
+            config=SimulationConfig(max_rounds=12, stop_after_agreement=2, seed=0),
+            initial_states=[1, 1, 1],
+        )
+        assert trace.num_rounds == 12
+        assert trace.metadata.get("stopped_early") is None
+        assert set(trace.agreed_values()) == {1}
+
+    def test_streak_resets_on_skipped_value(self):
+        # A counter that jumps by 2 mod c agrees every round but never
+        # produces consecutive increments, so early stopping never triggers.
+        class SkippingCounter(NaiveMajorityCounter):
+            def transition(self, node, messages):
+                return (messages[node] + 2) % self.c
+
+        skipping = SkippingCounter(n=2, c=5)
+        trace = run_simulation(
+            skipping,
+            config=SimulationConfig(max_rounds=15, stop_after_agreement=2, seed=0),
+            initial_states=[0, 0],
+        )
+        assert trace.num_rounds == 15
+        assert trace.metadata.get("stopped_early") is None
+
+    def test_wraparound_streak_on_two_counter(self):
+        # c = 2 alternates 0, 1, 0, 1 — every step is a wraparound increment.
+        counter = TrivialCounter(c=2)
+        trace = run_simulation(
+            counter,
+            config=SimulationConfig(max_rounds=40, stop_after_agreement=6, seed=0),
+        )
+        assert trace.num_rounds == 6
+        assert trace.metadata["agreement_streak"] == 6
