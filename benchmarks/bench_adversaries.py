@@ -1,0 +1,147 @@
+"""Adversary hot-path benchmarks: per-round caching vs per-forge rescans.
+
+``forge()`` is called once per (faulty sender, correct receiver) pair —
+O(f·n) times per round — so any work inside it that only depends on the
+round's states is multiplied by the whole grid.  The optimised
+:class:`MimicAdversary`, :class:`PhaseKingSkewAdversary` and
+:class:`AdaptiveSplitAdversary` hoist the sorted node list / output index
+into ``on_round_start``; the ``Legacy*`` classes below preserve the previous
+per-forge implementations (re-sort / re-scan the full states mapping on
+every call, O(n² log n) per round) as the "before" baseline.
+
+Each pair of benchmarks drives the same seeded simulation, and the traces
+are asserted identical — the caches change wall-clock time, never messages
+(the same property ``tests/network/test_adversary.py`` pins).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.boosting import BoostedState
+from repro.core.phase_king import INFINITY
+from repro.counters.naive import NaiveMajorityCounter
+from repro.network.adversary import (
+    AdaptiveSplitAdversary,
+    MimicAdversary,
+    PhaseKingSkewAdversary,
+)
+from repro.network.simulator import SimulationConfig, run_simulation
+
+N = 96
+FAULTY = tuple(range(N - 31, N))  # f = 31 < n/3
+ROUNDS = 25
+
+
+class LegacyMimicAdversary(MimicAdversary):
+    """Pre-optimisation forge: sorts the states mapping on every call."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        pass
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        correct = sorted(states)
+        if not correct:
+            return algorithm.default_state()
+        victim = correct[(receiver + round_index) % len(correct)]
+        return states[victim]
+
+
+class LegacyPhaseKingSkewAdversary(PhaseKingSkewAdversary):
+    """Pre-optimisation forge: sorts the states mapping on every call."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        pass
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        correct = sorted(states)
+        if not correct:
+            return algorithm.default_state()
+        victim_state = states[correct[receiver % len(correct)]]
+        if isinstance(victim_state, BoostedState):
+            if receiver % 2 == 0:
+                skewed_a = (
+                    (victim_state.a + self._offset) % algorithm.c
+                    if victim_state.a != INFINITY
+                    else 0
+                )
+            else:
+                skewed_a = INFINITY
+            return BoostedState(inner=victim_state.inner, a=skewed_a, d=rng.randrange(2))
+        return algorithm.random_state(rng)
+
+
+class LegacyAdaptiveSplitAdversary(AdaptiveSplitAdversary):
+    """Pre-optimisation version: scans all states' outputs on every forge."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        outputs = [
+            algorithm.output(node, state) for node, state in sorted(states.items())
+        ]
+        counts = Counter(outputs).most_common(2)
+        if len(counts) >= 2:
+            self._camps = (counts[0][0], counts[1][0])
+        elif counts:
+            value = counts[0][0]
+            self._camps = (value, (value + 1) % algorithm.c)
+        else:
+            self._camps = (0, 1 % algorithm.c)
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        receiver_state = states.get(receiver)
+        if receiver_state is None:
+            target = self._camps[receiver % 2]
+        else:
+            receiver_output = algorithm.output(receiver, receiver_state)
+            target = (
+                self._camps[1] if receiver_output == self._camps[0] else self._camps[0]
+            )
+        for node, state in states.items():
+            if algorithm.output(node, state) == target:
+                return state
+        if isinstance(algorithm.default_state(), int):
+            return target
+        candidate = algorithm.random_state(rng)
+        if isinstance(candidate, BoostedState):
+            return BoostedState(inner=candidate.inner, a=target % algorithm.c, d=1)
+        return candidate
+
+
+def _simulate(adversary_cls):
+    counter = NaiveMajorityCounter(n=N, c=8, claimed_resilience=len(FAULTY))
+    return run_simulation(
+        counter,
+        adversary=adversary_cls(FAULTY),
+        config=SimulationConfig(max_rounds=ROUNDS, seed=0),
+    )
+
+
+def _bench_pair(benchmark, optimized_cls, legacy_cls):
+    """Benchmark the optimised adversary; assert parity with the legacy one."""
+    optimized = benchmark(_simulate, optimized_cls)
+    legacy = _simulate(legacy_cls)
+    assert optimized.rounds == legacy.rounds
+
+
+def test_mimic_cached(benchmark):
+    _bench_pair(benchmark, MimicAdversary, LegacyMimicAdversary)
+
+
+def test_mimic_legacy_rescan(benchmark):
+    benchmark(_simulate, LegacyMimicAdversary)
+
+
+def test_phase_king_skew_cached(benchmark):
+    _bench_pair(benchmark, PhaseKingSkewAdversary, LegacyPhaseKingSkewAdversary)
+
+
+def test_phase_king_skew_legacy_rescan(benchmark):
+    benchmark(_simulate, LegacyPhaseKingSkewAdversary)
+
+
+def test_adaptive_split_cached(benchmark):
+    _bench_pair(benchmark, AdaptiveSplitAdversary, LegacyAdaptiveSplitAdversary)
+
+
+def test_adaptive_split_legacy_rescan(benchmark):
+    benchmark(_simulate, LegacyAdaptiveSplitAdversary)

@@ -88,3 +88,28 @@ def test_campaign_parallel_throughput(benchmark):
     assert [r.to_json() for r in report.results] == [
         r.to_json() for r in serial.results
     ]
+
+
+def _pulling_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-pulling",
+        algorithms=(AlgorithmSpec.create("sampled-boosted", {"sample_size": 2}),),
+        adversaries=("crash", "phase-king-skew"),
+        num_faults=(1,),
+        runs_per_setting=6,
+        seed=5,
+        max_rounds=40,
+        stop_after_agreement=None,
+        model="pulling",
+    )
+
+
+def test_pulling_campaign_throughput(benchmark):
+    """The Section 5 model through the same campaign machinery."""
+    report = run_once(
+        benchmark, run_campaign, _pulling_campaign(), executor=SerialExecutor()
+    )
+    assert report.total == 12
+    assert report.failed == 0
+    assert all(r.model == "pulling" for r in report.results)
+    assert all((r.max_pulls or 0) > 0 for r in report.results)

@@ -57,7 +57,12 @@ from repro.counters import (
     RandomizedFollowMajorityCounter,
     TrivialCounter,
 )
-from repro.network import SimulationConfig, run_simulation
+from repro.network import (
+    PullSimulationConfig,
+    SimulationConfig,
+    run_pull_simulation,
+    run_simulation,
+)
 
 __all__ = [
     "__version__",
@@ -86,6 +91,8 @@ __all__ = [
     # Simulation
     "SimulationConfig",
     "run_simulation",
+    "PullSimulationConfig",
+    "run_pull_simulation",
     # Errors
     "ReproError",
     "ParameterError",

@@ -14,7 +14,13 @@ from typing import Any
 from repro.network.stabilization import stabilization_round
 from repro.network.trace import ExecutionTrace
 
-__all__ = ["TrialMetrics", "trial_metrics", "agreement_fraction", "pull_statistics"]
+__all__ = [
+    "TrialMetrics",
+    "trial_metrics",
+    "agreement_fraction",
+    "post_agreement_failure_rate",
+    "pull_statistics",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,24 @@ def trial_metrics(
         agreement_fraction=agreement_fraction(trace),
         faulty=tuple(sorted(trace.faulty)),
     )
+
+
+def post_agreement_failure_rate(trace: ExecutionTrace) -> float:
+    """Fraction of rounds *after the first agreement* in which agreement broke.
+
+    The empirical counterpart of the per-round failure probability
+    ``η^{-κ}`` of Theorem 4: once a sampled counter has agreed, every later
+    disagreement is caused by an unlucky sample.  Returns ``1.0`` when the
+    trace never agrees (or agrees only in its final round), so a
+    never-agreeing run reads as maximally unreliable.
+    """
+    agreed = trace.agreed_values()
+    first = next((i for i, value in enumerate(agreed) if value is not None), None)
+    if first is None or first + 1 >= len(agreed):
+        return 1.0
+    tail = agreed[first + 1 :]
+    failures = sum(1 for value in tail if value is None)
+    return failures / len(tail)
 
 
 def pull_statistics(trace: ExecutionTrace) -> dict[str, Any]:

@@ -10,7 +10,9 @@ subsystem:
   expand into explicit, self-contained :class:`RunSpec` objects.  All
   randomness (fault sets, simulator seeds) is derived eagerly with
   :func:`repro.util.rng.derive_rng`, so a run's outcome is a pure function of
-  its spec.
+  its spec.  Grids carry a ``model`` axis: ``"broadcast"`` (Section 2) or
+  ``"pulling"`` (Section 5, sweeping :class:`PullingAlgorithm` registry
+  entries and recording ``max_pulls`` / ``max_bits`` per run).
 * :mod:`repro.campaigns.executor` — a :class:`SerialExecutor` (the reference)
   and a :class:`ParallelExecutor` that distributes chunks of runs over a
   :mod:`multiprocessing` pool.  Both produce **bit-identical per-run
@@ -66,13 +68,20 @@ from repro.campaigns.results import (
     summarize_results,
 )
 from repro.campaigns.runner import CampaignReport, run_campaign
-from repro.campaigns.spec import FAULT_PATTERNS, AlgorithmSpec, CampaignSpec, RunSpec
+from repro.campaigns.spec import (
+    FAULT_PATTERNS,
+    MODELS,
+    AlgorithmSpec,
+    CampaignSpec,
+    RunSpec,
+)
 
 __all__ = [
     "AlgorithmSpec",
     "CampaignSpec",
     "RunSpec",
     "FAULT_PATTERNS",
+    "MODELS",
     "RunResult",
     "CampaignStore",
     "reduce_trace",

@@ -18,9 +18,18 @@ Usage (``python -m repro.campaigns <command>``)::
     # Stabilisation statistics from the store
     python -m repro.campaigns summarize demo.jsonl
 
+    # Pulling-model grids (Theorem 4 / Corollary 4 message complexity)
+    python -m repro.campaigns define --name pulls --model pulling \\
+        --algorithm "sampled-boosted:sample_size=4" \\
+        --adversary phase-king-skew --num-faults 1 \\
+        --runs 10 --max-rounds 120 --out pulls.campaign.json
+
 Algorithm arguments use ``name`` or ``name:key=value,key=value`` where the
 names come from :func:`repro.counters.registry.default_registry` and values
-are parsed as JSON scalars when possible (``levels=2`` is an int).
+are parsed as JSON scalars when possible (``levels=2`` is an int).  Pulling
+campaigns (``--model pulling``) take pulling-model algorithm names
+(``sampled-boosted``, ``pseudo-random-boosted``) and record per-run
+``max_pulls`` / ``max_bits`` statistics in the result store.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from typing import Any, Sequence
 from repro.campaigns.executor import default_executor
 from repro.campaigns.results import CampaignStore, RunResult, summarize_results
 from repro.campaigns.runner import run_campaign
-from repro.campaigns.spec import FAULT_PATTERNS, AlgorithmSpec, CampaignSpec
+from repro.campaigns.spec import FAULT_PATTERNS, MODELS, AlgorithmSpec, CampaignSpec
 from repro.core.errors import ReproError
 from repro.network.adversary import STRATEGIES
 
@@ -93,6 +102,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         stop_after_agreement=args.stop_after_agreement,
         min_tail=args.min_tail,
         fault_pattern=args.fault_pattern,
+        model=args.model,
     )
 
 
@@ -128,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_num_faults,
         metavar="N|auto",
         help="faults per run (repeatable; default: auto = the algorithm's f)",
+    )
+    define.add_argument(
+        "--model",
+        choices=list(MODELS),
+        default="broadcast",
+        help=(
+            "communication model of the grid: 'broadcast' (Section 2) or "
+            "'pulling' (Section 5, records max_pulls/max_bits statistics)"
+        ),
     )
     define.add_argument("--runs", type=int, default=10, help="runs per grid setting")
     define.add_argument("--seed", type=int, default=0, help="campaign master seed")

@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 from repro.campaigns.results import RunResult, reduce_trace
 from repro.campaigns.spec import AlgorithmSpec, RunSpec
 from repro.network.adversary import Adversary
+from repro.network.pulling import PullSimulationConfig, run_pull_simulation
 from repro.network.simulator import SimulationConfig, run_simulation
 from repro.util.rng import derive_rng
 
@@ -64,13 +65,25 @@ def execute_run(spec: RunSpec) -> RunResult:
         adversary = spec.resolve_adversary()
         if isinstance(spec.adversary, Adversary):
             adversary = copy.deepcopy(adversary)
-        config = SimulationConfig(
-            max_rounds=spec.max_rounds,
-            stop_after_agreement=spec.stop_after_agreement,
-            seed=spec.sim_seed,
-            metadata={"run_id": spec.run_id, **dict(spec.tags)},
-        )
-        trace = run_simulation(algorithm, adversary=adversary, config=config)
+        metadata = {"run_id": spec.run_id, **dict(spec.tags)}
+        if spec.model == "pulling":
+            pull_config = PullSimulationConfig(
+                max_rounds=spec.max_rounds,
+                stop_after_agreement=spec.stop_after_agreement,
+                seed=spec.sim_seed,
+                metadata=metadata,
+            )
+            trace = run_pull_simulation(
+                algorithm, adversary=adversary, config=pull_config
+            )
+        else:
+            config = SimulationConfig(
+                max_rounds=spec.max_rounds,
+                stop_after_agreement=spec.stop_after_agreement,
+                seed=spec.sim_seed,
+                metadata=metadata,
+            )
+            trace = run_simulation(algorithm, adversary=adversary, config=config)
         return reduce_trace(spec, algorithm, trace)
     except Exception as exc:  # noqa: BLE001 - failure accounting by design
         return RunResult(
@@ -90,6 +103,7 @@ def execute_run(spec: RunSpec) -> RunResult:
             stopped_early=False,
             messages_sent=0,
             error=f"{type(exc).__name__}: {exc}",
+            model=spec.model,
         )
 
 

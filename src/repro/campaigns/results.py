@@ -20,7 +20,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.analysis.metrics import TrialMetrics, trial_metrics
+from repro.analysis.metrics import (
+    TrialMetrics,
+    post_agreement_failure_rate,
+    pull_statistics,
+    trial_metrics,
+)
 from repro.network.trace import ExecutionTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,8 +59,21 @@ class RunResult:
     stopped_early:
         Whether the simulator stopped on the agreement window.
     messages_sent:
-        Total broadcast messages delivered to correct receivers
-        (``rounds × n × |correct|``).
+        Total messages delivered to correct receivers: ``rounds × n ×
+        |correct|`` in the broadcast model, the total number of pulls issued
+        by correct nodes in the pulling model.
+    model:
+        The communication model the run executed in (``"broadcast"`` /
+        ``"pulling"``).
+    max_pulls / mean_pulls / max_bits:
+        Pulling-model message complexity: the per-round maximum/mean number
+        of pulls a correct node issued and the worst-case per-round bit count
+        (the Theorem 4 / Corollary 4 quantities).  ``None`` for broadcast
+        runs.
+    post_agreement_failure_rate:
+        Fraction of rounds after the first agreement in which agreement
+        broke — the empirical per-round failure probability of a sampled
+        counter.  ``None`` for broadcast runs.
     error:
         ``None`` for successful runs; otherwise ``"ExcType: message"`` — the
         executors never let one failed run abort a campaign.
@@ -77,6 +95,11 @@ class RunResult:
     stopped_early: bool
     messages_sent: int
     error: str | None = None
+    model: str = "broadcast"
+    max_pulls: int | None = None
+    mean_pulls: float | None = None
+    max_bits: int | None = None
+    post_agreement_failure_rate: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dictionary form (tuples become lists)."""
@@ -108,6 +131,11 @@ class RunResult:
             stopped_early=bool(data.get("stopped_early", False)),
             messages_sent=int(data.get("messages_sent", 0)),
             error=data.get("error"),
+            model=data.get("model", "broadcast"),
+            max_pulls=data.get("max_pulls"),
+            mean_pulls=data.get("mean_pulls"),
+            max_bits=data.get("max_bits"),
+            post_agreement_failure_rate=data.get("post_agreement_failure_rate"),
         )
 
     def to_trial_metrics(self) -> TrialMetrics:
@@ -124,14 +152,45 @@ class RunResult:
 
 def reduce_trace(
     spec: "RunSpec",
-    algorithm: "SynchronousCountingAlgorithm",
+    algorithm: Any,
     trace: ExecutionTrace,
 ) -> RunResult:
-    """Reduce a recorded execution to its compact campaign result."""
+    """Reduce a recorded execution to its compact campaign result.
+
+    Works for both models: pulling-model traces (identified by the
+    ``model: "pulling"`` trace metadata) additionally yield the Theorem 4
+    message-complexity statistics (``max_pulls`` / ``mean_pulls`` /
+    ``max_bits``) and the post-agreement failure rate, and their
+    ``messages_sent`` counts actual pulls instead of ``rounds × n × correct``
+    broadcasts.
+    """
     metrics = trial_metrics(
         trace, bound=algorithm.stabilization_bound(), min_tail=spec.min_tail
     )
     correct = algorithm.n - len(trace.faulty)
+    model = trace.metadata.get("model", "broadcast")
+    max_pulls: int | None = None
+    mean_pulls: float | None = None
+    max_bits: int | None = None
+    failure_rate: float | None = None
+    if model == "pulling":
+        stats = pull_statistics(trace)
+        max_pulls = stats["max_pulls"]
+        mean_pulls = stats["mean_pulls"]
+        max_bits = stats["max_bits"]
+        failure_rate = post_agreement_failure_rate(trace)
+        # mean_pulls per round is total/correct, so this recovers the total
+        # number of pulls issued by correct nodes over the whole run.
+        messages_sent = int(
+            round(
+                sum(
+                    record.metadata.get("mean_pulls", 0.0) * correct
+                    for record in trace.rounds
+                )
+            )
+        )
+    else:
+        messages_sent = trace.num_rounds * algorithm.n * correct
     return RunResult(
         run_id=spec.run_id,
         algorithm=spec.algorithm_label(),
@@ -147,8 +206,13 @@ def reduce_trace(
         within_bound=metrics.within_bound,
         agreement_fraction=metrics.agreement_fraction,
         stopped_early=bool(trace.metadata.get("stopped_early", False)),
-        messages_sent=trace.num_rounds * algorithm.n * correct,
+        messages_sent=messages_sent,
         error=None,
+        model=model,
+        max_pulls=max_pulls,
+        mean_pulls=mean_pulls,
+        max_bits=max_bits,
+        post_agreement_failure_rate=failure_rate,
     )
 
 
@@ -272,5 +336,23 @@ def summarize_results(
                 round(sum(r.messages_sent for r in ok) / len(ok), 1) if ok else 0
             ),
         )
+        pulls = [r.max_pulls for r in ok if r.max_pulls is not None]
+        if pulls:
+            # Pulling-model groups: the Theorem 4 / Corollary 4 quantities.
+            bits = [r.max_bits for r in ok if r.max_bits is not None]
+            failure_rates = [
+                r.post_agreement_failure_rate
+                for r in ok
+                if r.post_agreement_failure_rate is not None
+            ]
+            row.update(
+                max_pulls=max(pulls),
+                max_bits=max(bits) if bits else 0,
+                failure_rate=(
+                    round(sum(failure_rates) / len(failure_rates), 4)
+                    if failure_rates
+                    else "-"
+                ),
+            )
         table.add_row(**row)
     return table

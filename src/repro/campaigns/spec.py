@@ -1,8 +1,9 @@
 """Declarative campaign specifications and their expansion into runs.
 
-A *campaign* is a grid of simulation settings: algorithms (named registry
-entries with parameters), adversary strategies, fault counts and repetitions,
-sharing one :class:`~repro.network.simulator.SimulationConfig` envelope.
+A *campaign* is a grid of simulation settings: a communication model
+(broadcast or pulling), algorithms (named registry entries with parameters),
+adversary strategies, fault counts and repetitions, sharing one simulation
+configuration envelope.
 :meth:`CampaignSpec.expand` flattens the grid into fully explicit
 :class:`RunSpec` objects — each one a pure, self-contained description of a
 single simulation (algorithm, adversary, faulty set, simulation seed).
@@ -32,10 +33,13 @@ from repro.network.adversary import (
 )
 from repro.util.rng import derive_rng
 
-__all__ = ["AlgorithmSpec", "RunSpec", "CampaignSpec", "FAULT_PATTERNS"]
+__all__ = ["AlgorithmSpec", "RunSpec", "CampaignSpec", "FAULT_PATTERNS", "MODELS"]
 
 #: Supported fault-placement patterns for campaign grids.
 FAULT_PATTERNS = ("random", "spread")
+
+#: Supported communication models for campaign grids.
+MODELS = ("broadcast", "pulling")
 
 
 def _as_items(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> tuple:
@@ -104,7 +108,7 @@ class RunSpec:
     """
 
     run_id: str
-    algorithm: AlgorithmSpec | SynchronousCountingAlgorithm
+    algorithm: AlgorithmSpec | SynchronousCountingAlgorithm | Any
     adversary: str | Adversary | None = None
     adversary_params: tuple[tuple[str, Any], ...] = ()
     faulty: tuple[int, ...] = ()
@@ -113,9 +117,21 @@ class RunSpec:
     stop_after_agreement: int | None = 20
     min_tail: int = 2
     tags: tuple[tuple[str, Any], ...] = ()
+    model: str = "broadcast"
 
-    def resolve_algorithm(self) -> SynchronousCountingAlgorithm:
-        """Return the algorithm instance this run executes."""
+    def __post_init__(self) -> None:
+        if self.model not in MODELS:
+            raise ParameterError(
+                f"run {self.run_id!r} names unknown model {self.model!r}; "
+                f"expected one of {MODELS}"
+            )
+
+    def resolve_algorithm(self) -> SynchronousCountingAlgorithm | Any:
+        """Return the algorithm instance this run executes.
+
+        For ``model="pulling"`` runs this is a
+        :class:`~repro.network.pulling.PullingAlgorithm`.
+        """
         if isinstance(self.algorithm, AlgorithmSpec):
             return self.algorithm.build()
         return self.algorithm
@@ -171,10 +187,15 @@ class CampaignSpec:
     min_tail: int = 2
     fault_pattern: str = "random"
     metadata: tuple[tuple[str, Any], ...] = ()
+    model: str = "broadcast"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ParameterError("campaign name must be non-empty")
+        if self.model not in MODELS:
+            raise ParameterError(
+                f"unknown model {self.model!r}; expected one of {MODELS}"
+            )
         if not self.algorithms:
             raise ParameterError("campaign must list at least one algorithm")
         if not self.adversaries:
@@ -203,9 +224,18 @@ class CampaignSpec:
 
     def expand(self) -> list[RunSpec]:
         """Flatten the grid into explicit, deterministic run specifications."""
+        from repro.network.pulling import PullingAlgorithm
+
         runs: dict[str, RunSpec] = {}
         for algorithm_spec in self.algorithms:
             algorithm = algorithm_spec.build()
+            is_pulling = isinstance(algorithm, PullingAlgorithm)
+            if is_pulling != (self.model == "pulling"):
+                raise ParameterError(
+                    f"campaign {self.name!r} declares model {self.model!r} but "
+                    f"{algorithm_spec.label()} is a "
+                    f"{'pulling' if is_pulling else 'broadcast'}-model algorithm"
+                )
             for strategy in self.adversaries:
                 for requested_faults in self.num_faults:
                     faults = (
@@ -217,6 +247,15 @@ class CampaignSpec:
                         raise ParameterError(
                             f"campaign {self.name!r} requests {faults} faults for "
                             f"{algorithm_spec.label()} (resilience f={algorithm.f})"
+                        )
+                    if faults == 0 and strategy != "none":
+                        # An active strategy with nothing to control would
+                        # silently duplicate the 'none' rows of the grid.
+                        raise ParameterError(
+                            f"campaign {self.name!r} pairs adversary strategy "
+                            f"{strategy!r} with 0 faults for "
+                            f"{algorithm_spec.label()}; list strategy 'none' "
+                            "for fault-free rows instead"
                         )
                     for repetition in range(self.runs_per_setting):
                         spec = self._make_run(
@@ -259,6 +298,7 @@ class CampaignSpec:
             stop_after_agreement=self.stop_after_agreement,
             min_tail=self.min_tail,
             tags=(("campaign", self.name), ("repetition", repetition)),
+            model=self.model,
         )
 
     # ------------------------------------------------------------------ #
@@ -279,6 +319,7 @@ class CampaignSpec:
             "min_tail": self.min_tail,
             "fault_pattern": self.fault_pattern,
             "metadata": dict(self.metadata),
+            "model": self.model,
         }
 
     @classmethod
@@ -298,4 +339,5 @@ class CampaignSpec:
             min_tail=int(data.get("min_tail", 2)),
             fault_pattern=data.get("fault_pattern", "random"),
             metadata=_as_items(data.get("metadata")),
+            model=data.get("model", "broadcast"),
         )

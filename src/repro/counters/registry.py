@@ -26,13 +26,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AlgorithmFactory:
-    """A named, documented constructor for an executable algorithm."""
+    """A named, documented constructor for an executable algorithm.
+
+    ``model`` names the communication model the algorithm runs in:
+    ``"broadcast"`` (Section 2, :class:`SynchronousCountingAlgorithm`) or
+    ``"pulling"`` (Section 5, :class:`~repro.network.pulling.PullingAlgorithm`).
+    """
 
     name: str
     description: str
-    build: Callable[..., SynchronousCountingAlgorithm]
+    build: Callable[..., Any]
     deterministic: bool = True
     source: str = ""
+    model: str = "broadcast"
 
 
 class AlgorithmRegistry:
@@ -60,9 +66,17 @@ class AlgorithmRegistry:
     # Lookup
     # ------------------------------------------------------------------ #
 
-    def names(self) -> list[str]:
-        """Names of all registered executable algorithms."""
-        return sorted(self._factories)
+    def names(self, model: str | None = None) -> list[str]:
+        """Names of all registered executable algorithms.
+
+        ``model`` restricts the listing to one communication model
+        (``"broadcast"`` / ``"pulling"``).
+        """
+        return sorted(
+            name
+            for name, factory in self._factories.items()
+            if model is None or factory.model == model
+        )
 
     def factory(self, name: str) -> AlgorithmFactory:
         """Return the factory registered under ``name``."""
@@ -74,8 +88,13 @@ class AlgorithmRegistry:
                 f"unknown algorithm '{name}'; registered algorithms: {known}"
             ) from None
 
-    def build(self, name: str, **kwargs: Any) -> SynchronousCountingAlgorithm:
-        """Construct the algorithm registered under ``name``."""
+    def build(self, name: str, **kwargs: Any) -> Any:
+        """Construct the algorithm registered under ``name``.
+
+        Returns a :class:`SynchronousCountingAlgorithm` for broadcast-model
+        entries and a :class:`~repro.network.pulling.PullingAlgorithm` for
+        pulling-model entries.
+        """
         return self.factory(name).build(**kwargs)
 
     def models(self) -> list[ComplexityModel]:
@@ -95,6 +114,50 @@ def _build_figure2_counter(levels: int = 1, c: int = 2) -> SynchronousCountingAl
     from repro.core.recursion import figure2_counter
 
     return figure2_counter(levels=levels, c=c)
+
+
+def _build_sampled_boosted(
+    c: int = 2,
+    k: int = 3,
+    inner_f: int = 1,
+    inner_c: int = 960,
+    sample_size: int | None = 4,
+):
+    """Factory for the Theorem 4 pulling-model counter over a Corollary 1 inner.
+
+    The defaults mirror the Corollary 4 experiment: the 12-node
+    ``A(12, 3)``-equivalent sampled counter over the ``A(4, 1)`` inner with
+    counter size 960 (the multiple required by ``k = 3``, ``F = 3``).
+    """
+    from repro.core.recursion import optimal_resilience_counter
+    from repro.sampling.pull_boosting import SampledBoostedCounter
+
+    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
+    return SampledBoostedCounter(
+        inner=inner, k=k, counter_size=c, sample_size=sample_size
+    )
+
+
+def _build_pseudo_random_boosted(
+    c: int = 2,
+    k: int = 3,
+    inner_f: int = 1,
+    inner_c: int = 960,
+    sample_size: int | None = 4,
+    link_seed: int = 0,
+):
+    """Factory for the Corollary 5 pseudo-random pulling-model counter."""
+    from repro.core.recursion import optimal_resilience_counter
+    from repro.sampling.pseudo_random import PseudoRandomBoostedCounter
+
+    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
+    return PseudoRandomBoostedCounter(
+        inner=inner,
+        k=k,
+        counter_size=c,
+        sample_size=sample_size,
+        link_seed=link_seed,
+    )
 
 
 def default_registry() -> AlgorithmRegistry:
@@ -147,6 +210,26 @@ def default_registry() -> AlgorithmRegistry:
             build=_build_figure2_counter,
             deterministic=True,
             source="Figure 2 / Theorem 1",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="sampled-boosted",
+            description="pulling-model boosted counter with sampled voting (Theorem 4)",
+            build=_build_sampled_boosted,
+            deterministic=False,
+            source="Theorem 4 / Corollary 4",
+            model="pulling",
+        )
+    )
+    registry.register(
+        AlgorithmFactory(
+            name="pseudo-random-boosted",
+            description="pulling-model counter with sampling fixed by a link seed (Corollary 5)",
+            build=_build_pseudo_random_boosted,
+            deterministic=False,
+            source="Corollary 5",
+            model="pulling",
         )
     )
     for model in PRIOR_WORK_MODELS:

@@ -12,6 +12,18 @@ model.  The quantitative claims checked here:
   still stabilises with high probability against an *oblivious* adversary,
   and after stabilisation the behaviour is deterministic.
 
+Both experiments run through the campaign engine (:mod:`repro.campaigns`):
+the trials are expressed as explicit pulling-model :class:`RunSpec` objects
+(with the exact RNG derivation the pre-campaign loops used, so every
+simulated trace and every measured value is unchanged) and executed by any
+campaign executor — pass a
+:class:`~repro.campaigns.executor.ParallelExecutor` or use the module's
+``--jobs`` flag to fan trials out over worker processes.  One display-only
+difference from the pre-campaign tables: non-stabilized Corollary 5 rows
+show ``tail_rounds = "-"`` where the old code printed the (shorter than the
+confirmation window) correct-suffix length, which the compact
+:class:`~repro.campaigns.results.RunResult` does not carry.
+
 Scale caveat (documented in DESIGN.md): the Chernoff margins of Lemma 8
 require the faulty fraction to be bounded away from ``1/3`` *relative to the
 sampling noise*; at laptop scale (``N = 12``) the recommended sample size
@@ -20,19 +32,26 @@ faults (fraction ``1/12``) to exhibit the high-probability behaviour, and a
 separate sweep with the maximal fault budget shows the failure-probability
 cliff for small ``M``.
 
-Run with ``python -m repro.experiments.pulling``.
+Run with ``python -m repro.experiments.pulling [--jobs N]``.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.analysis.bounds import corollary4_pull_bound
-from repro.analysis.metrics import pull_statistics
+from repro.analysis.metrics import post_agreement_failure_rate
+from repro.campaigns.executor import ParallelExecutor, SerialExecutor
+from repro.campaigns.results import RunResult
+from repro.campaigns.spec import RunSpec
+from repro.core.errors import SimulationError
 from repro.core.recursion import optimal_resilience_counter
 from repro.experiments.common import ExperimentResult
-from repro.network.adversary import PhaseKingSkewAdversary, RandomStateAdversary, random_faulty_set
-from repro.network.pulling import PullSimulationConfig, run_pull_simulation
-from repro.network.stabilization import stabilization_round
-from repro.network.trace import ExecutionTrace
+from repro.network.adversary import (
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    random_faulty_set,
+)
 from repro.sampling.pull_boosting import SampledBoostedCounter
 from repro.sampling.pseudo_random import PseudoRandomBoostedCounter
 from repro.sampling.thresholds import recommended_sample_size
@@ -60,20 +79,17 @@ def _build_sampled_counter(sample_size: int | None, pseudo_random: bool = False,
     return SampledBoostedCounter(inner=inner, k=3, counter_size=2, sample_size=sample_size)
 
 
-def post_agreement_failure_rate(trace: ExecutionTrace) -> float:
-    """Fraction of rounds *after the first agreement* in which agreement was broken.
-
-    This is the empirical counterpart of the per-round failure probability
-    ``η^{-κ}`` of Theorem 4: once the sampled counter has agreed, every later
-    disagreement is caused by an unlucky sample.
-    """
-    agreed = trace.agreed_values()
-    first = next((i for i, value in enumerate(agreed) if value is not None), None)
-    if first is None or first + 1 >= len(agreed):
-        return 1.0
-    tail = agreed[first + 1 :]
-    failures = sum(1 for value in tail if value is None)
-    return failures / len(tail)
+def _execute_specs(
+    specs: Sequence[RunSpec],
+    executor: SerialExecutor | ParallelExecutor | None,
+) -> dict[str, RunResult]:
+    """Run the specs on the given executor and index the results by run id."""
+    executor = executor or SerialExecutor()
+    results = executor.run(list(specs))
+    for result in results:
+        if result.error is not None:
+            raise SimulationError(f"run {result.run_id} failed: {result.error}")
+    return {result.run_id: result for result in results}
 
 
 def run_corollary4(
@@ -83,45 +99,63 @@ def run_corollary4(
     num_faults: int = 1,
     stress_faults: int = 3,
     seed: int = 0,
+    executor: SerialExecutor | ParallelExecutor | None = None,
 ) -> ExperimentResult:
     """E9 — messages pulled per round, stabilisation and reliability vs sample size M."""
     result = ExperimentResult(name="Corollary 4 — pulling model: messages per round vs sample size")
     master = ensure_rng(seed)
+
+    # The RNG derivation below (one "c4" stream then one "c4-stress" stream
+    # per (M, trial), in grid order) matches the pre-campaign loop exactly,
+    # so the published table values are unchanged.
+    counters = {M: _build_sampled_counter(sample_size=M) for M in sample_sizes}
+    specs: list[RunSpec] = []
     for M in sample_sizes:
-        counter = _build_sampled_counter(sample_size=M)
-        stabilized = 0
-        failure_rates: list[float] = []
-        stress_failure_rates: list[float] = []
-        max_pulls = 0
+        counter = counters[M]
         for trial in range(trials):
             rng = derive_rng(master, "c4", M, trial)
             faulty = random_faulty_set(counter.n, num_faults, rng=rng)
-            trace = run_pull_simulation(
-                counter,
-                adversary=PhaseKingSkewAdversary(faulty),
-                config=PullSimulationConfig(
-                    max_rounds=max_rounds, stop_after_agreement=None, seed=rng.getrandbits(32)
-                ),
+            specs.append(
+                RunSpec(
+                    run_id=f"c4/M{M}/t{trial}",
+                    algorithm=counter,
+                    adversary=PhaseKingSkewAdversary(faulty),
+                    faulty=tuple(sorted(faulty)),
+                    sim_seed=rng.getrandbits(32),
+                    max_rounds=max_rounds,
+                    stop_after_agreement=None,
+                    min_tail=20,
+                    model="pulling",
+                )
             )
-            stats = pull_statistics(trace)
-            max_pulls = max(max_pulls, stats["max_pulls"])
-            outcome = stabilization_round(trace, min_tail=20)
-            stabilized += int(outcome.stabilized)
-            failure_rates.append(post_agreement_failure_rate(trace))
-
             stress_rng = derive_rng(master, "c4-stress", M, trial)
             stress_faulty = random_faulty_set(counter.n, stress_faults, rng=stress_rng)
-            stress_trace = run_pull_simulation(
-                counter,
-                adversary=PhaseKingSkewAdversary(stress_faulty),
-                config=PullSimulationConfig(
+            specs.append(
+                RunSpec(
+                    run_id=f"c4-stress/M{M}/t{trial}",
+                    algorithm=counter,
+                    adversary=PhaseKingSkewAdversary(stress_faulty),
+                    faulty=tuple(sorted(stress_faulty)),
+                    sim_seed=stress_rng.getrandbits(32),
                     max_rounds=max_rounds // 2,
                     stop_after_agreement=None,
-                    seed=stress_rng.getrandbits(32),
-                ),
+                    min_tail=20,
+                    model="pulling",
+                )
             )
-            stress_failure_rates.append(post_agreement_failure_rate(stress_trace))
 
+    by_id = _execute_specs(specs, executor)
+
+    for M in sample_sizes:
+        counter = counters[M]
+        main_runs = [by_id[f"c4/M{M}/t{trial}"] for trial in range(trials)]
+        stress_runs = [by_id[f"c4-stress/M{M}/t{trial}"] for trial in range(trials)]
+        stabilized = sum(int(run.stabilized) for run in main_runs)
+        max_pulls = max(run.max_pulls or 0 for run in main_runs)
+        failure_rates = [run.post_agreement_failure_rate or 0.0 for run in main_runs]
+        stress_failure_rates = [
+            run.post_agreement_failure_rate or 0.0 for run in stress_runs
+        ]
         result.add_row(
             M=M,
             pulls_per_round=counter.expected_pulls_per_round(),
@@ -163,33 +197,55 @@ def run_corollary5(
     confirm_rounds: int = 60,
     num_faults: int = 1,
     seed: int = 0,
+    executor: SerialExecutor | ParallelExecutor | None = None,
 ) -> ExperimentResult:
     """E10 — pseudo-random counters against an oblivious adversary."""
     result = ExperimentResult(name="Corollary 5 — pseudo-random sampling, oblivious adversary")
     master = ensure_rng(seed)
     # Oblivious adversary: the faulty set is fixed before the link seeds are drawn.
     oblivious_faulty = frozenset(random_faulty_set(12, num_faults, rng=12345))
-    successes = 0
+    specs: list[RunSpec] = []
     for link_seed in link_seeds:
         counter = _build_sampled_counter(
             sample_size=sample_size, pseudo_random=True, link_seed=link_seed
         )
         rng = derive_rng(master, "c5", link_seed)
-        trace = run_pull_simulation(
-            counter,
-            adversary=RandomStateAdversary(oblivious_faulty),
-            config=PullSimulationConfig(
-                max_rounds=max_rounds, stop_after_agreement=None, seed=rng.getrandbits(32)
-            ),
+        specs.append(
+            RunSpec(
+                run_id=f"c5/seed{link_seed}",
+                algorithm=counter,
+                adversary=RandomStateAdversary(oblivious_faulty),
+                faulty=tuple(sorted(oblivious_faulty)),
+                sim_seed=rng.getrandbits(32),
+                max_rounds=max_rounds,
+                stop_after_agreement=None,
+                min_tail=confirm_rounds,
+                model="pulling",
+            )
         )
-        outcome = stabilization_round(trace, min_tail=confirm_rounds)
-        successes += int(outcome.stabilized)
+
+    by_id = _execute_specs(specs, executor)
+
+    successes = 0
+    for link_seed in link_seeds:
+        run = by_id[f"c5/seed{link_seed}"]
+        successes += int(run.stabilized)
+        # The compact RunResult does not keep sub-window correct suffixes, so
+        # non-stabilized rows show "-" where the full trace would show the
+        # (too short) suffix length.
+        tail_rounds = (
+            run.rounds_simulated - run.stabilization_round
+            if run.stabilization_round is not None
+            else "-"
+        )
         result.add_row(
             link_seed=link_seed,
-            stabilized=outcome.stabilized,
-            round=outcome.round if outcome.round is not None else "-",
-            tail_rounds=outcome.tail_length,
-            failure_rate_after_agreement=round(post_agreement_failure_rate(trace), 4),
+            stabilized=run.stabilized,
+            round=run.stabilization_round if run.stabilization_round is not None else "-",
+            tail_rounds=tail_rounds,
+            failure_rate_after_agreement=round(
+                run.post_agreement_failure_rate or 0.0, 4
+            ),
         )
     result.add_row(
         link_seed="overall",
@@ -208,9 +264,19 @@ def run_corollary5(
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper
-    print(run_corollary4().format_table())
+    import argparse
+
+    from repro.campaigns.executor import default_executor
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    )
+    args = parser.parse_args()
+    executor = default_executor(args.jobs)
+    print(run_corollary4(executor=executor).format_table())
     print()
-    print(run_corollary5().format_table())
+    print(run_corollary5(executor=executor).format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,8 +9,11 @@ send arbitrary (and per-receiver inconsistent) messages.
 Contents:
 
 * :mod:`repro.network.adversary` — Byzantine adversary strategies.
-* :mod:`repro.network.simulator` — the broadcast-model execution engine.
-* :mod:`repro.network.pulling` — the pulling-model engine of Section 5 with
+* :mod:`repro.network.engine` — the shared simulation kernel: round loop,
+  RNG stream derivation, pluggable stopping rules and trace recording.
+* :mod:`repro.network.simulator` — the broadcast-model adapter and
+  :func:`run_simulation`.
+* :mod:`repro.network.pulling` — the pulling-model adapter of Section 5 with
   per-node message/bit accounting.
 * :mod:`repro.network.trace` — execution traces.
 * :mod:`repro.network.stabilization` — empirical stabilisation detection.
@@ -32,11 +35,36 @@ from repro.network.adversary import (
     random_faulty_set,
     spread_faults,
 )
-from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.engine import (
+    AgreementWindow,
+    FirstOf,
+    MaxRounds,
+    ModelAdapter,
+    StoppingRule,
+    run_engine,
+)
+from repro.network.pulling import (
+    PullingAlgorithm,
+    PullingModel,
+    PullSimulationConfig,
+    run_pull_simulation,
+)
+from repro.network.simulator import BroadcastModel, SimulationConfig, run_simulation
 from repro.network.stabilization import StabilizationResult, stabilization_round
 from repro.network.trace import ExecutionTrace, RoundRecord
 
 __all__ = [
+    "StoppingRule",
+    "MaxRounds",
+    "AgreementWindow",
+    "FirstOf",
+    "ModelAdapter",
+    "run_engine",
+    "BroadcastModel",
+    "PullingModel",
+    "PullingAlgorithm",
+    "PullSimulationConfig",
+    "run_pull_simulation",
     "Adversary",
     "NoAdversary",
     "CrashAdversary",

@@ -195,8 +195,22 @@ class MimicAdversary(Adversary):
     are mutually inconsistent.
     """
 
+    def __init__(self, faulty: Iterable[int]) -> None:
+        super().__init__(faulty)
+        self._round_index = -1
+        self._correct: list[int] = []
+
+    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+        # forge() is hot — one call per (sender, receiver) pair — so the
+        # sorted node list is hoisted here, once per round.  No randomness is
+        # drawn: the RNG streams of seeded runs must not shift.
+        self._round_index = round_index
+        self._correct = sorted(states)
+
     def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
-        correct = sorted(states)
+        correct = (
+            self._correct if round_index == self._round_index else sorted(states)
+        )
         if not correct:
             return algorithm.default_state()
         victim = correct[(receiver + round_index) % len(correct)]
@@ -217,9 +231,19 @@ class PhaseKingSkewAdversary(Adversary):
     def __init__(self, faulty: Iterable[int], offset: int = 1) -> None:
         super().__init__(faulty)
         self._offset = offset
+        self._round_index = -1
+        self._correct: list[int] = []
+
+    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+        # Hoists the per-forge sorted(states) scan to once per round; draws
+        # no randomness so seeded RNG streams are unchanged.
+        self._round_index = round_index
+        self._correct = sorted(states)
 
     def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
-        correct = sorted(states)
+        correct = (
+            self._correct if round_index == self._round_index else sorted(states)
+        )
         if not correct:
             return algorithm.default_state()
         victim_state = states[correct[receiver % len(correct)]]
@@ -255,12 +279,29 @@ class AdaptiveSplitAdversary(Adversary):
     def __init__(self, faulty: Iterable[int]) -> None:
         super().__init__(faulty)
         self._camps: tuple[int, int] = (0, 1)
+        self._round_index = -1
+        self._outputs: dict[int, int] = {}
+        self._state_by_output: dict[int, State] = {}
 
     def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
-        outputs = [
-            algorithm.output(node, state) for node, state in sorted(states.items())
-        ]
-        counts = Counter(outputs).most_common(2)
+        # forge() is called once per (sender, receiver) pair, so everything
+        # derivable from the round's states is precomputed here: the per-node
+        # outputs, the two camps, and — for _state_with_output — the first
+        # state exhibiting each output value (first in states iteration
+        # order, matching the former per-forge linear scan exactly).  No
+        # randomness is drawn, so seeded RNG streams are unchanged.
+        self._round_index = round_index
+        self._outputs = {
+            node: algorithm.output(node, state) for node, state in states.items()
+        }
+        by_output: dict[int, State] = {}
+        for node, state in states.items():
+            by_output.setdefault(self._outputs[node], state)
+        self._state_by_output = by_output
+
+        counts = Counter(
+            self._outputs[node] for node in sorted(self._outputs)
+        ).most_common(2)
         if len(counts) >= 2:
             self._camps = (counts[0][0], counts[1][0])
         elif counts:
@@ -270,18 +311,28 @@ class AdaptiveSplitAdversary(Adversary):
             self._camps = (0, 1 % algorithm.c)
 
     def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+        cached = round_index == self._round_index
         receiver_state = states.get(receiver)
         if receiver_state is None:
             target = self._camps[receiver % 2]
         else:
-            receiver_output = algorithm.output(receiver, receiver_state)
+            receiver_output = (
+                self._outputs[receiver]
+                if cached and receiver in self._outputs
+                else algorithm.output(receiver, receiver_state)
+            )
             target = (
                 self._camps[1] if receiver_output == self._camps[0] else self._camps[0]
             )
+        if cached:
+            if target in self._state_by_output:
+                return self._state_by_output[target]
+            return self._fabricate_state(algorithm, target, rng)
         return self._state_with_output(algorithm, states, target, rng)
 
-    @staticmethod
+    @classmethod
     def _state_with_output(
+        cls,
         algorithm: SynchronousCountingAlgorithm,
         states: Mapping[int, State],
         target: int,
@@ -291,6 +342,13 @@ class AdaptiveSplitAdversary(Adversary):
         for node, state in states.items():
             if algorithm.output(node, state) == target:
                 return state
+        return cls._fabricate_state(algorithm, target, rng)
+
+    @staticmethod
+    def _fabricate_state(
+        algorithm: SynchronousCountingAlgorithm, target: int, rng: random.Random
+    ) -> State:
+        """Fabricate a plausible state whose output equals ``target``."""
         if isinstance(algorithm.default_state(), int):
             return target
         candidate = algorithm.random_state(rng)
@@ -323,12 +381,16 @@ def build_adversary(
     """Construct a registered adversary strategy by name.
 
     ``"none"`` returns the fault-free :class:`NoAdversary` (and requires the
-    faulty set to be empty).  All other names come from :data:`STRATEGIES`.
+    faulty set to be empty).  All other names come from :data:`STRATEGIES`
+    and require a *non-empty* faulty set — an active strategy with no nodes
+    to control would silently behave exactly like ``"none"``, which turns
+    campaign grid rows into accidental duplicates.
     """
+    faulty_set = frozenset(faulty)
     if strategy == "none":
-        if frozenset(faulty):
+        if faulty_set:
             raise SimulationError(
-                f"strategy 'none' cannot control faulty nodes {sorted(faulty)}"
+                f"strategy 'none' cannot control faulty nodes {sorted(faulty_set)}"
             )
         return NoAdversary()
     try:
@@ -338,6 +400,11 @@ def build_adversary(
         raise SimulationError(
             f"unknown adversary strategy '{strategy}'; known strategies: {known}"
         ) from None
+    if not faulty_set:
+        raise SimulationError(
+            f"adversary strategy '{strategy}' requires a non-empty faulty set; "
+            "use strategy 'none' for fault-free runs"
+        )
     return cls(faulty, **params)
 
 

@@ -1,0 +1,374 @@
+"""The shared simulation kernel driving both communication models.
+
+The broadcast engine (Section 2) and the pulling engine (Section 5) share
+everything except how one round of communication happens: master-seed
+handling, the derivation of the per-purpose RNG streams, initial-state
+resolution and validation, the round loop, trace recording and early
+stopping.  This module owns that shared machinery:
+
+* :class:`ModelAdapter` — the plug-in point for a communication model.  An
+  adapter names the RNG streams its model consumes (derived from the master
+  seed in a fixed, documented order so fixed-seed traces are reproducible
+  across releases) and implements :meth:`ModelAdapter.step`, one synchronous
+  round mapping the correct nodes' states to their successors plus optional
+  per-round metadata (e.g. pull counts).
+* :class:`StoppingRule` — pluggable termination: :class:`MaxRounds`,
+  :class:`AgreementWindow` (stop once the correct nodes have been counting
+  in agreement for a confirmation window) and :class:`FirstOf` for
+  composition.  The rule that fires stamps its metadata
+  (``stopped_early`` and, for the agreement window, ``agreement_streak``)
+  into the trace.
+* :func:`resolve_initial_states` — normalise and validate a user-provided
+  initial configuration (mapping, sequence or ``None`` for a uniformly
+  random start) with uniform error reporting for both models.
+* :func:`run_engine` — the round loop itself.
+
+:func:`repro.network.simulator.run_simulation` and
+:func:`repro.network.pulling.run_pull_simulation` are thin adapters over
+this kernel; their fixed-seed traces are bit-identical to the standalone
+loops they replaced (asserted by ``tests/network/test_engine.py`` against
+verbatim copies of the legacy engines).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Mapping, Sequence
+
+from repro.core.errors import SimulationError
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.util.rng import derive_rng, ensure_rng
+
+__all__ = [
+    "StoppingRule",
+    "MaxRounds",
+    "AgreementWindow",
+    "FirstOf",
+    "ModelAdapter",
+    "resolve_initial_states",
+    "run_engine",
+    "derive_streams",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Stopping rules
+# ---------------------------------------------------------------------- #
+
+
+class StoppingRule(ABC):
+    """Decides, after every recorded round, whether the simulation ends.
+
+    Rules are stateful (the agreement window tracks a streak across rounds);
+    :meth:`reset` rewinds them so one rule instance can serve several runs.
+    :meth:`observe` returns the rule that fired — itself, a composed child,
+    or ``None`` to continue — and the firing rule's :meth:`stop_metadata` is
+    merged into the trace metadata by the engine.
+    """
+
+    def reset(self) -> None:
+        """Rewind internal state before a new run."""
+
+    @abstractmethod
+    def observe(self, record: RoundRecord) -> "StoppingRule | None":
+        """Account one completed round; return the rule that fired, if any."""
+
+    def stop_metadata(self) -> dict[str, Any]:
+        """Metadata stamped into the trace when this rule ends the run."""
+        return {}
+
+
+class MaxRounds(StoppingRule):
+    """Hard cap on the number of simulated rounds.
+
+    Reaching the cap is the *non*-early outcome, recorded explicitly as
+    ``stopped_early: False`` so downstream consumers never have to treat a
+    missing key as meaningful.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise SimulationError(f"max_rounds must be positive, got {limit}")
+        self.limit = limit
+
+    def observe(self, record: RoundRecord) -> StoppingRule | None:
+        return self if record.round_index + 1 >= self.limit else None
+
+    def stop_metadata(self) -> dict[str, Any]:
+        return {"stopped_early": False}
+
+
+class AgreementWindow(StoppingRule):
+    """Stop once the correct nodes have been counting for ``window`` rounds.
+
+    "Counting" means every round all correct outputs agree *and* the agreed
+    value advances by one modulo ``c`` — mere frozen agreement never
+    satisfies the window (worst-case stabilisation bounds are far larger
+    than typical stabilisation times, which is what makes this useful).
+    """
+
+    def __init__(self, window: int, c: int) -> None:
+        if window < 1:
+            raise SimulationError(
+                f"stop_after_agreement must be positive, got {window}"
+            )
+        self.window = window
+        self.c = c
+        self._streak = 0
+        self._previous: int | None = None
+
+    def reset(self) -> None:
+        self._streak = 0
+        self._previous = None
+
+    def observe(self, record: RoundRecord) -> StoppingRule | None:
+        agreed = record.agreed_value()
+        if agreed is None:
+            self._streak = 0
+        elif self._previous is not None and (self._previous + 1) % self.c == agreed:
+            self._streak += 1
+        else:
+            self._streak = 1
+        self._previous = agreed
+        return self if self._streak >= self.window else None
+
+    def stop_metadata(self) -> dict[str, Any]:
+        return {"stopped_early": True, "agreement_streak": self._streak}
+
+
+class FirstOf(StoppingRule):
+    """Compose rules: every rule observes every round; the first to fire wins.
+
+    All children are updated each round (so streak counters keep tracking
+    even while another rule decides the stop), and when several fire in the
+    same round the earliest in the argument list provides the stop metadata.
+    """
+
+    def __init__(self, *rules: StoppingRule) -> None:
+        if not rules:
+            raise SimulationError("FirstOf requires at least one stopping rule")
+        self.rules = rules
+
+    def reset(self) -> None:
+        for rule in self.rules:
+            rule.reset()
+
+    def observe(self, record: RoundRecord) -> StoppingRule | None:
+        fired: StoppingRule | None = None
+        for rule in self.rules:
+            result = rule.observe(record)
+            if result is not None and fired is None:
+                fired = result
+        return fired
+
+
+# ---------------------------------------------------------------------- #
+# Model adapters
+# ---------------------------------------------------------------------- #
+
+
+class ModelAdapter(ABC):
+    """One communication model plugged into the engine's round loop.
+
+    An adapter wraps an algorithm and an adversary and knows how to execute
+    one synchronous round.  The ``algorithm`` may be any object exposing the
+    simulation surface shared by
+    :class:`~repro.core.algorithm.SynchronousCountingAlgorithm` and
+    :class:`~repro.network.pulling.PullingAlgorithm`: ``n``, ``c``, ``info``,
+    ``output``, ``random_state`` and ``is_valid_state``.
+    """
+
+    #: Model key recorded in trace metadata ("broadcast" models omit it for
+    #: backwards compatibility; see :meth:`trace_metadata`).
+    model = "abstract"
+
+    def __init__(self, algorithm: Any, adversary: Any) -> None:
+        self.algorithm = algorithm
+        self.adversary = adversary
+
+    # -- wiring --------------------------------------------------------- #
+
+    @abstractmethod
+    def bind(self, master_rng: random.Random) -> None:
+        """Derive the model's RNG streams from the master generator.
+
+        Streams must be derived in a fixed order per model (the derivation
+        itself consumes master randomness), so adapters document and own
+        their order: broadcast derives ``initial-states`` then ``adversary``;
+        pulling additionally derives ``sampling`` third.
+        """
+
+    @property
+    @abstractmethod
+    def init_rng(self) -> random.Random:
+        """Stream for drawing random initial states (set by :meth:`bind`)."""
+
+    def validate(self) -> None:
+        """Check the adversary against the algorithm before the run."""
+        self.adversary.validate(self.algorithm)
+
+    # -- execution ------------------------------------------------------ #
+
+    @property
+    def correct_nodes(self) -> list[int]:
+        """Identifiers of the non-faulty nodes, ascending."""
+        faulty = self.adversary.faulty
+        return [i for i in range(self.algorithm.n) if i not in faulty]
+
+    @abstractmethod
+    def step(
+        self, states: Mapping[int, Any], round_index: int
+    ) -> tuple[dict[int, Any], dict[str, Any] | None]:
+        """Execute one round: new states of the correct nodes plus optional
+        per-round metadata (recorded on the :class:`RoundRecord`)."""
+
+    def trace_metadata(self) -> dict[str, Any]:
+        """Model-specific entries for the trace header."""
+        return {"adversary": self.adversary.describe()}
+
+
+# ---------------------------------------------------------------------- #
+# Initial states
+# ---------------------------------------------------------------------- #
+
+
+def resolve_initial_states(
+    algorithm: Any,
+    correct_nodes: Sequence[int],
+    initial_states: Mapping[int, Any] | Sequence[Any] | None,
+    rng: random.Random,
+) -> dict[int, Any]:
+    """Normalise and validate a user-provided initial configuration.
+
+    ``None`` draws a uniformly random state per correct node —
+    self-stabilisation demands correctness from *any* starting point, so
+    random starts are the default workload.  A mapping must cover every
+    correct node; a sequence must have length ``n`` (faulty entries are
+    ignored).  Explicitly provided states are validated against the
+    algorithm's state space and rejected with a :class:`SimulationError`
+    naming the offending node.
+    """
+    if initial_states is None:
+        return {node: algorithm.random_state(rng) for node in correct_nodes}
+    if isinstance(initial_states, Mapping):
+        missing = [node for node in correct_nodes if node not in initial_states]
+        if missing:
+            raise SimulationError(
+                f"initial_states mapping is missing correct nodes {missing}"
+            )
+        resolved = {node: initial_states[node] for node in correct_nodes}
+    else:
+        sequence = list(initial_states)
+        if len(sequence) != algorithm.n:
+            raise SimulationError(
+                f"initial_states sequence must have length n={algorithm.n}, "
+                f"got {len(sequence)}"
+            )
+        resolved = {node: sequence[node] for node in correct_nodes}
+    for node, state in resolved.items():
+        if not algorithm.is_valid_state(state):
+            raise SimulationError(
+                f"initial state for node {node} is not a valid state: {state!r}"
+            )
+    return resolved
+
+
+# ---------------------------------------------------------------------- #
+# The round loop
+# ---------------------------------------------------------------------- #
+
+
+def run_engine(
+    model: ModelAdapter,
+    *,
+    max_rounds: int,
+    stopping: StoppingRule | None = None,
+    record_states: bool = False,
+    seed: int | None = 0,
+    metadata: Mapping[str, Any] | None = None,
+    initial_states: Mapping[int, Any] | Sequence[Any] | None = None,
+) -> ExecutionTrace:
+    """Run a simulation of ``model`` and record an :class:`ExecutionTrace`.
+
+    Parameters
+    ----------
+    model:
+        The bound communication model (algorithm + adversary).
+    max_rounds:
+        Hard round cap; always enforced (as a :class:`MaxRounds` rule) even
+        when a custom ``stopping`` rule is supplied.
+    stopping:
+        Optional additional stopping rule, composed with the round cap via
+        :class:`FirstOf` (the extra rule takes precedence when both fire in
+        the same round, matching the pre-kernel early-stop semantics).
+    record_states:
+        Whether to store full per-round states in the trace (memory heavy).
+    seed:
+        Master seed from which the model derives its RNG streams.
+    metadata:
+        Caller-provided entries merged into the trace metadata;
+        simulator-owned keys win on collision.
+    initial_states:
+        Forwarded to :func:`resolve_initial_states`.
+    """
+    model.validate()
+
+    master_rng = ensure_rng(seed)
+    model.bind(master_rng)
+
+    algorithm = model.algorithm
+    states = resolve_initial_states(
+        algorithm, model.correct_nodes, initial_states, model.init_rng
+    )
+
+    trace = ExecutionTrace(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        c=algorithm.c,
+        faulty=model.adversary.faulty,
+        initial_outputs={
+            node: algorithm.output(node, state) for node, state in states.items()
+        },
+        metadata={
+            **dict(metadata or {}),
+            **model.trace_metadata(),
+            "seed": seed,
+            "max_rounds": max_rounds,
+        },
+    )
+
+    rule: StoppingRule = MaxRounds(max_rounds)
+    if stopping is not None:
+        rule = FirstOf(stopping, rule)
+    rule.reset()
+
+    round_index = 0
+    while True:
+        states, round_metadata = model.step(states, round_index)
+        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        record = RoundRecord(
+            round_index=round_index,
+            outputs=outputs,
+            states=dict(states) if record_states else None,
+            metadata=round_metadata if round_metadata is not None else {},
+        )
+        trace.append(record)
+
+        fired = rule.observe(record)
+        if fired is not None:
+            trace.metadata.update(fired.stop_metadata())
+            return trace
+        round_index += 1
+
+
+def derive_streams(
+    master_rng: random.Random, *names: str
+) -> tuple[random.Random, ...]:
+    """Derive the named RNG streams from the master generator, in order.
+
+    A convenience for adapters: stream order matters (each derivation
+    consumes master randomness), so deriving them in one call keeps the
+    order explicit and greppable.
+    """
+    return tuple(derive_rng(master_rng, name) for name in names)

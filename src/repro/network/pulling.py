@@ -11,25 +11,40 @@ every synchronous round it
 
 The per-node *message complexity* is the maximum number of pulls a correct
 node issues in a round and the *bit complexity* multiplies this by the state
-size — the quantities bounded by Theorem 4 and Corollary 4.  The engine below
-records both for every round.
+size — the quantities bounded by Theorem 4 and Corollary 4.  The
+:class:`PullingModel` adapter below records both for every round; the round
+loop, RNG stream derivation, initial-state validation and early stopping are
+the shared kernel's (:mod:`repro.network.engine`), so the pulling path
+reports missing/invalid initial states, ``stopped_early`` and
+``agreement_streak`` exactly like the broadcast path.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.core.algorithm import AlgorithmInfo, State, check_counting_parameters
 from repro.core.errors import SimulationError
 from repro.network.adversary import Adversary, NoAdversary
-from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.network.engine import (
+    AgreementWindow,
+    ModelAdapter,
+    derive_streams,
+    run_engine,
+)
+from repro.network.trace import ExecutionTrace
 from repro.util.intmath import ceil_log2
-from repro.util.rng import derive_rng, ensure_rng
+from repro.util.rng import ensure_rng
 
-__all__ = ["PullingAlgorithm", "PullSimulationConfig", "run_pull_simulation"]
+__all__ = [
+    "PullingAlgorithm",
+    "PullSimulationConfig",
+    "PullingModel",
+    "run_pull_simulation",
+]
 
 
 class PullingAlgorithm(ABC):
@@ -68,6 +83,11 @@ class PullingAlgorithm(ABC):
     def info(self) -> AlgorithmInfo:
         """Descriptive metadata."""
         return self._info
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether the algorithm is deterministic (sampling usually is not)."""
+        return self._info.deterministic
 
     # ------------------------------------------------------------------ #
     # Abstract interface
@@ -108,6 +128,19 @@ class PullingAlgorithm(ABC):
         """A canonical valid state."""
         return self.random_state(ensure_rng(0))
 
+    def is_valid_state(self, state: Any) -> bool:
+        """Whether ``state`` belongs to the algorithm's state space.
+
+        Pulling algorithms coerce every received message into a valid state,
+        so the default check is the coercion fixed point: a state is valid
+        exactly when :meth:`coerce_message` leaves it unchanged.  Subclasses
+        with a cheaper membership test override this.
+        """
+        try:
+            return self.coerce_message(state) == state
+        except Exception:  # noqa: BLE001 - arbitrary garbage must test False
+            return False
+
     def state_bits(self) -> int:
         """Space complexity in bits (subclasses with exact counts override)."""
         return ceil_log2(max(2, self.num_states()))
@@ -119,6 +152,10 @@ class PullingAlgorithm(ABC):
     def message_bits(self) -> int:
         """Bits transferred per pulled message (one state)."""
         return self.state_bits()
+
+    def stabilization_bound(self) -> int | None:
+        """An upper bound on the stabilisation time, if known."""
+        return None
 
     def describe(self) -> dict[str, Any]:
         """Summary dictionary used by the experiment harness."""
@@ -133,12 +170,18 @@ class PullingAlgorithm(ABC):
 
 @dataclass(frozen=True)
 class PullSimulationConfig:
-    """Configuration of a pulling-model simulation."""
+    """Configuration of a pulling-model simulation.
+
+    Mirrors :class:`~repro.network.simulator.SimulationConfig`, including the
+    ``metadata`` entries merged into the trace metadata (simulator-owned keys
+    win on collision).
+    """
 
     max_rounds: int = 1000
     stop_after_agreement: int | None = None
     record_states: bool = False
     seed: int | None = 0
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -149,11 +192,71 @@ class PullSimulationConfig:
             )
 
 
+class PullingModel(ModelAdapter):
+    """The Section 5 pulling model as a kernel adapter.
+
+    Derives three RNG streams from the master seed — ``initial-states``,
+    ``adversary``, then ``sampling`` — and records per-round pull statistics
+    (``max_pulls`` / ``mean_pulls`` / ``max_bits``) in the round metadata,
+    which the Corollary 4 experiment aggregates.
+    """
+
+    model = "pulling"
+
+    def bind(self, master_rng: random.Random) -> None:
+        self._init_rng, self._adversary_rng, self._sample_rng = derive_streams(
+            master_rng, "initial-states", "adversary", "sampling"
+        )
+
+    @property
+    def init_rng(self) -> random.Random:
+        return self._init_rng
+
+    def trace_metadata(self) -> dict[str, Any]:
+        return {"model": "pulling", "adversary": self.adversary.describe()}
+
+    def step(
+        self, states: Mapping[int, State], round_index: int
+    ) -> tuple[dict[int, State], dict[str, Any]]:
+        algorithm = self.algorithm
+        adversary = self.adversary
+        faulty = adversary.faulty
+        adversary.on_round_start(round_index, states, algorithm, self._adversary_rng)
+        new_states: dict[int, State] = {}
+        pull_counts: list[int] = []
+        for node in states:
+            targets = algorithm.pull_targets(node, states[node], self._sample_rng)
+            responses: list[State] = []
+            for target in targets:
+                if not 0 <= target < algorithm.n:
+                    raise SimulationError(
+                        f"node {node} pulled invalid target {target}"
+                    )
+                if target in faulty:
+                    forged = adversary.forge(
+                        round_index, target, node, states, algorithm, self._adversary_rng
+                    )
+                    responses.append(algorithm.coerce_message(forged))
+                else:
+                    responses.append(states[target])
+            pull_counts.append(len(targets))
+            new_states[node] = algorithm.transition(
+                node, states[node], targets, responses, self._sample_rng
+            )
+        max_pulls = max(pull_counts) if pull_counts else 0
+        metadata = {
+            "max_pulls": max_pulls,
+            "mean_pulls": (sum(pull_counts) / len(pull_counts)) if pull_counts else 0.0,
+            "max_bits": max_pulls * algorithm.message_bits(),
+        }
+        return new_states, metadata
+
+
 def run_pull_simulation(
     algorithm: PullingAlgorithm,
     adversary: Adversary | None = None,
     config: PullSimulationConfig | None = None,
-    initial_states: Mapping[int, State] | None = None,
+    initial_states: Mapping[int, State] | Sequence[State] | None = None,
 ) -> ExecutionTrace:
     """Simulate a pulling-model algorithm and record outputs plus pull counts.
 
@@ -164,87 +267,17 @@ def run_pull_simulation(
     """
     adversary = adversary or NoAdversary()
     config = config or PullSimulationConfig()
-    if len(adversary.faulty) > algorithm.f:
-        raise SimulationError(
-            f"adversary controls {len(adversary.faulty)} nodes but the algorithm "
-            f"tolerates only f={algorithm.f}"
-        )
-    for node in adversary.faulty:
-        if not 0 <= node < algorithm.n:
-            raise SimulationError(f"faulty node {node} outside [0, {algorithm.n})")
-
-    master_rng = ensure_rng(config.seed)
-    init_rng = derive_rng(master_rng, "initial-states")
-    adversary_rng = derive_rng(master_rng, "adversary")
-    sample_rng = derive_rng(master_rng, "sampling")
-
-    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
-    if initial_states is None:
-        states: dict[int, State] = {
-            node: algorithm.random_state(init_rng) for node in correct_nodes
-        }
-    else:
-        states = {node: initial_states[node] for node in correct_nodes}
-
-    trace = ExecutionTrace(
-        algorithm_name=algorithm.info.name,
-        n=algorithm.n,
-        c=algorithm.c,
-        faulty=adversary.faulty,
-        metadata={"model": "pulling", "adversary": adversary.describe(), "seed": config.seed},
+    stopping = (
+        AgreementWindow(config.stop_after_agreement, algorithm.c)
+        if config.stop_after_agreement is not None
+        else None
     )
-
-    agreement_streak = 0
-    previous_agreed: int | None = None
-    for round_index in range(config.max_rounds):
-        adversary.on_round_start(round_index, states, algorithm, adversary_rng)  # type: ignore[arg-type]
-        new_states: dict[int, State] = {}
-        pull_counts: list[int] = []
-        for node in correct_nodes:
-            targets = algorithm.pull_targets(node, states[node], sample_rng)
-            responses: list[State] = []
-            for target in targets:
-                if not 0 <= target < algorithm.n:
-                    raise SimulationError(
-                        f"node {node} pulled invalid target {target}"
-                    )
-                if target in adversary.faulty:
-                    forged = adversary.forge(
-                        round_index, target, node, states, algorithm, adversary_rng  # type: ignore[arg-type]
-                    )
-                    responses.append(algorithm.coerce_message(forged))
-                else:
-                    responses.append(states[target])
-            pull_counts.append(len(targets))
-            new_states[node] = algorithm.transition(
-                node, states[node], targets, responses, sample_rng
-            )
-        states = new_states
-        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
-        max_pulls = max(pull_counts) if pull_counts else 0
-        record = RoundRecord(
-            round_index=round_index,
-            outputs=outputs,
-            states=dict(states) if config.record_states else None,
-            metadata={
-                "max_pulls": max_pulls,
-                "mean_pulls": (sum(pull_counts) / len(pull_counts)) if pull_counts else 0.0,
-                "max_bits": max_pulls * algorithm.message_bits(),
-            },
-        )
-        trace.append(record)
-
-        if config.stop_after_agreement is not None:
-            agreed = record.agreed_value()
-            if agreed is None:
-                agreement_streak = 0
-            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
-                agreement_streak += 1
-            else:
-                agreement_streak = 1
-            previous_agreed = agreed
-            if agreement_streak >= config.stop_after_agreement:
-                trace.metadata["stopped_early"] = True
-                break
-
-    return trace
+    return run_engine(
+        PullingModel(algorithm, adversary),
+        max_rounds=config.max_rounds,
+        stopping=stopping,
+        record_states=config.record_states,
+        seed=config.seed,
+        metadata=config.metadata,
+        initial_states=initial_states,
+    )

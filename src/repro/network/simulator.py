@@ -3,25 +3,30 @@
 In every round each correct node receives the vector of states broadcast by
 all nodes — with the entries of Byzantine senders replaced, per receiver, by
 whatever the adversary forges — and applies the algorithm's transition
-function.  The engine records an :class:`~repro.network.trace.ExecutionTrace`
-and can stop early once the outputs have been counting correctly for a
-configurable confirmation window (useful because worst-case stabilisation
-bounds are far larger than typical stabilisation times).
+function.  The round loop, RNG stream derivation, trace recording and early
+stopping live in the shared kernel (:mod:`repro.network.engine`); this module
+contributes the broadcast-specific pieces: the per-round message-vector
+construction (:func:`run_round`) and the :class:`BroadcastModel` adapter.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.algorithm import State, SynchronousCountingAlgorithm
 from repro.core.errors import SimulationError
 from repro.network.adversary import Adversary, NoAdversary
-from repro.network.trace import ExecutionTrace, RoundRecord
-from repro.util.rng import derive_rng, ensure_rng
+from repro.network.engine import (
+    AgreementWindow,
+    ModelAdapter,
+    derive_streams,
+    run_engine,
+)
+from repro.network.trace import ExecutionTrace
 
-__all__ = ["SimulationConfig", "run_simulation", "run_round"]
+__all__ = ["SimulationConfig", "BroadcastModel", "run_simulation", "run_round"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +49,9 @@ class SimulationConfig:
         Seed for all randomness used by the run (adversary, random initial
         states).  Runs with equal seeds and deterministic algorithms are
         bit-for-bit reproducible.
+    metadata:
+        Caller-provided entries merged into the trace metadata
+        (simulator-owned keys win on collision).
     """
 
     max_rounds: int = 1000
@@ -105,6 +113,33 @@ def run_round(
     return new_states
 
 
+class BroadcastModel(ModelAdapter):
+    """The Section 2 broadcast model as a kernel adapter.
+
+    Derives two RNG streams from the master seed — ``initial-states`` then
+    ``adversary`` — and executes rounds through :func:`run_round`.
+    """
+
+    model = "broadcast"
+
+    def bind(self, master_rng: random.Random) -> None:
+        self._init_rng, self._adversary_rng = derive_streams(
+            master_rng, "initial-states", "adversary"
+        )
+
+    @property
+    def init_rng(self) -> random.Random:
+        return self._init_rng
+
+    def step(
+        self, states: Mapping[int, State], round_index: int
+    ) -> tuple[dict[int, State], dict[str, Any] | None]:
+        return (
+            run_round(self.algorithm, states, self.adversary, round_index, self._adversary_rng),
+            None,
+        )
+
+
 def run_simulation(
     algorithm: SynchronousCountingAlgorithm,
     adversary: Adversary | None = None,
@@ -136,87 +171,17 @@ def run_simulation(
     """
     adversary = adversary or NoAdversary()
     config = config or SimulationConfig()
-    adversary.validate(algorithm)
-
-    master_rng = ensure_rng(config.seed)
-    init_rng = derive_rng(master_rng, "initial-states")
-    adversary_rng = derive_rng(master_rng, "adversary")
-
-    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
-    states = _resolve_initial_states(algorithm, correct_nodes, initial_states, init_rng)
-
-    trace = ExecutionTrace(
-        algorithm_name=algorithm.info.name,
-        n=algorithm.n,
-        c=algorithm.c,
-        faulty=adversary.faulty,
-        initial_outputs={
-            node: algorithm.output(node, state) for node, state in states.items()
-        },
-        metadata={
-            **dict(config.metadata),
-            "adversary": adversary.describe(),
-            "seed": config.seed,
-            "max_rounds": config.max_rounds,
-        },
+    stopping = (
+        AgreementWindow(config.stop_after_agreement, algorithm.c)
+        if config.stop_after_agreement is not None
+        else None
     )
-
-    agreement_streak = 0
-    previous_agreed: int | None = None
-    for round_index in range(config.max_rounds):
-        states = run_round(algorithm, states, adversary, round_index, adversary_rng)
-        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
-        record = RoundRecord(
-            round_index=round_index,
-            outputs=outputs,
-            states=dict(states) if config.record_states else None,
-        )
-        trace.append(record)
-
-        if config.stop_after_agreement is not None:
-            agreed = record.agreed_value()
-            if agreed is None:
-                agreement_streak = 0
-            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
-                agreement_streak += 1
-            else:
-                agreement_streak = 1
-            previous_agreed = agreed
-            if agreement_streak >= config.stop_after_agreement:
-                trace.metadata["stopped_early"] = True
-                trace.metadata["agreement_streak"] = agreement_streak
-                break
-
-    return trace
-
-
-def _resolve_initial_states(
-    algorithm: SynchronousCountingAlgorithm,
-    correct_nodes: Sequence[int],
-    initial_states: Mapping[int, State] | Sequence[State] | None,
-    rng: random.Random,
-) -> dict[int, State]:
-    """Normalise the user-provided initial configuration."""
-    if initial_states is None:
-        return {node: algorithm.random_state(rng) for node in correct_nodes}
-    if isinstance(initial_states, Mapping):
-        missing = [node for node in correct_nodes if node not in initial_states]
-        if missing:
-            raise SimulationError(
-                f"initial_states mapping is missing correct nodes {missing}"
-            )
-        resolved = {node: initial_states[node] for node in correct_nodes}
-    else:
-        sequence = list(initial_states)
-        if len(sequence) != algorithm.n:
-            raise SimulationError(
-                f"initial_states sequence must have length n={algorithm.n}, "
-                f"got {len(sequence)}"
-            )
-        resolved = {node: sequence[node] for node in correct_nodes}
-    for node, state in resolved.items():
-        if not algorithm.is_valid_state(state):
-            raise SimulationError(
-                f"initial state for node {node} is not a valid state: {state!r}"
-            )
-    return resolved
+    return run_engine(
+        BroadcastModel(algorithm, adversary),
+        max_rounds=config.max_rounds,
+        stopping=stopping,
+        record_states=config.record_states,
+        seed=config.seed,
+        metadata=config.metadata,
+        initial_states=initial_states,
+    )

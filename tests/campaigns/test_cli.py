@@ -168,6 +168,110 @@ class TestErrorPaths:
         assert "bogus_field" in err and "valid fields" in err
 
 
+class TestPullingModelRoundTrip:
+    """define -> run -> resume -> summarize for a pulling-model grid."""
+
+    def define_pulling_campaign(self, tmp_path) -> str:
+        spec_path = str(tmp_path / "pull.campaign.json")
+        code = main(
+            [
+                "define",
+                "--name",
+                "pull-demo",
+                "--model",
+                "pulling",
+                "--algorithm",
+                "sampled-boosted:sample_size=2",
+                "--adversary",
+                "crash",
+                "--adversary",
+                "random-state",
+                "--num-faults",
+                "1",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "30",
+                "--stop-after-agreement",
+                "5",
+                "--out",
+                spec_path,
+            ]
+        )
+        assert code == 0
+        return spec_path
+
+    def test_define_records_model(self, tmp_path):
+        spec_path = self.define_pulling_campaign(tmp_path)
+        data = json.loads(open(spec_path, encoding="utf-8").read())
+        assert data["model"] == "pulling"
+        assert data["algorithms"][0]["name"] == "sampled-boosted"
+
+    def test_run_resume_and_summarize(self, tmp_path, capsys):
+        spec_path = self.define_pulling_campaign(tmp_path)
+        store_path = str(tmp_path / "pull.jsonl")
+
+        assert main(["run", spec_path, "--store", store_path, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "4 executed, 0 resumed, 0 failed" in out
+
+        rows = [
+            json.loads(line)
+            for line in open(store_path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert len(rows) == 4
+        assert all(row["model"] == "pulling" for row in rows)
+        assert all(row["max_pulls"] is not None and row["max_pulls"] > 0 for row in rows)
+        # max_bits = max_pulls x message bits, so it is a strictly larger multiple.
+        assert all(
+            row["max_bits"] >= row["max_pulls"]
+            and row["max_bits"] % row["max_pulls"] == 0
+            for row in rows
+        )
+        assert all(row["error"] is None for row in rows)
+
+        assert main(["resume", spec_path, "--store", store_path, "--quiet"]) == 0
+        assert "0 executed, 4 resumed, 0 failed" in capsys.readouterr().out
+
+        assert main(["summarize", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "max_pulls" in out
+        assert "max_bits" in out
+
+    def test_broadcast_algorithm_in_pulling_grid_is_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "define",
+                "--name",
+                "mismatch",
+                "--model",
+                "pulling",
+                "--algorithm",
+                "naive-majority:n=6,c=3,claimed_resilience=1",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "broadcast-model algorithm" in err
+
+    def test_parallel_pulling_run_matches_serial(self, tmp_path):
+        spec_path = self.define_pulling_campaign(tmp_path)
+        serial_store = str(tmp_path / "serial.jsonl")
+        parallel_store = str(tmp_path / "parallel.jsonl")
+        assert main(["run", spec_path, "--store", serial_store, "--quiet"]) == 0
+        assert (
+            main(["run", spec_path, "--store", parallel_store, "--jobs", "2", "--quiet"])
+            == 0
+        )
+        parse = lambda path: sorted(
+            line for line in open(path, encoding="utf-8") if line.strip()
+        )
+        assert parse(serial_store) == parse(parallel_store)
+
+
 class TestSummarize:
     def test_summarize_reports_stabilization_statistics(self, tmp_path, capsys):
         spec_path = define_small_campaign(tmp_path)

@@ -21,7 +21,9 @@ def fixed_campaign(runs_per_setting: int = 25) -> CampaignSpec:
             AlgorithmSpec.create(
                 "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
             ),
-            AlgorithmSpec.create("trivial", {"c": 4}),
+            AlgorithmSpec.create(
+                "naive-majority", {"n": 4, "c": 4, "claimed_resilience": 1}
+            ),
         ),
         adversaries=("crash", "random-state"),
         runs_per_setting=runs_per_setting,
@@ -72,6 +74,62 @@ class TestExecuteRun:
         trace = run_simulation(spec.resolve_algorithm(), config=config)
         assert trace.metadata["run_id"] == "tagged"
         assert trace.metadata["campaign"] == "meta-test"
+
+
+class TestPullingRuns:
+    def test_execute_run_dispatches_to_pulling_engine(self):
+        from repro.campaigns.executor import execute_run
+        from repro.campaigns.results import reduce_trace
+        from repro.network.pulling import PullSimulationConfig, run_pull_simulation
+
+        spec = RunSpec(
+            run_id="pull-0",
+            algorithm=AlgorithmSpec.create("sampled-boosted", {"sample_size": 2}),
+            adversary="crash",
+            faulty=(3,),
+            sim_seed=9,
+            max_rounds=15,
+            stop_after_agreement=None,
+            model="pulling",
+        )
+        result = execute_run(spec)
+        assert result.error is None
+        assert result.model == "pulling"
+        assert result.max_pulls is not None and result.max_pulls > 0
+        assert result.max_bits is not None and result.max_bits > result.max_pulls
+        assert result.post_agreement_failure_rate is not None
+
+        # The executor result must equal a by-hand run of the pulling engine.
+        algorithm = spec.resolve_algorithm()
+        trace = run_pull_simulation(
+            algorithm,
+            adversary=spec.resolve_adversary(),
+            config=PullSimulationConfig(
+                max_rounds=15,
+                seed=9,
+                metadata={"run_id": spec.run_id, **dict(spec.tags)},
+            ),
+        )
+        assert reduce_trace(spec, algorithm, trace).to_json() == result.to_json()
+
+    def test_pulling_messages_sent_counts_pulls(self):
+        from repro.campaigns.executor import execute_run
+
+        spec = RunSpec(
+            run_id="pull-msg",
+            algorithm=AlgorithmSpec.create("sampled-boosted", {"sample_size": 2}),
+            adversary="crash",
+            faulty=(3,),
+            sim_seed=1,
+            max_rounds=10,
+            stop_after_agreement=None,
+            model="pulling",
+        )
+        result = execute_run(spec)
+        assert result.error is None
+        # 11 correct nodes x 17 pulls each x 10 rounds, far below the
+        # broadcast accounting of rounds x n x correct = 10 x 12 x 11.
+        assert result.messages_sent == 10 * 11 * 17
 
 
 class TestSerialVsParallel:

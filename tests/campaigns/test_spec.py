@@ -123,10 +123,16 @@ class TestCampaignSpec:
             small_campaign(num_faults=(2,)).expand()
 
     def test_dict_round_trip(self):
-        spec = small_campaign(num_faults=(None, 0))
+        spec = small_campaign(num_faults=(None, 1))
         rebuilt = CampaignSpec.from_dict(spec.to_dict())
         assert rebuilt == spec
         assert rebuilt.expand() == spec.expand()
+
+    def test_active_strategy_with_zero_faults_rejected(self):
+        # An active adversary with no nodes to control would silently
+        # duplicate the 'none' rows of the grid.
+        with pytest.raises(ParameterError, match="crash"):
+            small_campaign(num_faults=(0,)).expand()
 
     @pytest.mark.parametrize(
         "overrides",
@@ -138,8 +144,61 @@ class TestCampaignSpec:
             {"runs_per_setting": 0},
             {"max_rounds": 0},
             {"fault_pattern": "clustered"},
+            {"model": "gossip"},
         ],
     )
     def test_validation(self, overrides):
         with pytest.raises(ParameterError):
             small_campaign(**overrides)
+
+
+def pulling_campaign(**overrides) -> CampaignSpec:
+    settings = dict(
+        name="pull-unit",
+        algorithms=(AlgorithmSpec.create("sampled-boosted", {"sample_size": 2}),),
+        adversaries=("crash",),
+        num_faults=(1,),
+        runs_per_setting=2,
+        seed=3,
+        max_rounds=20,
+        stop_after_agreement=4,
+        model="pulling",
+    )
+    settings.update(overrides)
+    return CampaignSpec(**settings)
+
+
+class TestPullingModelAxis:
+    def test_expand_propagates_model(self):
+        runs = pulling_campaign().expand()
+        assert len(runs) == 2
+        assert all(run.model == "pulling" for run in runs)
+
+    def test_dict_round_trip_keeps_model(self):
+        spec = pulling_campaign()
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.model == "pulling"
+        assert rebuilt.expand() == spec.expand()
+
+    def test_from_dict_defaults_to_broadcast(self):
+        # Pre-model-axis campaign files have no 'model' key.
+        data = small_campaign().to_dict()
+        data.pop("model")
+        assert CampaignSpec.from_dict(data).model == "broadcast"
+
+    def test_pulling_algorithm_in_broadcast_grid_rejected(self):
+        with pytest.raises(ParameterError, match="pulling-model algorithm"):
+            pulling_campaign(model="broadcast").expand()
+
+    def test_broadcast_algorithm_in_pulling_grid_rejected(self):
+        with pytest.raises(ParameterError, match="broadcast-model algorithm"):
+            small_campaign(model="pulling").expand()
+
+    def test_run_spec_rejects_unknown_model(self):
+        with pytest.raises(ParameterError):
+            RunSpec(
+                run_id="r0",
+                algorithm=AlgorithmSpec.create("trivial", {"c": 3}),
+                model="gossip",
+            )

@@ -1,0 +1,207 @@
+"""Verbatim copies of the pre-kernel simulation engines.
+
+Before the shared kernel (:mod:`repro.network.engine`) existed,
+``run_simulation`` and ``run_pull_simulation`` were two hand-written round
+loops.  These are the loops exactly as they stood in the last pre-refactor
+revision; ``tests/network/test_engine.py`` replays them against the kernel
+adapters to prove that fixed-seed traces are bit-identical across the
+refactor.  Do not "improve" this module — its whole value is that it stays
+frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.algorithm import State
+from repro.core.errors import SimulationError
+from repro.network.adversary import NoAdversary
+from repro.network.simulator import run_round
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.util.rng import derive_rng, ensure_rng
+
+
+def legacy_run_simulation(algorithm, adversary=None, config=None, initial_states=None):
+    """The broadcast-model engine as it was before the shared kernel."""
+    from repro.network.simulator import SimulationConfig
+
+    adversary = adversary or NoAdversary()
+    config = config or SimulationConfig()
+    adversary.validate(algorithm)
+
+    master_rng = ensure_rng(config.seed)
+    init_rng = derive_rng(master_rng, "initial-states")
+    adversary_rng = derive_rng(master_rng, "adversary")
+
+    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
+    states = _legacy_resolve_initial_states(
+        algorithm, correct_nodes, initial_states, init_rng
+    )
+
+    trace = ExecutionTrace(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        c=algorithm.c,
+        faulty=adversary.faulty,
+        initial_outputs={
+            node: algorithm.output(node, state) for node, state in states.items()
+        },
+        metadata={
+            **dict(config.metadata),
+            "adversary": adversary.describe(),
+            "seed": config.seed,
+            "max_rounds": config.max_rounds,
+        },
+    )
+
+    agreement_streak = 0
+    previous_agreed: int | None = None
+    for round_index in range(config.max_rounds):
+        states = run_round(algorithm, states, adversary, round_index, adversary_rng)
+        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        record = RoundRecord(
+            round_index=round_index,
+            outputs=outputs,
+            states=dict(states) if config.record_states else None,
+        )
+        trace.append(record)
+
+        if config.stop_after_agreement is not None:
+            agreed = record.agreed_value()
+            if agreed is None:
+                agreement_streak = 0
+            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
+                agreement_streak += 1
+            else:
+                agreement_streak = 1
+            previous_agreed = agreed
+            if agreement_streak >= config.stop_after_agreement:
+                trace.metadata["stopped_early"] = True
+                trace.metadata["agreement_streak"] = agreement_streak
+                break
+
+    return trace
+
+
+def _legacy_resolve_initial_states(algorithm, correct_nodes, initial_states, rng):
+    if initial_states is None:
+        return {node: algorithm.random_state(rng) for node in correct_nodes}
+    if isinstance(initial_states, Mapping):
+        missing = [node for node in correct_nodes if node not in initial_states]
+        if missing:
+            raise SimulationError(
+                f"initial_states mapping is missing correct nodes {missing}"
+            )
+        resolved = {node: initial_states[node] for node in correct_nodes}
+    else:
+        sequence = list(initial_states)
+        if len(sequence) != algorithm.n:
+            raise SimulationError(
+                f"initial_states sequence must have length n={algorithm.n}, "
+                f"got {len(sequence)}"
+            )
+        resolved = {node: sequence[node] for node in correct_nodes}
+    for node, state in resolved.items():
+        if not algorithm.is_valid_state(state):
+            raise SimulationError(
+                f"initial state for node {node} is not a valid state: {state!r}"
+            )
+    return resolved
+
+
+def legacy_run_pull_simulation(algorithm, adversary=None, config=None, initial_states=None):
+    """The pulling-model engine as it was before the shared kernel.
+
+    Including its bugs: a bare ``KeyError`` for incomplete initial-state
+    mappings, silently accepted invalid states, and ``agreement_streak``
+    never recorded — the regression tests in ``test_engine.py`` pin the
+    *fixed* behaviour separately.
+    """
+    from repro.network.pulling import PullSimulationConfig
+
+    adversary = adversary or NoAdversary()
+    config = config or PullSimulationConfig()
+    if len(adversary.faulty) > algorithm.f:
+        raise SimulationError(
+            f"adversary controls {len(adversary.faulty)} nodes but the algorithm "
+            f"tolerates only f={algorithm.f}"
+        )
+    for node in adversary.faulty:
+        if not 0 <= node < algorithm.n:
+            raise SimulationError(f"faulty node {node} outside [0, {algorithm.n})")
+
+    master_rng = ensure_rng(config.seed)
+    init_rng = derive_rng(master_rng, "initial-states")
+    adversary_rng = derive_rng(master_rng, "adversary")
+    sample_rng = derive_rng(master_rng, "sampling")
+
+    correct_nodes = [i for i in range(algorithm.n) if i not in adversary.faulty]
+    if initial_states is None:
+        states: dict[int, State] = {
+            node: algorithm.random_state(init_rng) for node in correct_nodes
+        }
+    else:
+        states = {node: initial_states[node] for node in correct_nodes}
+
+    trace = ExecutionTrace(
+        algorithm_name=algorithm.info.name,
+        n=algorithm.n,
+        c=algorithm.c,
+        faulty=adversary.faulty,
+        metadata={"model": "pulling", "adversary": adversary.describe(), "seed": config.seed},
+    )
+
+    agreement_streak = 0
+    previous_agreed: int | None = None
+    for round_index in range(config.max_rounds):
+        adversary.on_round_start(round_index, states, algorithm, adversary_rng)
+        new_states: dict[int, State] = {}
+        pull_counts: list[int] = []
+        for node in correct_nodes:
+            targets = algorithm.pull_targets(node, states[node], sample_rng)
+            responses: list[State] = []
+            for target in targets:
+                if not 0 <= target < algorithm.n:
+                    raise SimulationError(
+                        f"node {node} pulled invalid target {target}"
+                    )
+                if target in adversary.faulty:
+                    forged = adversary.forge(
+                        round_index, target, node, states, algorithm, adversary_rng
+                    )
+                    responses.append(algorithm.coerce_message(forged))
+                else:
+                    responses.append(states[target])
+            pull_counts.append(len(targets))
+            new_states[node] = algorithm.transition(
+                node, states[node], targets, responses, sample_rng
+            )
+        states = new_states
+        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        max_pulls = max(pull_counts) if pull_counts else 0
+        record = RoundRecord(
+            round_index=round_index,
+            outputs=outputs,
+            states=dict(states) if config.record_states else None,
+            metadata={
+                "max_pulls": max_pulls,
+                "mean_pulls": (sum(pull_counts) / len(pull_counts)) if pull_counts else 0.0,
+                "max_bits": max_pulls * algorithm.message_bits(),
+            },
+        )
+        trace.append(record)
+
+        if config.stop_after_agreement is not None:
+            agreed = record.agreed_value()
+            if agreed is None:
+                agreement_streak = 0
+            elif previous_agreed is not None and (previous_agreed + 1) % algorithm.c == agreed:
+                agreement_streak += 1
+            else:
+                agreement_streak = 1
+            previous_agreed = agreed
+            if agreement_streak >= config.stop_after_agreement:
+                trace.metadata["stopped_early"] = True
+                break
+
+    return trace

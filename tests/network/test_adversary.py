@@ -20,6 +20,7 @@ from repro.network.adversary import (
     PhaseKingSkewAdversary,
     RandomStateAdversary,
     SplitStateAdversary,
+    build_adversary,
     block_concentrated_faults,
     random_faulty_set,
     spread_faults,
@@ -156,6 +157,176 @@ class TestAdaptiveSplit:
         adversary.on_round_start(0, states, counter, random.Random(0))
         forged = adversary.forge(sender=4, receiver=0, **forge_args(counter, states))
         assert counter.is_valid_state(forged)
+
+
+class LegacyMimicAdversary(MimicAdversary):
+    """The pre-optimisation forge: re-sorts the states on every call."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        pass
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        correct = sorted(states)
+        if not correct:
+            return algorithm.default_state()
+        victim = correct[(receiver + round_index) % len(correct)]
+        return states[victim]
+
+
+class LegacyPhaseKingSkewAdversary(PhaseKingSkewAdversary):
+    """The pre-optimisation forge: re-sorts the states on every call."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        pass
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        correct = sorted(states)
+        if not correct:
+            return algorithm.default_state()
+        victim_state = states[correct[receiver % len(correct)]]
+        if isinstance(victim_state, BoostedState):
+            if receiver % 2 == 0:
+                skewed_a = (
+                    (victim_state.a + self._offset) % algorithm.c
+                    if victim_state.a != INFINITY
+                    else 0
+                )
+            else:
+                skewed_a = INFINITY
+            return BoostedState(inner=victim_state.inner, a=skewed_a, d=rng.randrange(2))
+        return algorithm.random_state(rng)
+
+
+class LegacyAdaptiveSplitAdversary(AdaptiveSplitAdversary):
+    """The pre-optimisation version: per-forge output scan, no caches."""
+
+    def on_round_start(self, round_index, states, algorithm, rng):
+        outputs = [
+            algorithm.output(node, state) for node, state in sorted(states.items())
+        ]
+        from collections import Counter
+
+        counts = Counter(outputs).most_common(2)
+        if len(counts) >= 2:
+            self._camps = (counts[0][0], counts[1][0])
+        elif counts:
+            value = counts[0][0]
+            self._camps = (value, (value + 1) % algorithm.c)
+        else:
+            self._camps = (0, 1 % algorithm.c)
+
+    def forge(self, round_index, sender, receiver, states, algorithm, rng):
+        receiver_state = states.get(receiver)
+        if receiver_state is None:
+            target = self._camps[receiver % 2]
+        else:
+            receiver_output = algorithm.output(receiver, receiver_state)
+            target = (
+                self._camps[1] if receiver_output == self._camps[0] else self._camps[0]
+            )
+        for node, state in states.items():
+            if algorithm.output(node, state) == target:
+                return state
+        if isinstance(algorithm.default_state(), int):
+            return target
+        candidate = algorithm.random_state(rng)
+        if isinstance(candidate, BoostedState):
+            return BoostedState(inner=candidate.inner, a=target % algorithm.c, d=1)
+        return candidate
+
+
+class TestHotPathCachingEquivalence:
+    """The per-round caches must not change any forged message or RNG draw.
+
+    Full fixed-seed simulations with the optimised adversaries must produce
+    traces identical to the pre-optimisation implementations above.
+    """
+
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3, 4))
+    @pytest.mark.parametrize(
+        "optimized_cls, legacy_cls",
+        [
+            (MimicAdversary, LegacyMimicAdversary),
+            (PhaseKingSkewAdversary, LegacyPhaseKingSkewAdversary),
+            (AdaptiveSplitAdversary, LegacyAdaptiveSplitAdversary),
+        ],
+    )
+    def test_simulation_traces_identical(self, seed, optimized_cls, legacy_cls):
+        from repro.network.simulator import SimulationConfig, run_simulation
+
+        counter = NaiveMajorityCounter(n=7, c=4, claimed_resilience=2)
+        config = SimulationConfig(max_rounds=30, record_states=True, seed=seed)
+        optimized = run_simulation(counter, adversary=optimized_cls([2, 5]), config=config)
+        legacy = run_simulation(counter, adversary=legacy_cls([2, 5]), config=config)
+        assert optimized.rounds == legacy.rounds
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    @pytest.mark.parametrize(
+        "optimized_cls, legacy_cls",
+        [
+            (PhaseKingSkewAdversary, LegacyPhaseKingSkewAdversary),
+            (AdaptiveSplitAdversary, LegacyAdaptiveSplitAdversary),
+        ],
+    )
+    def test_boosted_state_traces_identical(self, seed, optimized_cls, legacy_cls):
+        # BoostedState messages exercise the skew and fabrication branches.
+        from repro.core.recursion import figure2_counter
+        from repro.network.simulator import SimulationConfig, run_simulation
+
+        counter = figure2_counter(levels=1, c=2)
+        config = SimulationConfig(max_rounds=25, seed=seed)
+        optimized = run_simulation(counter, adversary=optimized_cls([1, 6, 9]), config=config)
+        legacy = run_simulation(counter, adversary=legacy_cls([1, 6, 9]), config=config)
+        assert optimized.rounds == legacy.rounds
+
+    def test_forge_without_round_start_falls_back(self):
+        # Direct forge() calls (no on_round_start) must still work: the cache
+        # is keyed by round index and recomputes on mismatch.
+        counter = NaiveMajorityCounter(n=4, c=9)
+        adversary = MimicAdversary([3])
+        states = {0: 4, 1: 5, 2: 6}
+        forged = adversary.forge(
+            round_index=7, sender=3, receiver=1, states=states,
+            algorithm=counter, rng=random.Random(0),
+        )
+        assert forged in states.values()
+
+    def test_stale_cache_not_used_for_other_round(self):
+        counter = NaiveMajorityCounter(n=5, c=4, claimed_resilience=1)
+        adversary = MimicAdversary([4])
+        first = {0: 0, 1: 1, 2: 2, 3: 3}
+        adversary.on_round_start(0, first, counter, random.Random(0))
+        # A forge for a different round must not reuse round 0's node list.
+        later = {0: 0, 2: 2, 3: 3}
+        forged = adversary.forge(
+            round_index=5, sender=4, receiver=0, states=later,
+            algorithm=counter, rng=random.Random(0),
+        )
+        assert forged in later.values()
+
+
+class TestBuildAdversary:
+    def test_none_returns_no_adversary(self):
+        assert isinstance(build_adversary("none"), NoAdversary)
+
+    def test_none_rejects_faulty_nodes(self):
+        with pytest.raises(SimulationError):
+            build_adversary("none", [1])
+
+    def test_builds_registered_strategy(self):
+        adversary = build_adversary("crash", [2, 4])
+        assert isinstance(adversary, CrashAdversary)
+        assert adversary.faulty == frozenset({2, 4})
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SimulationError, match="unknown adversary strategy"):
+            build_adversary("does-not-exist", [1])
+
+    def test_active_strategy_with_empty_faulty_set_rejected(self):
+        # Accepting it would make the run silently equivalent to 'none'.
+        for strategy in ("crash", "random-state", "adaptive-split"):
+            with pytest.raises(SimulationError, match=strategy):
+                build_adversary(strategy)
 
 
 class TestFaultPatterns:

