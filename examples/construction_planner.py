@@ -41,8 +41,9 @@ def describe(label: str, plan) -> None:
     print()
 
 
-def main() -> None:
-    target = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+def main(target: int | None = None) -> None:
+    if target is None:
+        target = int(sys.argv[1]) if len(sys.argv) > 1 else 64
     print(f"Construction plans reaching resilience f >= {target}\n")
 
     if target <= 12:

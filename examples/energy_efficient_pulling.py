@@ -1,16 +1,12 @@
 """Energy-budgeted counting in the pulling model (Section 5 of the paper).
 
 In a circuit, attributing communication cost to the *pulling* node lets each
-node operate under a fixed per-round energy budget.  This example compares
-
-* the deterministic broadcast construction (every node effectively hears
-  from all ``n`` nodes each round), and
-* the sampled pulling-model construction of Theorem 4, where a node pulls
-  only its own block, ``M`` samples per block, ``M`` phase king samples and
-  the ``F + 2`` potential kings,
-
-measuring messages pulled per round and the empirical reliability after
-stabilisation for a sweep of sample sizes.
+node operate under a fixed per-round energy budget.  This example sweeps the
+sample size ``M`` of the Theorem 4 sampled construction through a single
+``repro.scenarios`` scenario — one pulling-model campaign whose algorithm
+axis carries one ``sampled-boosted`` entry per ``M`` — and compares messages
+pulled per round against the deterministic broadcast construction (where
+every node effectively hears from all ``n`` nodes each round).
 
 Run with::
 
@@ -19,37 +15,56 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core.recursion import optimal_resilience_counter
-from repro.experiments.pulling import post_agreement_failure_rate
-from repro.network import PhaseKingSkewAdversary, random_faulty_set
-from repro.network.pulling import PullSimulationConfig, run_pull_simulation
-from repro.network.stabilization import stabilization_round
-from repro.sampling import SampledBoostedCounter, recommended_sample_size
+from repro.sampling import recommended_sample_size
+from repro.scenarios import Scenario, default_component_registry
 
 
-def main() -> None:
-    inner = optimal_resilience_counter(f=1, c=960)
-    faulty = random_faulty_set(12, 1, rng=5)
-    print("Pulling-model counter on 12 nodes (3 blocks of A(4,1)), Byzantine:", sorted(faulty))
+def main(
+    sample_sizes: tuple[int, ...] = (2, 4, 8, 16),
+    runs: int = 2,
+    max_rounds: int = 300,
+    seed: int = 5,
+) -> None:
+    print("Pulling-model counter on 12 nodes (3 blocks of A(4,1)), "
+          "phase-king-skew adversary, 1 Byzantine node")
     print(f"Recommended sample size M0 (Lemma 8, eta=12): {recommended_sample_size(12)} "
           "(larger than the network at this scale — the win appears for large eta)")
     print()
-    print(f"{'M':>4} {'pulls/round':>12} {'broadcast':>10} {'stabilised':>11} {'blips/round':>12}")
 
-    for sample_size in (2, 4, 8, 16):
-        counter = SampledBoostedCounter(
-            inner=inner, k=3, counter_size=2, sample_size=sample_size
-        )
-        trace = run_pull_simulation(
-            counter,
-            adversary=PhaseKingSkewAdversary(faulty),
-            config=PullSimulationConfig(max_rounds=300, seed=5),
-        )
-        result = stabilization_round(trace, min_tail=20)
-        failure = post_agreement_failure_rate(trace)
+    # One scenario, one campaign: the algorithm axis sweeps the sample size.
+    scenario = Scenario()
+    for sample_size in sample_sizes:
+        scenario = scenario.counter("sampled-boosted", sample_size=sample_size)
+    scenario = (
+        scenario.adversary("phase-king-skew")
+        .faults(1)
+        .runs(runs)
+        .max_rounds(max_rounds)
+        .stop_after_agreement(0)
+        .min_tail(20)
+        .seed(seed)
+        .named("energy-efficient-pulling")
+    )
+    report = scenario.execute()
+
+    print(f"{'M':>4} {'pulls/round':>12} {'broadcast':>10} {'stabilised':>11} "
+          f"{'max pulls':>10} {'blips/round':>12}")
+    by_label: dict[str, list] = {}
+    for result in report.results:
+        by_label.setdefault(result.algorithm, []).append(result)
+    registry = default_component_registry()
+    for sample_size in sample_sizes:
+        counter = registry.build_algorithm("sampled-boosted", sample_size=sample_size)
+        bucket = by_label[f"sampled-boosted(sample_size={sample_size})"]
+        stabilized = sum(int(result.stabilized) for result in bucket)
+        max_pulls = max(result.max_pulls or 0 for result in bucket)
+        failure_rate = sum(
+            result.post_agreement_failure_rate or 0.0 for result in bucket
+        ) / len(bucket)
         print(
             f"{sample_size:>4} {counter.expected_pulls_per_round():>12} "
-            f"{counter.n:>10} {str(result.stabilized):>11} {failure:>12.4f}"
+            f"{counter.n:>10} {f'{stabilized}/{len(bucket)}':>11} "
+            f"{max_pulls:>10} {failure_rate:>12.4f}"
         )
 
     print()

@@ -1,10 +1,11 @@
 """Fault-injection study: how different Byzantine strategies affect stabilisation.
 
-Sweeps the library's adversary strategies and fault placements against the
-``A(12, 3)`` counter and prints, per scenario, how long stabilisation took
-compared with the Theorem 1 bound.  Also demonstrates the negative baseline:
-a naive majority-following counter kept split forever by an adaptive
-adversary.
+Sweeps every registered adversary strategy against the ``A(12, 3)`` counter
+through the ``repro.scenarios`` facade — the strategy names come from the
+unified component registry, so a newly registered adversary automatically
+joins the sweep.  Two hand-crafted cases follow: the Figure 2 fault pattern
+(one whole block Byzantine) and the negative baseline, a naive
+majority-following counter kept split forever by an adaptive adversary.
 
 Run with::
 
@@ -17,57 +18,51 @@ from repro import SimulationConfig, figure2_counter, run_simulation
 from repro.counters import NaiveMajorityCounter
 from repro.network import (
     AdaptiveSplitAdversary,
-    CrashAdversary,
-    MimicAdversary,
     PhaseKingSkewAdversary,
-    RandomStateAdversary,
-    SplitStateAdversary,
     block_concentrated_faults,
-    random_faulty_set,
 )
 from repro.network.stabilization import stabilization_round
-
-STRATEGIES = {
-    "crash": CrashAdversary,
-    "random-state": RandomStateAdversary,
-    "split-state": SplitStateAdversary,
-    "mimic": MimicAdversary,
-    "phase-king-skew": PhaseKingSkewAdversary,
-    "adaptive-split": AdaptiveSplitAdversary,
-}
+from repro.scenarios import Scenario, default_component_registry
 
 
-def main() -> None:
+def main(runs: int = 2, seed: int = 13) -> None:
     counter = figure2_counter(levels=1, c=2)
     bound = counter.stabilization_bound()
     print(f"Counter A({counter.n}, {counter.f}), stabilisation bound {bound} rounds")
     print()
-    print(f"{'scenario':<42} {'faults':<14} {'stabilised at':<14} within bound")
-    print("-" * 86)
 
-    scenarios = []
-    for name, strategy in STRATEGIES.items():
-        faulty = random_faulty_set(counter.n, counter.f, rng=hash(name) % 1000)
-        scenarios.append((f"scattered faults / {name}", strategy, faulty))
-    # The Figure 2 pattern: one whole block Byzantine.
-    scenarios.append(
-        (
-            "whole block faulty / phase-king-skew",
-            PhaseKingSkewAdversary,
-            block_concentrated_faults(block_size=4, blocks=[2], per_block=3),
-        )
+    # Every *active* strategy in the registry, with the maximal fault budget.
+    strategies = [
+        name
+        for name in default_component_registry().names(kind="adversary")
+        if name != "none"
+    ]
+    scenario = (
+        Scenario.counter("figure2", levels=1, c=2)
+        .adversary(*strategies)
+        .faults("auto")
+        .runs(runs)
+        .max_rounds(bound)
+        .stop_after_agreement(16)
+        .seed(seed)
+        .named("fault-injection-study")
     )
+    report = scenario.execute()
+    print(scenario.summarize(report).format_table())
+    print()
 
-    for label, strategy, faulty in scenarios:
-        trace = run_simulation(
-            counter,
-            adversary=strategy(faulty),
-            config=SimulationConfig(max_rounds=bound, stop_after_agreement=16, seed=13),
-        )
-        result = stabilization_round(trace)
-        round_text = str(result.round) if result.stabilized else "never"
-        ok = result.stabilized and result.round <= bound
-        print(f"{label:<42} {str(sorted(faulty)):<14} {round_text:<14} {ok}")
+    # The Figure 2 pattern: one whole block Byzantine.
+    faulty = block_concentrated_faults(block_size=4, blocks=[2], per_block=3)
+    trace = run_simulation(
+        counter,
+        adversary=PhaseKingSkewAdversary(faulty),
+        config=SimulationConfig(max_rounds=bound, stop_after_agreement=16, seed=seed),
+    )
+    result = stabilization_round(trace)
+    round_text = str(result.round) if result.stabilized else "never"
+    ok = result.stabilized and result.round <= bound
+    print(f"whole block faulty / phase-king-skew: faults {sorted(faulty)}, "
+          f"stabilised at {round_text}, within bound: {ok}")
 
     print()
     print("Negative baseline: naive majority counter under the adaptive-split attack")

@@ -1,8 +1,13 @@
 """Quickstart: build a self-stabilising Byzantine counter and watch it stabilise.
 
-This reproduces the example execution from the introduction of the paper:
-a network with Byzantine nodes and arbitrary initial states eventually has
-all correct nodes counting modulo ``c`` in agreement.
+Two views of the same system:
+
+1. the ``repro.scenarios`` facade — the one-chain way to run a whole
+   campaign of adversarial simulations and summarise it, and
+2. the trace-level API underneath, reproducing the example execution from
+   the introduction of the paper: a network with Byzantine nodes and
+   arbitrary initial states eventually has all correct nodes counting
+   modulo ``c`` in agreement.
 
 Run with::
 
@@ -14,11 +19,29 @@ from __future__ import annotations
 from repro import SimulationConfig, figure2_counter, run_simulation
 from repro.network import PhaseKingSkewAdversary, random_faulty_set
 from repro.network.stabilization import stabilization_round
+from repro.scenarios import Scenario
 
 
-def main() -> None:
-    # Build the Figure 2 counter A(12, 3): 12 nodes, up to 3 Byzantine,
-    # counting modulo 3, assembled by boosting the Corollary 1 base A(4, 1).
+def main(runs: int = 5, max_rounds: int = 4000, seed: int = 42) -> None:
+    # Part 1 — the facade.  One chain describes the whole study: the
+    # Figure 2 counter A(12, 3) counting modulo 3, attacked by the
+    # phase-king-skew adversary controlling 3 Byzantine nodes, repeated
+    # over independent fault sets and seeds.
+    scenario = (
+        Scenario.counter("figure2", levels=1, c=3)
+        .adversary("phase-king-skew")
+        .faults(3)
+        .runs(runs)
+        .max_rounds(max_rounds)
+        .stop_after_agreement(12)
+        .seed(seed)
+    )
+    report = scenario.execute()
+    print(scenario.summarize(report).format_table())
+    print()
+
+    # Part 2 — the trace-level API, for when one run must be inspected
+    # round by round (the table from the paper's introduction).
     counter = figure2_counter(levels=1, c=3)
     print("Counter:", counter.info.name)
     print(f"  nodes n = {counter.n}, resilience f = {counter.f}, modulus c = {counter.c}")
@@ -26,26 +49,20 @@ def main() -> None:
     print(f"  stabilisation bound  = {counter.stabilization_bound()} rounds (Theorem 1)")
     print()
 
-    # Pick 3 Byzantine nodes and an adversary that actively attacks the
-    # phase king registers; initial states are drawn uniformly at random
-    # (self-stabilisation must cope with any starting point).
-    faulty = random_faulty_set(counter.n, counter.f, rng=42)
-    adversary = PhaseKingSkewAdversary(faulty)
+    faulty = random_faulty_set(counter.n, counter.f, rng=seed)
     print("Byzantine nodes:", sorted(faulty))
-
     trace = run_simulation(
         counter,
-        adversary=adversary,
-        config=SimulationConfig(max_rounds=4000, stop_after_agreement=12, seed=42),
+        adversary=PhaseKingSkewAdversary(faulty),
+        config=SimulationConfig(
+            max_rounds=max_rounds, stop_after_agreement=12, seed=seed
+        ),
     )
-
     result = stabilization_round(trace)
     print(f"Stabilised: {result.stabilized} (round {result.round}, "
           f"bound {counter.stabilization_bound()})")
     print()
 
-    # Show the rounds around the stabilisation point, like the table in the
-    # paper's introduction (faulty nodes behave arbitrarily).
     first = max(0, (result.round or 0) - 3)
     print(trace.format_table(first=first, last=first + 12))
 

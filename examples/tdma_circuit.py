@@ -35,15 +35,17 @@ def slot_owner(slot: int, correct_nodes: list[int]) -> int:
     return slot % 12
 
 
-def main() -> None:
+def main(max_rounds: int = 4000, seed: int = 7) -> None:
     counter = figure2_counter(levels=1, c=SLOTS)
-    faulty = random_faulty_set(counter.n, counter.f, rng=7)
+    faulty = random_faulty_set(counter.n, counter.f, rng=seed)
     print(f"TDMA bus with {SLOTS} slots, {counter.n} subsystems, Byzantine: {sorted(faulty)}")
 
     trace = run_simulation(
         counter,
         adversary=RandomStateAdversary(faulty),
-        config=SimulationConfig(max_rounds=4000, stop_after_agreement=2 * SLOTS, seed=7),
+        config=SimulationConfig(
+            max_rounds=max_rounds, stop_after_agreement=2 * SLOTS, seed=seed
+        ),
     )
     result = stabilization_round(trace)
     print(f"Counter stabilised at round {result.round} "

@@ -1,8 +1,10 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in environments without the ``wheel`` package or
-network access to build-system requirements (legacy ``pip install -e .``).
+The project metadata — including the ``repro`` console-script entry point of
+the unified CLI (:mod:`repro.cli`) — lives in ``pyproject.toml``; this file
+exists so the package can be installed in environments without the ``wheel``
+package or network access to build-system requirements (legacy
+``pip install -e .``).
 """
 
 from setuptools import setup

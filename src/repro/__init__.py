@@ -12,13 +12,38 @@ Suomela, PODC 2015).  The library provides:
 * an exhaustive configuration-space verifier for small instances, and
 * an experiment harness regenerating every table and figure of the paper.
 
-Quick start::
+Quick start — the :mod:`repro.scenarios` facade is the front door: one chain
+describes a whole campaign of adversarial simulations, compiled onto the
+campaign engine (serial or multi-process execution, bit-identical results,
+JSONL persistence and resume)::
+
+    from repro import Scenario
+
+    scenario = (
+        Scenario.counter("figure2", levels=1, c=3)   # A(12, 3), counting mod 3
+        .adversary("phase-king-skew")
+        .faults(3)
+        .runs(200)
+        .stop_after_agreement(12)
+    )
+    report = scenario.execute(jobs=4)
+    print(scenario.summarize(report).format_table())
+
+The same surface is available from the shell as ``python -m repro`` (or the
+``repro`` console script): ``repro run``, ``repro campaign``,
+``repro experiment``, ``repro list`` and ``repro verify``.  Component names
+("figure2", "phase-king-skew", ...) come from the unified registry —
+``repro list`` or :func:`repro.scenarios.default_component_registry` shows
+them all with descriptions.
+
+For round-by-round inspection of a single run, drop one level down to the
+simulator::
 
     from repro import figure2_counter, run_simulation, SimulationConfig
     from repro.network import RandomStateAdversary, random_faulty_set
     from repro.network.stabilization import stabilization_round
 
-    counter = figure2_counter(levels=1, c=3)          # A(12, 3), counting mod 3
+    counter = figure2_counter(levels=1, c=3)
     faulty = random_faulty_set(counter.n, 3, rng=1)
     trace = run_simulation(
         counter,
@@ -63,9 +88,20 @@ from repro.network import (
     run_pull_simulation,
     run_simulation,
 )
+from repro.scenarios import (
+    Component,
+    ComponentRegistry,
+    Scenario,
+    default_component_registry,
+)
 
 __all__ = [
     "__version__",
+    # The scenario facade (the documented quick-start path)
+    "Scenario",
+    "Component",
+    "ComponentRegistry",
+    "default_component_registry",
     # Core abstractions
     "SynchronousCountingAlgorithm",
     "AlgorithmInfo",

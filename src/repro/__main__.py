@@ -1,0 +1,10 @@
+"""``python -m repro`` — the unified command line (see :mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

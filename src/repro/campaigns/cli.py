@@ -1,6 +1,10 @@
 """Command-line interface for the campaign engine.
 
-Usage (``python -m repro.campaigns <command>``)::
+The same commands are mounted under the unified top-level CLI as
+``python -m repro campaign <command>`` — the preferred spelling;
+``python -m repro.campaigns`` remains as a compatible alias.
+
+Usage (``python -m repro campaign <command>``)::
 
     # Write a campaign definition file
     python -m repro.campaigns define --name demo \\
@@ -47,7 +51,14 @@ from repro.campaigns.spec import FAULT_PATTERNS, MODELS, AlgorithmSpec, Campaign
 from repro.core.errors import ReproError
 from repro.network.adversary import STRATEGIES
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "register_commands",
+    "dispatch",
+    "parse_algorithm",
+    "parse_num_faults",
+]
 
 
 def _parse_scalar(text: str) -> Any:
@@ -58,7 +69,7 @@ def _parse_scalar(text: str) -> Any:
         return text
 
 
-def _parse_algorithm(argument: str) -> AlgorithmSpec:
+def parse_algorithm(argument: str) -> AlgorithmSpec:
     """Parse ``name`` or ``name:key=value,key=value`` into an AlgorithmSpec."""
     name, _, params_text = argument.partition(":")
     name = name.strip()
@@ -77,7 +88,7 @@ def _parse_algorithm(argument: str) -> AlgorithmSpec:
     return AlgorithmSpec.create(name, params)
 
 
-def _parse_num_faults(argument: str) -> int | None:
+def parse_num_faults(argument: str) -> int | None:
     """Parse a fault count; ``auto`` means the algorithm's resilience ``f``."""
     if argument.strip().lower() in ("auto", "f", "max"):
         return None
@@ -106,23 +117,25 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The ``repro.campaigns`` argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.campaigns",
-        description="Define, run, resume and summarize simulation campaigns.",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+def register_commands(subparsers) -> None:
+    """Register the campaign subcommands on an argparse subparser group.
 
+    Used both by this module's standalone parser and by the unified
+    ``python -m repro`` CLI (under its ``campaign`` subcommand).  Every
+    subcommand sets a ``handler`` default consumed by :func:`dispatch`.
+    """
     define = subparsers.add_parser(
-        "define", help="write a campaign definition file from flags"
+        "define",
+        help="write a campaign definition file from flags",
+        description="Write a campaign definition file from flags.",
     )
+    define.set_defaults(handler=_command_define)
     define.add_argument("--name", required=True, help="campaign name")
     define.add_argument(
         "--algorithm",
         action="append",
         required=True,
-        type=_parse_algorithm,
+        type=parse_algorithm,
         metavar="NAME[:k=v,...]",
         help="registry algorithm with parameters (repeatable)",
     )
@@ -135,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     define.add_argument(
         "--num-faults",
         action="append",
-        type=_parse_num_faults,
+        type=parse_num_faults,
         metavar="N|auto",
         help="faults per run (repeatable; default: auto = the algorithm's f)",
     )
@@ -167,7 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", "execute a campaign definition (skips completed runs)"),
         ("resume", "alias of 'run': continue an interrupted campaign"),
     ):
-        executor_parser = subparsers.add_parser(verb, help=description)
+        executor_parser = subparsers.add_parser(
+            verb, help=description, description=description
+        )
+        executor_parser.set_defaults(handler=_command_run)
         executor_parser.add_argument("spec", help="campaign definition file (JSON)")
         executor_parser.add_argument(
             "--store", required=True, help="JSONL result store (created if missing)"
@@ -189,8 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     summarize = subparsers.add_parser(
-        "summarize", help="stabilisation statistics from a result store"
+        "summarize",
+        help="stabilisation statistics from a result store",
+        description="Stabilisation statistics from a result store.",
     )
+    summarize.set_defaults(handler=_command_summarize)
     summarize.add_argument("store", help="JSONL result store")
     summarize.add_argument(
         "--group-by",
@@ -200,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--markdown", action="store_true", help="emit a Markdown table"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The standalone ``python -m repro.campaigns`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns",
+        description="Define, run, resume and summarize simulation campaigns.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    register_commands(subparsers)
     return parser
 
 
@@ -271,22 +300,23 @@ def _command_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point for ``python -m repro.campaigns``."""
-    args = build_parser().parse_args(argv)
+def dispatch(args: argparse.Namespace) -> int:
+    """Invoke a parsed command's handler with uniform error reporting.
+
+    Expected failure modes (bad names, malformed files, missing paths)
+    become one-line ``error:`` diagnostics with exit code 2 instead of
+    tracebacks.  Shared with the unified ``python -m repro`` CLI.
+    """
     try:
-        if args.command == "define":
-            return _command_define(args)
-        if args.command in ("run", "resume"):
-            return _command_run(args)
-        if args.command == "summarize":
-            return _command_summarize(args)
+        return args.handler(args)
     except (ReproError, OSError, ValueError) as exc:
-        # Expected failure modes (bad names, malformed files, missing paths)
-        # become one-line diagnostics instead of tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.campaigns``."""
+    return dispatch(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -69,8 +69,24 @@ class AlgorithmSpec:
     def create(
         cls, name: str, params: Mapping[str, Any] | None = None
     ) -> "AlgorithmSpec":
-        """Build a spec from a name and a parameter mapping."""
-        return cls(name=name, params=_as_items(params))
+        """Build a spec from a name and a parameter mapping.
+
+        Parameter values must be hashable: the spec lives inside frozen
+        dataclasses that the executors hash and pickle.  An unhashable value
+        (e.g. a list) is rejected here, eagerly, instead of blowing up later
+        inside the executor with a bare ``TypeError``.
+        """
+        items = _as_items(params)
+        for key, value in items:
+            try:
+                hash(value)
+            except TypeError:
+                raise ParameterError(
+                    f"algorithm parameter {key!r} has unhashable value "
+                    f"{value!r} ({type(value).__name__}); use hashable "
+                    "scalars or tuples"
+                ) from None
+        return cls(name=name, params=items)
 
     def build(self) -> SynchronousCountingAlgorithm:
         """Construct the algorithm instance."""

@@ -101,6 +101,26 @@ class AlgorithmRegistry:
         """All registered published-bounds models."""
         return list(self._models)
 
+    def describe(self, model: str | None = None) -> list[dict[str, Any]]:
+        """Summary dictionaries of every executable algorithm, for listings.
+
+        Shares its shape with
+        :meth:`repro.scenarios.registry.ComponentRegistry.describe`, the
+        unified discovery surface that subsumes this registry.
+        """
+        return [
+            {
+                "name": factory.name,
+                "kind": "algorithm",
+                "description": factory.description,
+                "model": factory.model,
+                "deterministic": factory.deterministic,
+                "source": factory.source,
+            }
+            for name in self.names(model=model)
+            for factory in (self._factories[name],)
+        ]
+
 
 def _build_corollary1_base(c: int = 2, f: int = 1) -> SynchronousCountingAlgorithm:
     """Factory for the Corollary 1 counter (imported lazily to avoid cycles)."""

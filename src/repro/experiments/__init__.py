@@ -1,11 +1,15 @@
 """Experiment harness: one module per table/figure/claim of the paper.
 
-Every module exposes a ``run_*`` function returning an
+Every module exposes ``run_*`` functions returning an
 :class:`~repro.experiments.common.ExperimentResult` (a list of dictionary
-rows plus notes) and a ``main()`` entry point that prints the result as a
-text table, so each experiment can be regenerated with::
+rows plus notes).  The CLI wiring lives in one place — the declarative
+catalogue (:mod:`repro.experiments.catalog`) consumed by the unified
+command line — so each experiment is regenerated with::
 
-    python -m repro.experiments.<module>
+    python -m repro experiment <name>
+
+(``python -m repro.experiments.<module>`` remains as a deprecated alias;
+``python -m repro list`` shows every experiment with its description.)
 
 The mapping from experiment id (DESIGN.md) to module:
 

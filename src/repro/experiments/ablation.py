@@ -14,10 +14,14 @@ analysis depends on; each gets a sweep:
   the adaptive split attack).
 * **Sample size M** (pulling model) — communication vs reliability.
 
-Run with ``python -m repro.experiments.ablation``.
+Run with ``python -m repro experiment ablation``
+(``python -m repro.experiments.ablation`` is a deprecated alias).
 """
 
 from __future__ import annotations
+
+import sys
+from typing import Sequence
 
 from repro.core.boosting import BoostedCounter
 from repro.core.parameters import BoostingParameters
@@ -161,22 +165,14 @@ def run_adversary_ablation(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    import argparse
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment ablation``."""
+    from repro.cli import main as repro_main
 
-    from repro.campaigns.executor import default_executor
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    return repro_main(
+        ["experiment", "ablation", *(sys.argv[1:] if argv is None else argv)]
     )
-    args = parser.parse_args()
-    print(run_block_count_ablation().format_table())
-    print()
-    print(run_counter_size_ablation().format_table())
-    print()
-    print(run_adversary_ablation(executor=default_executor(args.jobs)).format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

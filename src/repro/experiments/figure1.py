@@ -15,12 +15,15 @@ Lemma 2 (common interval within the bound).  A second part reads the same
 quantities out of a *real* execution of the boosted counter ``A(12, 3)`` via
 the vote diagnostics.
 
-Run with ``python -m repro.experiments.figure1``.
+Run with ``python -m repro experiment figure1``
+(``python -m repro.experiments.figure1`` is a deprecated alias).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.blocks import (
     CounterInterpretation,
@@ -122,9 +125,14 @@ def run_figure1(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    print(run_figure1().format_table())
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment figure1``."""
+    from repro.cli import main as repro_main
+
+    return repro_main(
+        ["experiment", "figure1", *(sys.argv[1:] if argv is None else argv)]
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

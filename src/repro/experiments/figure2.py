@@ -16,8 +16,9 @@ under several fault placements and adversary strategies:
   positioned so that the leader pointers have just diverged, maximising the
   wait for the next common interval).
 
-Run with ``python -m repro.experiments.figure2`` (add ``--large`` to include
-the 36-node level, which takes a few minutes).
+Run with ``python -m repro experiment figure2`` (add ``--large`` to include
+the 36-node level, which takes a few minutes);
+``python -m repro.experiments.figure2`` is a deprecated alias.
 """
 
 from __future__ import annotations
@@ -94,6 +95,7 @@ def run_figure2(
     seed: int = 0,
     adversaries: Sequence[str] = ("random-state", "phase-king-skew", "adaptive-split"),
     include_misaligned: bool = True,
+    executor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 2 experiment for the given recursion depth.
 
@@ -117,6 +119,7 @@ def run_figure2(
             max_rounds=max_rounds,
             stop_after_agreement=16,
             seed=seed,
+            executor=executor,
         )
         summary = summarize_trials(metrics)
         result.add_row(
@@ -150,6 +153,7 @@ def run_figure2(
             stop_after_agreement=16,
             seed=seed + 1,
             fault_sets=[pattern],
+            executor=executor,
         )
         summary = summarize_trials(metrics)
         result.add_row(
@@ -192,10 +196,14 @@ def run_figure2(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    levels = 2 if "--large" in sys.argv else 1
-    print(run_figure2(levels=levels).format_table())
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment figure2``."""
+    from repro.cli import main as repro_main
+
+    return repro_main(
+        ["experiment", "figure2", *(sys.argv[1:] if argv is None else argv)]
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

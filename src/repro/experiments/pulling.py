@@ -32,11 +32,13 @@ faults (fraction ``1/12``) to exhibit the high-probability behaviour, and a
 separate sweep with the maximal fault budget shows the failure-probability
 cliff for small ``M``.
 
-Run with ``python -m repro.experiments.pulling [--jobs N]``.
+Run with ``python -m repro experiment pulling [--jobs N]``
+(``python -m repro.experiments.pulling`` is a deprecated alias).
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Sequence
 
 from repro.analysis.bounds import corollary4_pull_bound
@@ -263,21 +265,14 @@ def run_corollary5(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    import argparse
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment pulling``."""
+    from repro.cli import main as repro_main
 
-    from repro.campaigns.executor import default_executor
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    return repro_main(
+        ["experiment", "pulling", *(sys.argv[1:] if argv is None else argv)]
     )
-    args = parser.parse_args()
-    executor = default_executor(args.jobs)
-    print(run_corollary4(executor=executor).format_table())
-    print()
-    print(run_corollary5(executor=executor).format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

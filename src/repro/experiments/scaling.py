@@ -16,12 +16,15 @@ Four sub-experiments, each a function returning an
   stabilisation (ratio ``T/f`` bounded) and ``O(log² f / log log f)`` bits,
   asymptotically better than Theorem 2 for the same resilience.
 
-Run with ``python -m repro.experiments.scaling``.
+Run with ``python -m repro experiment scaling``
+(``python -m repro.experiments.scaling`` is a deprecated alias).
 """
 
 from __future__ import annotations
 
 import math
+import sys
+from typing import Sequence
 
 from repro.analysis.bounds import theorem1_space_bits, theorem3_space_envelope
 from repro.core.boosting import BoostedCounter
@@ -214,25 +217,14 @@ def run_theorem3_scaling(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    import argparse
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment scaling``."""
+    from repro.cli import main as repro_main
 
-    from repro.campaigns.executor import default_executor
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the trial campaigns"
+    return repro_main(
+        ["experiment", "scaling", *(sys.argv[1:] if argv is None else argv)]
     )
-    args = parser.parse_args()
-    executor = default_executor(args.jobs)
-    print(run_theorem1_bounds(executor=executor).format_table())
-    print()
-    print(run_corollary1_scaling(executor=executor).format_table())
-    print()
-    print(run_theorem2_scaling().format_table())
-    print()
-    print(run_theorem3_scaling().format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

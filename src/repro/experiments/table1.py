@@ -12,10 +12,14 @@ reproduces the table with two kinds of rows:
   and the Figure 2 counter ``A(12, 3)``) under Byzantine adversaries and
   report the observed stabilisation times next to the theoretical bounds.
 
-Run with ``python -m repro.experiments.table1``.
+Run with ``python -m repro experiment table1``
+(``python -m repro.experiments.table1`` is a deprecated alias).
 """
 
 from __future__ import annotations
+
+import sys
+from typing import Sequence
 
 from repro.analysis.stats import summarize
 from repro.core.recursion import figure2_counter, optimal_resilience_counter
@@ -33,6 +37,7 @@ def run_table1(
     randomized_trials: int = 20,
     randomized_max_rounds: int = 400,
     seed: int = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Regenerate Table 1 (published bounds plus measured rows)."""
     result = ExperimentResult(name="Table 1 — synchronous 2-counting algorithms")
@@ -60,6 +65,7 @@ def run_table1(
         max_rounds=randomized_max_rounds,
         stop_after_agreement=8,
         seed=seed,
+        executor=executor,
     )
     randomized_summary = summarize_trials(randomized_metrics)
     observed = summarize(
@@ -90,6 +96,7 @@ def run_table1(
         max_rounds=max_rounds,
         stop_after_agreement=16,
         seed=seed + 1,
+        executor=executor,
     )
     corollary1_summary = summarize_trials(corollary1_metrics)
     result.add_row(
@@ -116,6 +123,7 @@ def run_table1(
         max_rounds=max_rounds,
         stop_after_agreement=16,
         seed=seed + 2,
+        executor=executor,
     )
     boosted_summary = summarize_trials(boosted_metrics)
     result.add_row(
@@ -145,9 +153,14 @@ def run_table1(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    print(run_table1().format_table())
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment table1``."""
+    from repro.cli import main as repro_main
+
+    return repro_main(
+        ["experiment", "table1", *(sys.argv[1:] if argv is None else argv)]
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

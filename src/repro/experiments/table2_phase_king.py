@@ -16,12 +16,15 @@ The experiment runs both checks for a sweep of ``(N, F)`` pairs under random
 and split Byzantine value injection, and also reports the classic (one-shot)
 phase king consensus substrate for reference.
 
-Run with ``python -m repro.experiments.table2_phase_king``.
+Run with ``python -m repro experiment table2``
+(``python -m repro.experiments.table2_phase_king`` is a deprecated alias).
 """
 
 from __future__ import annotations
 
 import random
+import sys
+from typing import Sequence
 
 from repro.consensus.phase_king import run_phase_king_consensus
 from repro.core.phase_king import INFINITY, PhaseKingRegisters, phase_king_step
@@ -150,9 +153,14 @@ def run_table2(
     return result
 
 
-def main() -> None:  # pragma: no cover - thin CLI wrapper
-    print(run_table2().format_table())
+def main(argv: Sequence[str] | None = None) -> int:
+    """Deprecated alias for ``python -m repro experiment table2``."""
+    from repro.cli import main as repro_main
+
+    return repro_main(
+        ["experiment", "table2", *(sys.argv[1:] if argv is None else argv)]
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

@@ -40,6 +40,7 @@ __all__ = [
     "PhaseKingSkewAdversary",
     "AdaptiveSplitAdversary",
     "STRATEGIES",
+    "STRATEGY_DESCRIPTIONS",
     "build_adversary",
     "random_faulty_set",
     "block_concentrated_faults",
@@ -372,6 +373,20 @@ STRATEGIES: dict[str, type[Adversary]] = {
     "mimic": MimicAdversary,
     "phase-king-skew": PhaseKingSkewAdversary,
     "adaptive-split": AdaptiveSplitAdversary,
+}
+
+#: One-line descriptions of every strategy name accepted by
+#: :func:`build_adversary` (including the fault-free ``"none"``).  Kept as
+#: explicit strings — not class docstrings — so discovery surfaces such as
+#: ``python -m repro list`` keep working under ``python -OO``.
+STRATEGY_DESCRIPTIONS: dict[str, str] = {
+    "none": "fault-free adversary (F is empty); use for 0-fault grid rows",
+    "crash": "faulty nodes appear stuck, always broadcasting the default state",
+    "random-state": "independently random valid state to every receiver",
+    "split-state": "one random state to even receivers, another to odd, redrawn each round",
+    "mimic": "echo a rotating correct node's real state, inconsistently across receivers",
+    "phase-king-skew": "copy a correct inner state but skew the phase king output register",
+    "adaptive-split": "show each receiver the camp opposite its own output to keep votes split",
 }
 
 

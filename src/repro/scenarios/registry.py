@@ -1,0 +1,209 @@
+"""Unified component registry: one namespace for algorithms and adversaries.
+
+Before this module existed the library had two disjoint discovery surfaces:
+algorithms lived in :class:`repro.counters.registry.AlgorithmRegistry` while
+adversary strategies were a bare ``name -> class`` dict
+(:data:`repro.network.adversary.STRATEGIES`).  Every entry point had to know
+both, and their error messages and listing formats differed.
+
+:class:`ComponentRegistry` subsumes both: every buildable component —
+algorithm or adversary — is a :class:`Component` with a name, a kind, a
+human-readable description and a factory, all sharing
+
+* one namespace (names are unique across kinds, so ``describe()`` output and
+  error listings never need disambiguating),
+* one discovery surface (:meth:`ComponentRegistry.names` /
+  :meth:`ComponentRegistry.describe`), and
+* one error style (:class:`~repro.core.errors.ParameterError` naming the
+  unknown component and listing the registered alternatives).
+
+:func:`default_component_registry` assembles the default registry from the
+algorithm registry and the adversary strategy vocabulary; the
+:class:`~repro.scenarios.scenario.Scenario` facade and the ``python -m
+repro`` CLI resolve every name through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.errors import ParameterError
+
+__all__ = [
+    "Component",
+    "ComponentRegistry",
+    "default_component_registry",
+]
+
+#: The component kinds the registry knows about.
+KINDS = ("algorithm", "adversary")
+
+
+def _plural(kind: str) -> str:
+    return kind[:-1] + "ies" if kind.endswith("y") else kind + "s"
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named, documented, buildable piece of a scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key, unique across *all* kinds.
+    kind:
+        ``"algorithm"`` or ``"adversary"``.
+    description:
+        One-line human-readable description (shown by ``python -m repro
+        list``).
+    build:
+        Factory callable.  Algorithms are built as ``build(**params)``;
+        adversaries as ``build(faulty, **params)``.
+    model:
+        For algorithms, the communication model (``"broadcast"`` /
+        ``"pulling"``); empty for adversaries.
+    deterministic:
+        Whether the built component draws internal randomness.
+    source:
+        Paper reference (section, theorem, figure) when applicable.
+    """
+
+    name: str
+    kind: str
+    description: str
+    build: Callable[..., Any]
+    model: str = ""
+    deterministic: bool = True
+    source: str = ""
+
+
+class ComponentRegistry:
+    """One namespace mapping component names to :class:`Component` entries."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, component: Component) -> None:
+        """Register a component; names are unique across all kinds."""
+        if component.kind not in KINDS:
+            raise ParameterError(
+                f"unknown component kind {component.kind!r}; expected one of {KINDS}"
+            )
+        existing = self._components.get(component.name)
+        if existing is not None:
+            raise ParameterError(
+                f"component name {component.name!r} is already registered "
+                f"as an {existing.kind}"
+            )
+        if not component.description:
+            raise ParameterError(
+                f"component {component.name!r} must carry a description"
+            )
+        self._components[component.name] = component
+
+    # ------------------------------------------------------------------ #
+    # Discovery
+    # ------------------------------------------------------------------ #
+
+    def names(self, kind: str | None = None, model: str | None = None) -> list[str]:
+        """Sorted names, optionally restricted to one kind and/or model."""
+        return sorted(
+            component.name
+            for component in self._components.values()
+            if (kind is None or component.kind == kind)
+            and (model is None or not component.model or component.model == model)
+        )
+
+    def describe(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Summary dictionaries (name, kind, description, ...) for listings."""
+        return [
+            {
+                "name": component.name,
+                "kind": component.kind,
+                "description": component.description,
+                "model": component.model,
+                "deterministic": component.deterministic,
+                "source": component.source,
+            }
+            for name in self.names(kind=kind)
+            for component in (self._components[name],)
+        ]
+
+    def get(self, name: str, kind: str | None = None) -> Component:
+        """Look up a component, optionally checking its kind.
+
+        Raises :class:`ParameterError` in the registry's one error style:
+        the unknown (or mis-kinded) name plus the registered alternatives.
+        """
+        component = self._components.get(name)
+        if component is None:
+            wanted = kind or "component"
+            known = ", ".join(self.names(kind=kind)) or "(none)"
+            raise ParameterError(
+                f"unknown {wanted} {name!r}; registered {_plural(wanted)}: {known}"
+            )
+        if kind is not None and component.kind != kind:
+            known = ", ".join(self.names(kind=kind)) or "(none)"
+            raise ParameterError(
+                f"{name!r} is an {component.kind}, not an {kind}; "
+                f"registered {_plural(kind)}: {known}"
+            )
+        return component
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def build_algorithm(self, name: str, **params: Any) -> Any:
+        """Construct the algorithm registered under ``name``."""
+        return self.get(name, kind="algorithm").build(**params)
+
+    def build_adversary(
+        self, name: str, faulty: Iterable[int] = (), **params: Any
+    ) -> Any:
+        """Construct the adversary strategy registered under ``name``."""
+        return self.get(name, kind="adversary").build(faulty, **params)
+
+
+def default_component_registry() -> ComponentRegistry:
+    """The default registry: every algorithm and every adversary strategy."""
+    from repro.counters.registry import default_registry
+    from repro.network.adversary import (
+        STRATEGY_DESCRIPTIONS,
+        build_adversary,
+    )
+
+    registry = ComponentRegistry()
+    algorithms = default_registry()
+    for entry in algorithms.describe():
+        registry.register(
+            Component(
+                build=algorithms.factory(entry["name"]).build,
+                **entry,
+            )
+        )
+
+    def _adversary_builder(strategy: str) -> Callable[..., Any]:
+        def build(faulty: Iterable[int] = (), **params: Any) -> Any:
+            return build_adversary(strategy, faulty, **params)
+
+        return build
+
+    for strategy in sorted(STRATEGY_DESCRIPTIONS):
+        registry.register(
+            Component(
+                name=strategy,
+                kind="adversary",
+                description=STRATEGY_DESCRIPTIONS[strategy],
+                build=_adversary_builder(strategy),
+                deterministic=strategy
+                not in ("random-state", "split-state", "phase-king-skew"),
+                source="Section 2 (Byzantine model)",
+            )
+        )
+    return registry

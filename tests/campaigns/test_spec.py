@@ -27,6 +27,17 @@ class TestAlgorithmSpec:
         two = AlgorithmSpec.create("trivial", dict([("c", 4)]))
         assert one == two
 
+    def test_unhashable_parameter_value_rejected_eagerly(self):
+        # A list parameter used to be accepted here and only exploded later
+        # when the frozen dataclass was hashed inside the executor.
+        with pytest.raises(ParameterError, match="'sample_sizes'.*unhashable"):
+            AlgorithmSpec.create("trivial", {"sample_sizes": [2, 4]})
+        with pytest.raises(ParameterError, match="list"):
+            AlgorithmSpec.create("trivial", {"sample_sizes": [2, 4]})
+        # Hashable values (including tuples) stay accepted — and hashable.
+        spec = AlgorithmSpec.create("trivial", {"c": 4, "blocks": (0, 1)})
+        assert hash(spec) == hash(spec)
+
 
 class TestRunSpec:
     def test_resolves_declarative_algorithm_and_adversary(self):

@@ -1,0 +1,230 @@
+"""End-to-end tests of the unified ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro._version import __version__
+from repro.cli import main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+def run_module(module: str, *argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", module, *argv],
+        capture_output=True,
+        env=env,
+        timeout=600,
+    )
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+
+class TestList:
+    def test_lists_all_kinds_with_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithms:" in out and "Adversaries:" in out and "Experiments:" in out
+        for name in ("figure2", "sampled-boosted", "phase-king-skew", "none", "table1"):
+            assert name in out
+
+    def test_model_filter(self, capsys):
+        assert main(["list", "algorithms", "--model", "pulling"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled-boosted" in out
+        assert "naive-majority" not in out
+
+
+class TestRun:
+    ARGS = [
+        "run",
+        "naive-majority:n=6,c=3,claimed_resilience=1",
+        "--adversary",
+        "crash",
+        "--faults",
+        "1",
+        "--runs",
+        "2",
+        "--max-rounds",
+        "60",
+        "--stop-after-agreement",
+        "5",
+        "--quiet",
+    ]
+
+    def test_run_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 runs (2 executed, 0 resumed, 0 failed)" in out
+        assert "Scenario summary" in out
+
+    def test_run_with_store_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "runs.jsonl")
+        assert main([*self.ARGS, "--store", store]) == 0
+        assert "2 executed, 0 resumed" in capsys.readouterr().out
+        assert main([*self.ARGS, "--store", store]) == 0
+        assert "0 executed, 2 resumed" in capsys.readouterr().out
+        rows = [json.loads(line) for line in open(store, encoding="utf-8") if line.strip()]
+        assert len(rows) == 2
+
+    def test_run_pulling_scenario_records_pull_statistics(self, tmp_path, capsys):
+        store = str(tmp_path / "pull.jsonl")
+        code = main(
+            [
+                "run",
+                "sampled-boosted:sample_size=2",
+                "--adversary",
+                "crash",
+                "--faults",
+                "1",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "30",
+                "--stop-after-agreement",
+                "5",
+                "--quiet",
+                "--store",
+                store,
+            ]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in open(store, encoding="utf-8") if line.strip()]
+        assert len(rows) == 2
+        assert all(row["model"] == "pulling" for row in rows)
+        assert all(row["max_pulls"] and row["max_bits"] for row in rows)
+
+    def test_unknown_algorithm_is_one_line_error(self, capsys):
+        assert main(["run", "does-not-exist", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does-not-exist" in err
+
+    def test_unknown_adversary_is_one_line_error(self, capsys):
+        assert main(["run", "trivial", "--adversary", "bogus", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown adversary 'bogus'" in err
+
+
+class TestCampaignMount:
+    def test_define_run_resume_summarize(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "demo.campaign.json")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "define",
+                    "--name",
+                    "demo",
+                    "--algorithm",
+                    "naive-majority:n=6,c=3,claimed_resilience=1",
+                    "--adversary",
+                    "crash",
+                    "--runs",
+                    "2",
+                    "--max-rounds",
+                    "60",
+                    "--stop-after-agreement",
+                    "5",
+                    "--out",
+                    spec_path,
+                ]
+            )
+            == 0
+        )
+        store_path = str(tmp_path / "demo.jsonl")
+        assert main(["campaign", "run", spec_path, "--store", store_path, "--quiet"]) == 0
+        assert "2 executed, 0 resumed" in capsys.readouterr().out
+        assert (
+            main(["campaign", "resume", spec_path, "--store", store_path, "--quiet"]) == 0
+        )
+        assert "0 executed, 2 resumed" in capsys.readouterr().out
+        assert main(["campaign", "summarize", store_path]) == 0
+        assert "Campaign summary" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_trivial_counter(self, capsys):
+        assert main(["verify", "trivial:c=3"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "3-counter" in out
+
+    def test_verify_rejects_pulling_algorithms(self, capsys):
+        assert main(["verify", "sampled-boosted"]) == 2
+        assert "broadcast-model" in capsys.readouterr().err
+
+
+class TestExperimentEquivalence:
+    """``python -m repro experiment X`` must equal the legacy module path.
+
+    Both paths are exercised as real subprocesses; stdout must match byte
+    for byte at the same (reduced) parameters, and both must exit 0.
+    """
+
+    CASES = {
+        "figure1": ("repro.experiments.figure1", []),
+        "figure2": ("repro.experiments.figure2", ["--trials", "2"]),
+        "table1": (
+            "repro.experiments.table1",
+            ["--trials", "2", "--randomized-trials", "3"],
+        ),
+        "table2": ("repro.experiments.table2_phase_king", ["--trials", "4"]),
+        "scaling": (
+            "repro.experiments.scaling",
+            ["--trials", "1", "--measured-trials", "1"],
+        ),
+        "pulling": (
+            "repro.experiments.pulling",
+            ["--trials", "1", "--link-seeds", "2"],
+        ),
+        "ablation": ("repro.experiments.ablation", ["--trials", "1"]),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_experiment_rows_are_byte_identical(self, name):
+        legacy_module, argv = self.CASES[name]
+        unified = run_module("repro", "experiment", name, *argv)
+        legacy = run_module(legacy_module, *argv)
+        assert unified.returncode == 0, unified.stderr.decode()
+        assert legacy.returncode == 0, legacy.stderr.decode()
+        assert unified.stdout
+        assert unified.stdout == legacy.stdout
+
+
+class TestOOResilience:
+    def test_cli_help_works_under_python_OO(self):
+        """Descriptions are explicit strings, so -OO (stripped docstrings) works."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(REPO_SRC) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        for argv in (
+            ["-m", "repro", "--help"],
+            ["-m", "repro", "experiment", "--help"],
+            ["-m", "repro", "experiment", "scaling", "--help"],
+            ["-m", "repro", "campaign", "--help"],
+        ):
+            completed = subprocess.run(
+                [sys.executable, "-OO", *argv],
+                capture_output=True,
+                env=env,
+                timeout=120,
+            )
+            assert completed.returncode == 0, completed.stderr.decode()

@@ -1,0 +1,59 @@
+"""Smoke tests: every ``examples/*.py`` must import and run end to end.
+
+The examples are documentation-by-execution; these tests keep them from
+silently rotting.  Each module is loaded from the ``examples/`` directory
+(not a package) and its ``main()`` is invoked with small parameters where
+the signature allows it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "examples")
+)
+
+#: example module -> kwargs shrinking the run for test speed.
+EXAMPLES: dict[str, dict] = {
+    "quickstart": {"runs": 2, "max_rounds": 4000, "seed": 42},
+    "fault_injection_study": {"runs": 1, "seed": 13},
+    "energy_efficient_pulling": {"sample_sizes": (2, 4), "runs": 1, "max_rounds": 120},
+    "construction_planner": {"target": 16},
+    "tdma_circuit": {"max_rounds": 4000, "seed": 7},
+}
+
+
+def load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    present = {
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(EXAMPLES_DIR)
+        if entry.endswith(".py")
+    }
+    assert present == set(EXAMPLES), (
+        "examples/ and the smoke-test table diverged; update EXAMPLES in "
+        f"{__file__}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_main_runs(name, capsys, monkeypatch):
+    # Examples read sys.argv defensively; pin it so pytest flags leak in.
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"])
+    module = load_example(name)
+    module.main(**EXAMPLES[name])
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"

@@ -1,0 +1,100 @@
+"""Tests for the unified component registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.counters.registry import default_registry
+from repro.network.adversary import STRATEGIES, STRATEGY_DESCRIPTIONS, CrashAdversary
+from repro.scenarios import Component, ComponentRegistry, default_component_registry
+
+
+class TestDefaultRegistry:
+    def test_lists_every_algorithm_with_description(self):
+        registry = default_component_registry()
+        assert set(registry.names(kind="algorithm")) == set(default_registry().names())
+        for entry in registry.describe(kind="algorithm"):
+            assert entry["kind"] == "algorithm"
+            assert entry["description"]
+            assert entry["model"] in ("broadcast", "pulling")
+
+    def test_lists_every_adversary_with_description(self):
+        registry = default_component_registry()
+        names = set(registry.names(kind="adversary"))
+        assert names == set(STRATEGIES) | {"none"}
+        for entry in registry.describe(kind="adversary"):
+            assert entry["kind"] == "adversary"
+            assert entry["description"]
+
+    def test_strategy_descriptions_cover_all_strategies(self):
+        assert set(STRATEGY_DESCRIPTIONS) == set(STRATEGIES) | {"none"}
+
+    def test_model_filter(self):
+        registry = default_component_registry()
+        pulling = registry.names(kind="algorithm", model="pulling")
+        assert pulling == ["pseudo-random-boosted", "sampled-boosted"]
+        # Adversaries carry no model and survive any model filter.
+        assert registry.names(kind="adversary", model="pulling") == registry.names(
+            kind="adversary"
+        )
+
+    def test_build_algorithm_and_adversary(self):
+        registry = default_component_registry()
+        counter = registry.build_algorithm("trivial", c=5)
+        assert counter.c == 5
+        adversary = registry.build_adversary("crash", faulty=(1,))
+        assert isinstance(adversary, CrashAdversary)
+        assert adversary.faulty == frozenset({1})
+
+    def test_describe_covers_both_kinds(self):
+        entries = default_component_registry().describe()
+        kinds = {entry["kind"] for entry in entries}
+        assert kinds == {"algorithm", "adversary"}
+
+
+class TestErrorStyle:
+    def test_unknown_algorithm_lists_alternatives(self):
+        registry = default_component_registry()
+        with pytest.raises(ParameterError, match="unknown algorithm 'nope'"):
+            registry.get("nope", kind="algorithm")
+        with pytest.raises(ParameterError, match="registered algorithms: "):
+            registry.get("nope", kind="algorithm")
+
+    def test_unknown_adversary_lists_alternatives(self):
+        registry = default_component_registry()
+        with pytest.raises(ParameterError, match="registered adversaries: "):
+            registry.get("nope", kind="adversary")
+
+    def test_wrong_kind_is_named(self):
+        registry = default_component_registry()
+        with pytest.raises(ParameterError, match="'crash' is an adversary, not an algorithm"):
+            registry.get("crash", kind="algorithm")
+
+    def test_unknown_component_without_kind(self):
+        with pytest.raises(ParameterError, match="unknown component 'nope'"):
+            default_component_registry().get("nope")
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected_across_kinds(self):
+        registry = ComponentRegistry()
+        registry.register(
+            Component(name="x", kind="algorithm", description="a", build=lambda: None)
+        )
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.register(
+                Component(name="x", kind="adversary", description="b", build=lambda f: None)
+            )
+
+    def test_missing_description_rejected(self):
+        with pytest.raises(ParameterError, match="description"):
+            ComponentRegistry().register(
+                Component(name="x", kind="algorithm", description="", build=lambda: None)
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown component kind"):
+            ComponentRegistry().register(
+                Component(name="x", kind="wizard", description="a", build=lambda: None)
+            )
