@@ -1,0 +1,211 @@
+"""Scalar-vs-batch engine benchmarks: whole campaigns as array programs.
+
+The cases below are shared with ``scripts/run_benchmarks.py`` (which times
+both engines and emits the machine-readable ``BENCH_batch.json`` tracked
+across PRs).  The pytest-benchmark entry points time the batch path and — for
+the headline Figure-1-style case — assert the ≥10x per-campaign speedup the
+vectorised engine exists for.
+
+Case catalogue:
+
+* ``figure1-style-randomized-n16`` — the acceptance workload: the randomised
+  follow-the-majority counter on ``n = 16`` nodes under the random-state
+  adversary, 200 trials.  Randomised, so it runs under ``engine="batch"``
+  (statistical equivalence).
+* ``naive-majority-n24-mimic`` — a deterministic n = 24 grid whose batch
+  results are asserted bit-identical to the scalar engine.
+* ``figure2-A12-crash`` — the real Theorem 1 construction ``A(12, 3)``:
+  recursive inner counters, leader votes and the phase king, all vectorised.
+* ``pseudo-random-boosted-pulling`` — the Corollary 5 pulling-model counter
+  (fixed pull plans, bit-identical batch execution).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.campaigns.batching import BatchExecutor
+from repro.campaigns.executor import SerialExecutor
+from repro.campaigns.spec import AlgorithmSpec, CampaignSpec
+
+__all__ = ["BatchBenchCase", "BENCH_CASES", "run_case", "time_engines"]
+
+
+@dataclass(frozen=True)
+class BatchBenchCase:
+    """One scalar-vs-batch comparison: a campaign plus its batch mode."""
+
+    name: str
+    spec: CampaignSpec
+    #: Engine for the vectorised run: "auto" for deterministic cases (the
+    #: executor must prove bit-identity), "batch" for randomised ones.
+    engine: str
+    #: Whether scalar and batch results must be byte-identical.
+    deterministic: bool
+    #: Trial count used by the CI quick mode.
+    quick_runs: int = 20
+
+
+def _case_spec(**kwargs) -> CampaignSpec:
+    return CampaignSpec(**{"seed": 0, "engine": "scalar", **kwargs})
+
+
+BENCH_CASES: tuple[BatchBenchCase, ...] = (
+    BatchBenchCase(
+        name="figure1-style-randomized-n16",
+        spec=_case_spec(
+            name="figure1-style-randomized-n16",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "randomized-follow-majority", {"n": 16, "f": 5, "c": 2}
+                ),
+            ),
+            adversaries=("random-state",),
+            num_faults=(5,),
+            runs_per_setting=200,
+            max_rounds=300,
+            stop_after_agreement=10,
+        ),
+        engine="batch",
+        deterministic=False,
+    ),
+    BatchBenchCase(
+        name="naive-majority-n24-mimic",
+        spec=_case_spec(
+            name="naive-majority-n24-mimic",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "naive-majority", {"n": 24, "c": 4, "claimed_resilience": 2}
+                ),
+            ),
+            adversaries=("mimic",),
+            num_faults=(2,),
+            runs_per_setting=200,
+            max_rounds=120,
+            stop_after_agreement=8,
+        ),
+        engine="auto",
+        deterministic=True,
+    ),
+    BatchBenchCase(
+        name="figure2-A12-crash",
+        spec=_case_spec(
+            name="figure2-A12-crash",
+            algorithms=(AlgorithmSpec.create("figure2", {"levels": 1, "c": 2}),),
+            adversaries=("crash",),
+            runs_per_setting=100,
+            max_rounds=250,
+            stop_after_agreement=10,
+        ),
+        engine="auto",
+        deterministic=True,
+    ),
+    BatchBenchCase(
+        name="pseudo-random-boosted-pulling",
+        spec=_case_spec(
+            name="pseudo-random-boosted-pulling",
+            model="pulling",
+            algorithms=(
+                AlgorithmSpec.create("pseudo-random-boosted", {"sample_size": 3}),
+            ),
+            adversaries=("crash",),
+            num_faults=(1,),
+            runs_per_setting=100,
+            max_rounds=60,
+            stop_after_agreement=6,
+        ),
+        engine="auto",
+        deterministic=True,
+    ),
+)
+
+
+def scaled(case: BatchBenchCase, runs: int | None) -> BatchBenchCase:
+    """The case with its per-setting trial count overridden (quick mode)."""
+    if runs is None:
+        return case
+    return replace(case, spec=replace(case.spec, runs_per_setting=runs))
+
+
+def run_case(case: BatchBenchCase, engine: str):
+    """Execute one case on one engine; returns (elapsed, results, stats)."""
+    runs = case.spec.expand()
+    if engine == "scalar":
+        executor = SerialExecutor()
+    else:
+        executor = BatchExecutor(engine=engine)
+    started = time.perf_counter()
+    results = executor.run(runs)
+    elapsed = time.perf_counter() - started
+    return elapsed, results, executor.stats
+
+
+def time_engines(case: BatchBenchCase) -> dict:
+    """Scalar-vs-batch comparison of one case (with a batch warm-up).
+
+    The warm-up run keeps one-time costs (NumPy submodule imports, kernel
+    construction) out of the timing, mirroring a long campaign where they
+    amortise to nothing.
+    """
+    warmup = scaled(case, 2)
+    run_case(warmup, case.engine)
+    scalar_elapsed, scalar_results, _ = run_case(case, "scalar")
+    batch_elapsed, batch_results, batch_stats = run_case(case, case.engine)
+    identical = None
+    if case.deterministic:
+        identical = [r.to_json() for r in scalar_results] == [
+            r.to_json() for r in batch_results
+        ]
+    scalar_rounds = sum(r.rounds_simulated for r in scalar_results)
+    batch_rounds = sum(r.rounds_simulated for r in batch_results)
+    return {
+        "case": case.name,
+        "engine": case.engine,
+        "runs": len(batch_results),
+        "deterministic": case.deterministic,
+        "identical_results": identical,
+        "scalar_seconds": scalar_elapsed,
+        "batch_seconds": batch_elapsed,
+        "speedup": scalar_elapsed / batch_elapsed if batch_elapsed else None,
+        "scalar_rounds_per_second": scalar_rounds / scalar_elapsed,
+        "batch_rounds_per_second": batch_rounds / batch_elapsed,
+        "batched_runs": batch_stats.batched,
+        "fallback_runs": batch_stats.fallback,
+        "failed_runs": batch_stats.failed,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------- #
+
+
+def _case(name: str) -> BatchBenchCase:
+    return next(case for case in BENCH_CASES if case.name == name)
+
+
+def test_batch_engine_figure1_style_speedup(benchmark):
+    """The acceptance criterion: >= 10x on n = 16, 200 trials."""
+    case = _case("figure1-style-randomized-n16")
+    comparison = benchmark.pedantic(
+        time_engines, args=(case,), rounds=1, iterations=1
+    )
+    assert comparison["batched_runs"] == comparison["runs"]
+    assert comparison["fallback_runs"] == 0
+    assert comparison["speedup"] >= 10.0, comparison
+
+
+def test_batch_engine_deterministic_cases_bit_identical(benchmark):
+    """Deterministic cases: vectorised, faster, and byte-identical."""
+
+    def run_all():
+        return [
+            time_engines(case) for case in BENCH_CASES if case.deterministic
+        ]
+
+    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for comparison in comparisons:
+        assert comparison["identical_results"] is True, comparison
+        assert comparison["fallback_runs"] == 0, comparison
+        assert comparison["speedup"] > 1.0, comparison

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Run the scalar-vs-batch benchmark suite and emit ``BENCH_batch.json``.
+
+The machine-readable output tracks the perf trajectory across PRs: per case,
+the scalar and batch wall-clock, rounds/second on both engines, the speedup,
+and — crucially — how many runs actually took the vectorised path
+(``batched_runs``) versus the scalar fallback (``fallback_runs``).  The CI
+benchmark-smoke job runs this in ``--quick`` mode, fails when a
+kernel-covered case silently fell back to scalar, and uploads the JSON as an
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py                 # full suite
+    PYTHONPATH=src python scripts/run_benchmarks.py --quick         # CI smoke
+    PYTHONPATH=src python scripts/run_benchmarks.py --require-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from bench_batch import BENCH_CASES, scaled, time_engines  # noqa: E402
+
+#: The acceptance-criterion case: n >= 16, >= 200 trials, randomised.
+HEADLINE_CASE = "figure1-style-randomized-n16"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the scalar vs the vectorised batch engine."
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_batch.json"),
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny grid for CI smoke (timings are indicative only)",
+    )
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case names (default: all)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the headline Figure-1-style case reaches "
+            "at least this speedup (use on quiet machines only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    wanted = (
+        {name.strip() for name in args.cases.split(",") if name.strip()}
+        if args.cases
+        else None
+    )
+    comparisons = []
+    for case in BENCH_CASES:
+        if wanted is not None and case.name not in wanted:
+            continue
+        effective = scaled(case, case.quick_runs) if args.quick else case
+        comparison = time_engines(effective)
+        comparisons.append(comparison)
+        print(
+            f"{comparison['case']}: {comparison['runs']} runs, "
+            f"scalar {comparison['scalar_seconds']:.3f}s "
+            f"({comparison['scalar_rounds_per_second']:.0f} rounds/s), "
+            f"batch {comparison['batch_seconds']:.3f}s "
+            f"({comparison['batch_rounds_per_second']:.0f} rounds/s), "
+            f"speedup {comparison['speedup']:.1f}x, "
+            f"batched {comparison['batched_runs']}, "
+            f"fallback {comparison['fallback_runs']}"
+            + (
+                f", identical={comparison['identical_results']}"
+                if comparison["deterministic"]
+                else ""
+            )
+        )
+
+    payload = {
+        "suite": "scalar-vs-batch",
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cases": comparisons,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for comparison in comparisons:
+        if comparison["fallback_runs"]:
+            failures.append(
+                f"{comparison['case']}: {comparison['fallback_runs']} runs "
+                "silently fell back to the scalar engine"
+            )
+        if comparison["deterministic"] and comparison["identical_results"] is not True:
+            failures.append(
+                f"{comparison['case']}: batch results diverged from scalar"
+            )
+    if args.require_speedup is not None:
+        headline = next(
+            (c for c in comparisons if c["case"] == HEADLINE_CASE), None
+        )
+        if headline is None:
+            failures.append(f"headline case {HEADLINE_CASE!r} was not run")
+        elif headline["speedup"] < args.require_speedup:
+            failures.append(
+                f"{HEADLINE_CASE}: speedup {headline['speedup']:.1f}x is below "
+                f"the required {args.require_speedup:.1f}x"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

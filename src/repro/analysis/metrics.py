@@ -19,6 +19,7 @@ __all__ = [
     "trial_metrics",
     "agreement_fraction",
     "post_agreement_failure_rate",
+    "post_agreement_failure_rate_from_values",
     "pull_statistics",
 ]
 
@@ -88,12 +89,27 @@ def post_agreement_failure_rate(trace: ExecutionTrace) -> float:
     trace never agrees (or agrees only in its final round), so a
     never-agreeing run reads as maximally unreliable.
     """
-    agreed = trace.agreed_values()
-    first = next((i for i, value in enumerate(agreed) if value is not None), None)
-    if first is None or first + 1 >= len(agreed):
+    return post_agreement_failure_rate_from_values(trace.agreed_values())
+
+
+def post_agreement_failure_rate_from_values(values) -> float:
+    """The failure rate on a bare per-round agreed-value sequence.
+
+    Disagreement is ``None`` (trace representation) or any negative integer
+    (the batch engine's array representation); one implementation serves
+    both the scalar and the vectorised reductions.
+    """
+
+    def disagreed(value) -> bool:
+        return value is None or value < 0
+
+    first = next(
+        (i for i, value in enumerate(values) if not disagreed(value)), None
+    )
+    if first is None or first + 1 >= len(values):
         return 1.0
-    tail = agreed[first + 1 :]
-    failures = sum(1 for value in tail if value is None)
+    tail = values[first + 1 :]
+    failures = sum(1 for value in tail if disagreed(value))
     return failures / len(tail)
 
 

@@ -1,0 +1,347 @@
+"""Transparent batched execution of campaign runs.
+
+:class:`BatchExecutor` is the engine-aware executor behind the
+``engine="auto" | "batch"`` knob of :class:`~repro.campaigns.spec.CampaignSpec`
+and the :class:`~repro.scenarios.scenario.Scenario` facade.  It partitions the
+expanded :class:`~repro.campaigns.spec.RunSpec` list into *groups* of trials
+that share one configuration — same declarative algorithm, same adversary
+strategy and parameters, same fault count and simulation envelope, differing
+only in seed and faulty set — and runs each kernel-covered group through the
+vectorised batch engine (:func:`repro.network.batch.run_batch_trials`) instead
+of one scalar simulation per run.  Everything else (pre-built algorithm
+instances, strategies without a kernel, algorithms whose parameters overflow
+the kernels' int64 arithmetic) falls back to the scalar
+:func:`~repro.campaigns.executor.execute_run`, so results exist for every
+spec regardless of coverage.
+
+Engine semantics:
+
+* ``"auto"`` — batch only the groups whose execution is *provably
+  bit-identical* to the scalar engine (deterministic algorithm kernel and
+  deterministic adversary kernel).  Randomised configurations keep the
+  scalar path, so campaign results never silently change distribution-only.
+* ``"batch"`` — batch every kernel-covered group, including randomised ones
+  (statistically equivalent, with an ``rng`` note in the trace metadata);
+  raise :class:`~repro.core.errors.ParameterError` for groups with no kernel
+  coverage instead of silently falling back.
+
+The executor's :class:`BatchExecutorStats` reports how many runs took which
+path (``batched`` / ``fallback``), which the benchmark harness and the CI
+smoke job use to detect silent fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.campaigns.executor import (
+    ExecutorStats,
+    ParallelExecutor,
+    ResultCallback,
+    execute_run,
+)
+from repro.campaigns.results import RunResult
+from repro.campaigns.spec import AlgorithmSpec, RunSpec
+from repro.core.errors import ParameterError
+from repro.network.batch import (
+    BatchRunSummary,
+    BatchTrial,
+    adversary_kernel_available,
+    build_batch_kernel,
+    run_batch_summaries,
+)
+
+__all__ = ["BatchExecutorStats", "BatchExecutor", "group_runs", "reduce_summary"]
+
+#: Engines the executor understands (``"scalar"`` is handled by
+#: :func:`repro.campaigns.executor.default_executor` and never reaches here).
+_ENGINES = ("auto", "batch")
+
+
+@dataclass
+class BatchExecutorStats(ExecutorStats):
+    """Progress accounting plus the batched-vs-scalar path split."""
+
+    #: Runs executed through the vectorised batch engine.
+    batched: int = 0
+    #: Runs that a batched group handed back to the scalar engine (either
+    #: no kernel coverage in ``auto`` mode, or a runtime batch failure).
+    fallback: int = 0
+
+
+def group_runs(
+    specs: Iterable[RunSpec],
+) -> tuple[dict[tuple, list[int]], list[int]]:
+    """Partition specs into batchable groups plus scalar-only leftovers.
+
+    A group collects the indices of specs that share one configuration —
+    the prerequisite for folding their trials into one batch.  Specs with
+    pre-built algorithm or adversary *instances* are never grouped (their
+    mutable state cannot be assumed shareable across trials).
+    """
+    groups: dict[tuple, list[int]] = {}
+    scalar: list[int] = []
+    for index, spec in enumerate(specs):
+        if not isinstance(spec.algorithm, AlgorithmSpec) or not (
+            spec.adversary is None or isinstance(spec.adversary, str)
+        ):
+            scalar.append(index)
+            continue
+        key = (
+            spec.model,
+            spec.algorithm,
+            spec.adversary,
+            spec.adversary_params,
+            len(spec.faulty),
+            spec.max_rounds,
+            spec.stop_after_agreement,
+        )
+        groups.setdefault(key, []).append(index)
+    return groups, scalar
+
+
+class BatchExecutor:
+    """Executor that routes kernel-covered run groups through the batch engine.
+
+    Parameters
+    ----------
+    engine:
+        ``"auto"`` (batch only bit-identical deterministic groups) or
+        ``"batch"`` (batch everything covered, error on uncovered groups).
+    processes:
+        Worker processes for the scalar leftovers (``> 1`` uses the
+        multiprocessing executor for them); batched groups always run
+        in-process — they are the fast path already.
+    batch_size:
+        Trials vectorised together per NumPy batch.
+    """
+
+    def __init__(
+        self,
+        engine: str = "auto",
+        processes: int | None = None,
+        batch_size: int = 256,
+    ) -> None:
+        if engine not in _ENGINES:
+            raise ParameterError(
+                f"unknown batch engine {engine!r}; expected one of {_ENGINES}"
+            )
+        self.engine = engine
+        self.processes = processes
+        self.batch_size = batch_size
+        self.stats = BatchExecutorStats()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, specs: Iterable[RunSpec], on_result: ResultCallback | None = None
+    ) -> list[RunResult]:
+        """Execute all specs and return their results in submission order."""
+        spec_list = list(specs)
+        self.stats = BatchExecutorStats(total=len(spec_list))
+        results: list[RunResult | None] = [None] * len(spec_list)
+
+        def finish(index: int, result: RunResult) -> None:
+            results[index] = result
+            self.stats.record(result)
+            if on_result is not None:
+                on_result(result)
+
+        groups, scalar_indices = group_runs(spec_list)
+        for key, indices in groups.items():
+            group = [spec_list[index] for index in indices]
+            batched = self._try_batch(group)
+            if batched is None:
+                scalar_indices.extend(indices)
+                continue
+            for index, result in zip(indices, batched):
+                finish(index, result)
+            self.stats.batched += len(indices)
+
+        if scalar_indices:
+            scalar_indices.sort()
+            self.stats.fallback += len(scalar_indices)
+            leftovers = [spec_list[index] for index in scalar_indices]
+            if self.processes is not None and self.processes > 1 and len(leftovers) > 1:
+                scalar_results = ParallelExecutor(processes=self.processes).run(
+                    leftovers
+                )
+            else:
+                scalar_results = [execute_run(spec) for spec in leftovers]
+            for index, result in zip(scalar_indices, scalar_results):
+                finish(index, result)
+
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ #
+    # Group planning
+    # ------------------------------------------------------------------ #
+
+    def _try_batch(self, group: list[RunSpec]) -> list[RunResult] | None:
+        """Run one group through the batch engine; ``None`` means scalar.
+
+        In ``engine="batch"`` mode, missing kernel coverage raises instead
+        of silently falling back.
+        """
+        spec = group[0]
+        reason: str | None = None
+        algorithm = None
+        kernel = None
+        try:
+            algorithm = spec.algorithm.build()
+        except Exception as exc:  # noqa: BLE001 - surfaced per-run by the fallback
+            reason = f"algorithm {spec.algorithm_label()} failed to build: {exc}"
+        if reason is None:
+            kernel = build_batch_kernel(algorithm)
+            if kernel is None:
+                reason = (
+                    f"algorithm {spec.algorithm_label()} advertises no "
+                    "vectorised kernel"
+                )
+            elif not adversary_kernel_available(spec.adversary):
+                reason = (
+                    f"adversary strategy {spec.adversary!r} has no "
+                    "vectorised kernel"
+                )
+            elif kernel.model != spec.model:
+                reason = (
+                    f"kernel model {kernel.model!r} does not match the run "
+                    f"model {spec.model!r}"
+                )
+        if reason is not None:
+            if self.engine == "batch":
+                raise ParameterError(
+                    f"engine='batch' requested but {reason}; use engine='auto' "
+                    "to fall back to the scalar engine"
+                )
+            return None
+        assert kernel is not None
+        if self.engine == "auto" and not self._bit_identical(kernel, spec):
+            # auto never changes randomised result streams behind the
+            # caller's back; engine='batch' opts into statistical
+            # equivalence explicitly.
+            return None
+        if self.engine == "batch":
+            # Forced mode promises no silent fallback: a runtime failure of
+            # the batch engine propagates instead of quietly rerunning the
+            # group on the scalar path.
+            return self._run_group(algorithm, kernel, group)
+        try:
+            return self._run_group(algorithm, kernel, group)
+        except Exception:  # noqa: BLE001 - the scalar rerun surfaces real
+            # per-run errors through execute_run's failure accounting.
+            return None
+
+    @staticmethod
+    def _bit_identical(kernel, spec: RunSpec) -> bool:
+        """Whether the batch path is provably bit-identical for this group."""
+        from repro.network.batch import ADVERSARY_BATCH_KERNELS
+
+        if not kernel.deterministic:
+            return False
+        if spec.adversary is None or not spec.faulty:
+            return True
+        adversary_kernel = ADVERSARY_BATCH_KERNELS.get(spec.adversary)
+        return adversary_kernel is not None and adversary_kernel.deterministic
+
+    def _run_group(self, algorithm, kernel, group: list[RunSpec]) -> list[RunResult]:
+        """Vectorised execution of one homogeneous group."""
+        spec = group[0]
+        trials = [
+            BatchTrial(
+                sim_seed=member.sim_seed,
+                faulty=member.faulty,
+                metadata=(("run_id", member.run_id), *member.tags),
+            )
+            for member in group
+        ]
+        summaries = run_batch_summaries(
+            algorithm,
+            kernel,
+            trials,
+            adversary_strategy=spec.adversary,
+            adversary_params=dict(spec.adversary_params),
+            max_rounds=spec.max_rounds,
+            stop_after_agreement=spec.stop_after_agreement,
+            batch_size=self.batch_size,
+        )
+        return [
+            reduce_summary(member, algorithm, summary)
+            for member, summary in zip(group, summaries)
+        ]
+
+
+def reduce_summary(
+    spec: RunSpec, algorithm, summary: BatchRunSummary
+) -> RunResult:
+    """Reduce one batch summary to its campaign result.
+
+    Computes exactly what :func:`repro.campaigns.results.reduce_trace`
+    computes from a full trace — the empirical stabilisation suffix of
+    :func:`repro.network.stabilization.stabilization_round`, the agreement
+    fraction, the message counts and (for pulling trials) the Theorem 4
+    statistics — from the per-round agreed values alone.  Batch-vs-scalar
+    result identity for deterministic configurations is asserted in
+    ``tests/campaigns/test_batching.py``.
+    """
+    from repro.analysis.metrics import post_agreement_failure_rate_from_values
+    from repro.network.stabilization import stabilization_from_values
+
+    agreed = summary.agreed
+    total = summary.rounds
+
+    # One shared implementation with the scalar path: the batch engine's
+    # agreed-value arrays (disagreement = -1) feed the same stabilisation
+    # suffix walk the trace-based reduction uses.
+    result = stabilization_from_values(agreed, algorithm.c, min_tail=spec.min_tail)
+
+    bound = algorithm.stabilization_bound()
+    within: bool | None = None
+    if bound is not None and result.stabilized and result.round is not None:
+        within = result.round <= bound
+
+    agreements = sum(1 for value in agreed if value >= 0)
+    agreement_fraction = agreements / total if total else 0.0
+
+    correct = algorithm.n - len(summary.faulty)
+    max_pulls: int | None = None
+    mean_pulls: float | None = None
+    max_bits: int | None = None
+    failure_rate: float | None = None
+    if spec.model == "pulling":
+        pulls = summary.pulls_per_round or 0
+        max_pulls = pulls
+        mean_pulls = float(pulls)
+        max_bits = pulls * summary.message_bits
+        messages_sent = total * pulls * correct
+        failure_rate = post_agreement_failure_rate_from_values(agreed)
+    else:
+        messages_sent = total * algorithm.n * correct
+
+    return RunResult(
+        run_id=spec.run_id,
+        algorithm=spec.algorithm_label(),
+        adversary=spec.adversary_label(),
+        n=algorithm.n,
+        f=algorithm.f,
+        c=algorithm.c,
+        faulty=summary.faulty,
+        sim_seed=spec.sim_seed,
+        rounds_simulated=total,
+        stabilized=result.stabilized,
+        stabilization_round=result.round,
+        within_bound=within,
+        agreement_fraction=agreement_fraction,
+        stopped_early=summary.stopped_early,
+        messages_sent=messages_sent,
+        error=None,
+        model=spec.model,
+        max_pulls=max_pulls,
+        mean_pulls=mean_pulls,
+        max_bits=max_bits,
+        post_agreement_failure_rate=failure_rate,
+        rng=summary.rng_note,
+    )

@@ -47,7 +47,13 @@ from typing import Any, Sequence
 from repro.campaigns.executor import default_executor
 from repro.campaigns.results import CampaignStore, RunResult, summarize_results
 from repro.campaigns.runner import run_campaign
-from repro.campaigns.spec import FAULT_PATTERNS, MODELS, AlgorithmSpec, CampaignSpec
+from repro.campaigns.spec import (
+    ENGINES,
+    FAULT_PATTERNS,
+    MODELS,
+    AlgorithmSpec,
+    CampaignSpec,
+)
 from repro.core.errors import ReproError
 from repro.network.adversary import STRATEGIES
 
@@ -114,6 +120,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         min_tail=args.min_tail,
         fault_pattern=args.fault_pattern,
         model=args.model,
+        engine=args.engine,
     )
 
 
@@ -161,6 +168,16 @@ def register_commands(subparsers) -> None:
             "'pulling' (Section 5, records max_pulls/max_bits statistics)"
         ),
     )
+    define.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="auto",
+        help=(
+            "execution engine: 'auto' vectorises bit-identical run groups, "
+            "'batch' forces the NumPy batch engine for every kernel-covered "
+            "group, 'scalar' runs one simulation at a time"
+        ),
+    )
     define.add_argument("--runs", type=int, default=10, help="runs per grid setting")
     define.add_argument("--seed", type=int, default=0, help="campaign master seed")
     define.add_argument("--max-rounds", type=int, default=1000)
@@ -199,6 +216,12 @@ def register_commands(subparsers) -> None:
             type=int,
             default=None,
             help="specs per worker task (parallel executor only)",
+        )
+        executor_parser.add_argument(
+            "--engine",
+            choices=list(ENGINES),
+            default=None,
+            help="override the definition file's execution engine",
         )
         executor_parser.add_argument(
             "--quiet", action="store_true", help="suppress per-run progress lines"
@@ -249,8 +272,9 @@ def _command_run(args: argparse.Namespace) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         spec = CampaignSpec.from_dict(json.load(handle))
     store = CampaignStore(args.store)
-    executor = default_executor(args.jobs)
-    if args.jobs and args.jobs > 1 and args.chunksize:
+    engine = args.engine or spec.engine
+    executor = default_executor(args.jobs, engine)
+    if args.jobs and args.jobs > 1 and args.chunksize and hasattr(executor, "chunksize"):
         executor.chunksize = args.chunksize
 
     def progress(done: int, total: int, result: RunResult) -> None:

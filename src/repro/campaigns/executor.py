@@ -225,8 +225,39 @@ class ParallelExecutor:
         return [result for result in collected if result is not None]
 
 
-def default_executor(jobs: int | None = None) -> SerialExecutor | ParallelExecutor:
-    """Executor factory used by the CLIs: serial for ``jobs in (None, 0, 1)``."""
+def default_executor(jobs: int | None = None, engine: str | None = None):
+    """Executor factory used by the CLIs and the Scenario facade.
+
+    ``engine`` selects the execution path: ``None`` / ``"scalar"`` keeps the
+    per-run engines (serial for ``jobs in (None, 0, 1)``, multiprocessing
+    otherwise); ``"auto"`` / ``"batch"`` return the
+    :class:`~repro.campaigns.batching.BatchExecutor`, which vectorises
+    kernel-covered run groups and delegates the rest to the scalar path
+    (over ``jobs`` worker processes when ``jobs > 1``).
+    """
+    if engine is not None and engine not in ("scalar", "auto", "batch"):
+        from repro.campaigns.spec import ENGINES
+        from repro.core.errors import ParameterError
+
+        raise ParameterError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine in ("auto", "batch"):
+        try:
+            from repro.campaigns.batching import BatchExecutor
+        except ImportError as exc:
+            # The batch engine is built on NumPy; without it, "auto" simply
+            # keeps the scalar path while an explicit "batch" request fails
+            # loudly.
+            if engine == "batch":
+                from repro.core.errors import ParameterError
+
+                raise ParameterError(
+                    "engine='batch' requires numpy; install it or use "
+                    "engine='scalar'"
+                ) from exc
+        else:
+            return BatchExecutor(engine=engine, processes=jobs)
     if jobs is not None and jobs > 1:
         return ParallelExecutor(processes=jobs)
     return SerialExecutor()

@@ -74,6 +74,13 @@ class RunResult:
         Fraction of rounds after the first agreement in which agreement
         broke — the empirical per-round failure probability of a sampled
         counter.  ``None`` for broadcast runs.
+    rng:
+        ``None`` for runs whose randomness came from the scalar engine's
+        ``random.Random`` streams (including every deterministic batch
+        execution, which is bit-identical to them); the
+        :data:`~repro.network.batch.BATCH_RNG_NOTE` marker for randomised
+        runs executed by the NumPy batch engine, so a result store mixing
+        engines stays self-describing.
     error:
         ``None`` for successful runs; otherwise ``"ExcType: message"`` — the
         executors never let one failed run abort a campaign.
@@ -100,6 +107,7 @@ class RunResult:
     mean_pulls: float | None = None
     max_bits: int | None = None
     post_agreement_failure_rate: float | None = None
+    rng: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dictionary form (tuples become lists)."""
@@ -136,6 +144,7 @@ class RunResult:
             mean_pulls=data.get("mean_pulls"),
             max_bits=data.get("max_bits"),
             post_agreement_failure_rate=data.get("post_agreement_failure_rate"),
+            rng=data.get("rng"),
         )
 
     def to_trial_metrics(self) -> TrialMetrics:
@@ -213,6 +222,7 @@ def reduce_trace(
         mean_pulls=mean_pulls,
         max_bits=max_bits,
         post_agreement_failure_rate=failure_rate,
+        rng=trace.metadata.get("rng"),
     )
 
 

@@ -55,7 +55,7 @@ class CampaignReport:
 def run_campaign(
     campaign: CampaignSpec | Sequence[RunSpec] | Iterable[RunSpec],
     store: CampaignStore | None = None,
-    executor: SerialExecutor | ParallelExecutor | None = None,
+    executor: "SerialExecutor | ParallelExecutor | object | None" = None,
     progress: ProgressCallback | None = None,
 ) -> CampaignReport:
     """Run a campaign (resuming from ``store`` when one is given).
@@ -70,12 +70,19 @@ def run_campaign(
         immediately, so interrupting and re-invoking continues where the
         previous invocation stopped.  Errored runs are retried.
     executor:
-        Defaults to the in-process :class:`SerialExecutor`.
+        Defaults to the executor selected by the campaign's ``engine``
+        (``"auto"`` vectorises bit-identical run groups through the batch
+        engine); explicit run-spec lists default to the in-process
+        :class:`SerialExecutor`.
     progress:
         Optional callback ``(done, total, result)`` fired per completed run.
     """
     if isinstance(campaign, CampaignSpec):
         runs = campaign.expand()
+        if executor is None:
+            from repro.campaigns.executor import default_executor
+
+            executor = default_executor(engine=campaign.engine)
     else:
         runs = list(campaign)
     executor = executor or SerialExecutor()

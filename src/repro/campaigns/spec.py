@@ -33,13 +33,26 @@ from repro.network.adversary import (
 )
 from repro.util.rng import derive_rng
 
-__all__ = ["AlgorithmSpec", "RunSpec", "CampaignSpec", "FAULT_PATTERNS", "MODELS"]
+__all__ = [
+    "AlgorithmSpec",
+    "RunSpec",
+    "CampaignSpec",
+    "FAULT_PATTERNS",
+    "MODELS",
+    "ENGINES",
+]
 
 #: Supported fault-placement patterns for campaign grids.
 FAULT_PATTERNS = ("random", "spread")
 
 #: Supported communication models for campaign grids.
 MODELS = ("broadcast", "pulling")
+
+#: Supported execution engines: ``"auto"`` vectorises the run groups whose
+#: batch execution is bit-identical to the scalar engine, ``"batch"`` forces
+#: the vectorised path for every kernel-covered group (randomised kernels are
+#: statistically equivalent), ``"scalar"`` always uses the per-run engine.
+ENGINES = ("auto", "batch", "scalar")
 
 
 def _as_items(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> tuple:
@@ -204,6 +217,7 @@ class CampaignSpec:
     fault_pattern: str = "random"
     metadata: tuple[tuple[str, Any], ...] = ()
     model: str = "broadcast"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -211,6 +225,10 @@ class CampaignSpec:
         if self.model not in MODELS:
             raise ParameterError(
                 f"unknown model {self.model!r}; expected one of {MODELS}"
+            )
+        if self.engine not in ENGINES:
+            raise ParameterError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
         if not self.algorithms:
             raise ParameterError("campaign must list at least one algorithm")
@@ -336,6 +354,7 @@ class CampaignSpec:
             "fault_pattern": self.fault_pattern,
             "metadata": dict(self.metadata),
             "model": self.model,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -356,4 +375,5 @@ class CampaignSpec:
             fault_pattern=data.get("fault_pattern", "random"),
             metadata=_as_items(data.get("metadata")),
             model=data.get("model", "broadcast"),
+            engine=data.get("engine", "auto"),
         )

@@ -37,7 +37,7 @@ from repro.campaigns.cli import (
     register_commands,
 )
 from repro.campaigns.results import CampaignStore, RunResult, summarize_results
-from repro.campaigns.spec import FAULT_PATTERNS
+from repro.campaigns.spec import ENGINES, FAULT_PATTERNS
 from repro.core.errors import ParameterError
 from repro.experiments.catalog import experiment_catalog
 from repro.scenarios import Scenario, default_component_registry
@@ -66,6 +66,7 @@ def _command_run(args: argparse.Namespace) -> int:
         .stop_after_agreement(args.stop_after_agreement)
         .min_tail(args.min_tail)
         .fault_pattern(args.fault_pattern)
+        .engine(args.engine)
     )
     if args.name:
         scenario = scenario.named(args.name)
@@ -245,6 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--min-tail", type=int, default=2)
     run.add_argument("--fault-pattern", choices=FAULT_PATTERNS, default="random")
+    run.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="auto",
+        help=(
+            "execution engine: 'auto' vectorises bit-identical run groups "
+            "through the NumPy batch engine, 'batch' forces it for every "
+            "kernel-covered group, 'scalar' runs one simulation at a time"
+        ),
+    )
     run.add_argument("--name", help="scenario name (default: the algorithm names)")
     run.add_argument(
         "--jobs",

@@ -141,8 +141,20 @@ def instruction_vote(
     counts = Counter(received)
     own_support = counts.get(registers.a, 0)
     d = 1 if (registers.a != INFINITY and own_support >= N - F) else 0
-    candidates = [j for j in range(C) if counts.get(j, 0) > F]
-    a = min(candidates) if candidates else INFINITY
+    # min{j in [C] : z_j > F} without scanning all C counter values: only
+    # received values can have positive support, so the distinct received
+    # values (at most N of them) are the only candidates — but exactly as in
+    # the [C] scan, only genuine counter values qualify (uncoerced garbage
+    # from a caller bypassing phase_king_step must not be adopted).
+    a = INFINITY
+    for value, count in counts.items():
+        if (
+            count > F
+            and isinstance(value, int)
+            and 0 <= value < C
+            and (a == INFINITY or value < a)
+        ):
+            a = value
     return PhaseKingRegisters(a=increment(a, C), d=d)
 
 

@@ -48,13 +48,24 @@ def majority(values: Sequence[T], default: T) -> T:
     the ``*`` case of the paper's majority function where the result may be
     arbitrary (non-faulty nodes broadcast consistently, so at most one value
     can ever hold a strict majority of non-faulty votes).
+
+    This sits on the boosted counter's per-node per-round hot path, so the
+    tally is a single pass tracking the running leader (a strict majority is
+    unique, so first-to-the-top is the Counter.most_common winner whenever
+    the strict test passes).
     """
     if not values:
         return default
-    counts = Counter(values)
-    candidate, count = counts.most_common(1)[0]
-    if 2 * count > len(values):
-        return candidate
+    counts: dict[T, int] = {}
+    best = default
+    best_count = 0
+    for value in values:
+        count = counts.get(value, 0) + 1
+        counts[value] = count
+        if count > best_count:
+            best_count, best = count, value
+    if 2 * best_count > len(values):
+        return best
     return default
 
 

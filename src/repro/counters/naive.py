@@ -17,7 +17,6 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.algorithm import AlgorithmInfo, State, SynchronousCountingAlgorithm
 from repro.core.errors import ParameterError
-from repro.core.voting import majority
 from repro.util.rng import ensure_rng
 
 __all__ = ["NaiveMajorityCounter"]
@@ -69,9 +68,29 @@ class NaiveMajorityCounter(SynchronousCountingAlgorithm):
     def transition(self, node: int, messages: Sequence[State]) -> int:
         if len(messages) != self.n:
             raise ParameterError(f"expected {self.n} messages, got {len(messages)}")
-        values = [self.coerce_message(message) for message in messages]
-        agreed = majority(values, min(values))
-        return (agreed + 1) % self.c
+        # Single pass: coerce, tally, and track both the running majority
+        # candidate and the minimum (the no-strict-majority fallback).  A
+        # strict majority is unique, so first-to-the-top equals Counter's
+        # most_common winner whenever the strict test below passes.
+        c = self.c
+        counts: dict[int, int] = {}
+        best_value = 0
+        best_count = 0
+        minimum: int | None = None
+        for message in messages:
+            if isinstance(message, bool) or not isinstance(message, int):
+                value = 0
+            else:
+                value = message % c
+            count = counts.get(value, 0) + 1
+            counts[value] = count
+            if count > best_count:
+                best_count, best_value = count, value
+            if minimum is None or value < minimum:
+                minimum = value
+        agreed = best_value if 2 * best_count > self.n else minimum
+        assert agreed is not None  # n >= 1 guarantees at least one message
+        return (agreed + 1) % c
 
     def output(self, node: int, state: State) -> int:
         return self.coerce_message(state)

@@ -24,7 +24,6 @@ for the deterministic constructions of the paper.
 from __future__ import annotations
 
 import random
-from collections import Counter
 from typing import Any, Iterator, Sequence
 
 from repro.core.algorithm import AlgorithmInfo, State, SynchronousCountingAlgorithm
@@ -50,6 +49,8 @@ class RandomizedFollowMajorityCounter(SynchronousCountingAlgorithm):
         )
         super().__init__(n=n, f=f, c=c, info=info)
         self._rng = ensure_rng(seed)
+        #: The follow threshold, hoisted out of the per-round transition.
+        self._threshold = n - f
 
     # ------------------------------------------------------------------ #
     # Randomness management
@@ -90,15 +91,27 @@ class RandomizedFollowMajorityCounter(SynchronousCountingAlgorithm):
     def transition(self, node: int, messages: Sequence[State]) -> int:
         if len(messages) != self.n:
             raise ParameterError(f"expected {self.n} messages, got {len(messages)}")
-        values = [self.coerce_message(message) for message in messages]
-        counts = Counter(values)
-        threshold = self.n - self.f
-        supported = [value for value, count in counts.items() if count >= threshold]
-        if supported:
-            # At most one value can reach n - f support among correct nodes
-            # (two would require 2(n - 2f) <= n - f, i.e. n <= 3f).
-            return (min(supported) + 1) % self.c
-        return self._rng.randrange(self.c)
+        # Single pass: coerce, tally and track the smallest value reaching
+        # the n - f threshold at once (no Counter, no candidate-list scan).
+        # At most one value can reach n - f support among correct nodes
+        # (two would require 2(n - 2f) <= n - f, i.e. n <= 3f), but the
+        # minimum is tracked anyway to keep the historical tie-break exact.
+        threshold = self._threshold
+        counts: dict[int, int] = {}
+        supported: int | None = None
+        c = self.c
+        for message in messages:
+            if isinstance(message, bool) or not isinstance(message, int):
+                value = 0
+            else:
+                value = message % c
+            count = counts.get(value, 0) + 1
+            counts[value] = count
+            if count >= threshold and (supported is None or value < supported):
+                supported = value
+        if supported is not None:
+            return (supported + 1) % c
+        return self._rng.randrange(c)
 
     def output(self, node: int, state: State) -> int:
         return self.coerce_message(state)

@@ -1,0 +1,947 @@
+"""Vectorised batch-trial simulation: whole campaigns as NumPy array programs.
+
+Every statistic the paper cares about — the Table 1 stabilisation-time
+distributions, the scaling curves, the adversary ablations — is estimated by
+re-running one ``(algorithm, adversary, n, f)`` configuration for hundreds of
+independent trials that differ only in their seed and faulty set.  The scalar
+engine (:func:`repro.network.engine.run_engine`) walks each of those trials
+through a pure-Python round loop, one node dictionary at a time.  This module
+folds the *trial axis* into the state representation instead: the states of
+all nodes across ``B`` simultaneous trials live in one ``(B, n, fields)``
+integer array, and one synchronous round of the whole batch is a handful of
+vectorised array operations.
+
+The moving parts:
+
+* :class:`BatchKernel` / :class:`PullBatchKernel` — the vectorised
+  counterpart of an algorithm's ``transition``: encode states as fixed-width
+  integer field vectors and map a round of received messages to successor
+  states for the whole batch at once.  Kernels for the registry algorithms
+  live in :mod:`repro.counters.kernels` (broadcast) and
+  :mod:`repro.sampling.kernels` (pulling); :func:`build_batch_kernel`
+  dispatches on the algorithm instance.
+* :class:`AdversaryBatchKernel` — vectorised forgery: given broadcastable
+  ``(sender, receiver)`` index arrays, produce the coerced field vectors the
+  Byzantine senders deliver.  Forgeries enter the round as per-receiver
+  *column patches* on the shared broadcast matrix
+  (:meth:`BatchMessages.received`), so the fault-free bulk of the message
+  matrix is never copied per receiver.
+* :func:`run_batch_trials` — the batched round loop: per-trial agreement and
+  streak tracking as boolean masks, finished trials frozen (compacted out of
+  the live arrays) while the rest of the batch continues, and finally one
+  :class:`~repro.network.trace.ExecutionTrace` reconstructed per trial.
+
+Correctness contract
+--------------------
+
+* **Deterministic configurations are bit-identical to the scalar engine.**
+  Initial states are drawn per trial from exactly the streams the scalar
+  engine derives (``initial-states`` first, in the model's documented
+  order), and deterministic kernels perform the same integer arithmetic the
+  scalar transition does, so traces and the
+  :class:`~repro.campaigns.results.RunResult` reductions match the scalar
+  engine bit for bit.  This is asserted trial-by-trial in
+  ``tests/network/test_batch.py``.
+* **Randomised configurations are statistically equivalent.**  Randomised
+  kernels (and randomised adversary kernels) draw from a NumPy
+  ``Generator`` seeded from the trial seeds instead of replaying the scalar
+  engine's per-call ``random.Random`` streams; the per-round distributions
+  are identical but the sampled values are not.  Such traces carry an
+  explicit ``rng`` note in their metadata (:data:`BATCH_RNG_NOTE`) so
+  downstream consumers can tell the streams apart.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.network.adversary import NoAdversary, build_adversary
+from repro.network.engine import derive_streams, resolve_initial_states
+from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "BATCH_RNG_NOTE",
+    "BatchTrial",
+    "BatchRunSummary",
+    "BatchMessages",
+    "BatchPullNetwork",
+    "BatchKernel",
+    "PullBatchKernel",
+    "AdversaryBatchKernel",
+    "ADVERSARY_BATCH_KERNELS",
+    "adversary_kernel_available",
+    "build_adversary_kernel",
+    "build_batch_kernel",
+    "run_batch_trials",
+    "run_batch_summaries",
+]
+
+#: Metadata note stamped into traces whose batch execution consumed NumPy
+#: randomness (randomised kernel or randomised adversary kernel).  Scalar
+#: traces never carry the key, and deterministic batch traces omit it so they
+#: stay bit-identical to their scalar counterparts.
+BATCH_RNG_NOTE = "batch:numpy-PCG64 (statistically equivalent to the scalar random.Random streams)"
+
+#: Sentinel for "all correct nodes disagree" in the vectorised agreement
+#: tracking; counter outputs are always non-negative.
+_DISAGREE = -1
+
+
+@dataclass(frozen=True)
+class BatchTrial:
+    """One trial of a batched group: the seed, faulty set and trace tags.
+
+    Mirrors what :func:`repro.campaigns.executor.execute_run` feeds the
+    scalar engine for one :class:`~repro.campaigns.spec.RunSpec`: ``sim_seed``
+    is the master seed the RNG streams derive from, ``faulty`` the explicit
+    Byzantine set, and ``metadata`` the caller entries (run id, tags) merged
+    into the trace header.
+    """
+
+    sim_seed: int
+    faulty: tuple[int, ...] = ()
+    metadata: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class BatchRunSummary:
+    """The per-trial reduction the campaign executors consume.
+
+    Everything a :class:`~repro.campaigns.results.RunResult` derives from an
+    :class:`~repro.network.trace.ExecutionTrace` — without materialising the
+    trace: the per-round agreed values carry the stabilisation analysis, the
+    stop flags carry the early-stop outcome, and the pull statistics are the
+    (per-round constant) plan size of the pulling kernels.
+
+    Attributes
+    ----------
+    faulty:
+        The trial's Byzantine set, ascending.
+    agreed:
+        Per recorded round, the common output of all correct nodes, or
+        :data:`-1 <_DISAGREE>` when they disagreed — exactly
+        ``ExecutionTrace.agreed_values()`` with ``None`` encoded as ``-1``.
+    rounds:
+        Number of recorded rounds.
+    stopped_early / agreement_streak:
+        The early-stop metadata the stopping rules would have stamped into
+        the trace (``agreement_streak`` only when the window fired).
+    pulls_per_round / message_bits:
+        Pulling-model statistics (``None`` / ``0`` for broadcast trials).
+    rng_note:
+        :data:`BATCH_RNG_NOTE` when the execution consumed NumPy randomness
+        (randomised kernel or adversary kernel), ``None`` for deterministic
+        — bit-identical — executions.  Propagated into
+        :attr:`repro.campaigns.results.RunResult.rng` so stored results
+        record which stream family produced them.
+    """
+
+    faulty: tuple[int, ...]
+    agreed: tuple[int, ...]
+    rounds: int
+    stopped_early: bool
+    agreement_streak: int | None
+    pulls_per_round: int | None
+    message_bits: int
+    rng_note: str | None = None
+
+
+# ---------------------------------------------------------------------- #
+# Kernel protocols
+# ---------------------------------------------------------------------- #
+
+
+class _KernelBase(ABC):
+    """State-encoding surface shared by broadcast and pulling kernels.
+
+    A kernel represents one node state as ``fields`` int64 values.  All
+    arrays handed to kernels use the layout ``(..., fields)``; the encoding
+    must be such that every value a correct node can hold — and every coerced
+    forgery an adversary kernel produces — round-trips exactly.
+    """
+
+    #: Number of int64 fields per node state.
+    fields: int = 1
+
+    #: Whether :meth:`step` is a pure function of its inputs (consumes no
+    #: NumPy randomness).  Deterministic kernels are bit-identical to the
+    #: scalar engine; randomised ones are statistically equivalent.
+    deterministic: bool = True
+
+    def __init__(self, algorithm: Any) -> None:
+        self.algorithm = algorithm
+
+    @abstractmethod
+    def encode(self, state: Any) -> tuple[int, ...]:
+        """Encode one scalar-engine state as ``fields`` integers."""
+
+    @abstractmethod
+    def decode(self, row: Sequence[int]) -> Any:
+        """Inverse of :meth:`encode` (used by tests and debugging)."""
+
+    @abstractmethod
+    def outputs(self, states: np.ndarray) -> np.ndarray:
+        """Counter outputs ``h(i, s)`` for a ``(..., fields)`` state array."""
+
+    @abstractmethod
+    def random_fields(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Uniformly random valid states, shaped ``(*shape, fields)``.
+
+        Must sample the same distribution as the algorithm's
+        ``random_state`` (used by the random-state / split-state adversary
+        kernels, *not* for initial states — those come from the scalar
+        streams so deterministic runs stay bit-identical).
+        """
+
+    def default_fields(self) -> np.ndarray:
+        """The encoded default state (what the crash adversary broadcasts)."""
+        return np.asarray(self.encode(self.algorithm.default_state()), dtype=np.int64)
+
+
+class BatchKernel(_KernelBase):
+    """Vectorised broadcast-model algorithm: one round for the whole batch."""
+
+    model = "broadcast"
+
+    @abstractmethod
+    def step(
+        self, view: "BatchMessages", round_index: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Map the round's received messages to successor states.
+
+        Returns the new ``(B, n, fields)`` state array for *all* ``n``
+        columns; the engine ignores the faulty columns (their values are
+        placeholders — every read of a faulty sender goes through the
+        forgery patches in ``view``).
+        """
+
+
+class PullBatchKernel(_KernelBase):
+    """Vectorised pulling-model algorithm (Section 5)."""
+
+    model = "pulling"
+
+    @abstractmethod
+    def step(
+        self,
+        network: "BatchPullNetwork",
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, int]:
+        """One pulling round: draw targets, pull responses, update states.
+
+        Returns ``(new_states, pulls_per_node)`` where ``pulls_per_node`` is
+        the (deterministic) number of pulls every node issued this round —
+        the quantity behind the per-round ``max_pulls`` / ``mean_pulls`` /
+        ``max_bits`` trace metadata.
+        """
+
+
+# ---------------------------------------------------------------------- #
+# Message views
+# ---------------------------------------------------------------------- #
+
+
+class BatchMessages:
+    """The broadcast round's message matrix, with forgeries as column patches.
+
+    Correct senders broadcast one state to everyone, so the bulk of the
+    ``receiver x sender`` message matrix is the same row repeated; only the
+    columns of faulty senders differ per receiver.  The view therefore keeps
+
+    * ``states`` — the shared ``(B, n, fields)`` sender states, and
+    * ``forged`` — ``(B, n, f, fields)`` per-receiver forgeries for the
+      ``f`` faulty senders listed in ``faulty_idx`` (``None`` when the batch
+      is fault-free),
+
+    and materialises a per-receiver matrix only on demand, one field at a
+    time.  Fault-free batches never copy at all (a broadcast view).
+    """
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        faulty_idx: np.ndarray | None,
+        forged: np.ndarray | None,
+    ) -> None:
+        self.states = states
+        self.faulty_idx = faulty_idx
+        self.forged = forged
+
+    @property
+    def batch(self) -> int:
+        """Number of live trials ``B``."""
+        return self.states.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.states.shape[1]
+
+    def received(self, field: int) -> np.ndarray:
+        """The ``(B, receiver, sender)`` matrix of one received field.
+
+        Without faults this is a read-only broadcast view of the shared
+        sender states; with faults the faulty columns are patched with the
+        per-receiver forgeries.
+        """
+        batch, n = self.batch, self.n
+        base = np.broadcast_to(self.states[:, None, :, field], (batch, n, n))
+        if self.forged is None:
+            return base
+        matrix = base.copy()
+        assert self.faulty_idx is not None
+        np.put_along_axis(
+            matrix, self.faulty_idx[:, None, :], self.forged[:, :, :, field], axis=2
+        )
+        return matrix
+
+    def received_stack(self) -> np.ndarray:
+        """All fields at once: ``(B, receiver, sender, fields)``."""
+        fields = self.states.shape[2]
+        return np.stack([self.received(i) for i in range(fields)], axis=-1)
+
+    def field_counts(self, field: int, size: int) -> np.ndarray:
+        """Per-receiver tallies of one field over bins ``[0, size)``.
+
+        Returns ``(B, n, size)`` counts of the received values — without
+        materialising the per-receiver message matrix: the shared correct
+        senders are counted once per trial and only the ``f`` forged values
+        are added per receiver (``O(B·n·f)`` instead of ``O(B·n²)``).
+        Values must already be coerced into ``[0, size)``.
+        """
+        batch, n = self.batch, self.n
+        values = self.states[:, :, field]
+        if self.forged is None:
+            offsets = (np.arange(batch, dtype=np.int64) * size)[:, None]
+            shared = np.bincount(
+                (values + offsets).ravel(), minlength=batch * size
+            ).reshape(batch, size)
+            return np.broadcast_to(shared[:, None, :], (batch, n, size))
+        assert self.faulty_idx is not None
+        masked = values.copy()
+        # Faulty senders' placeholder entries land in an overflow bin that
+        # is sliced away, so only correct senders reach the shared tally.
+        np.put_along_axis(masked, self.faulty_idx, size, axis=1)
+        offsets = (np.arange(batch, dtype=np.int64) * (size + 1))[:, None]
+        shared = np.bincount(
+            (masked + offsets).ravel(), minlength=batch * (size + 1)
+        ).reshape(batch, size + 1)[:, :size]
+        forged_values = self.forged[:, :, :, field]
+        cell_offsets = (np.arange(batch * n, dtype=np.int64) * size).reshape(
+            batch, n, 1
+        )
+        forged_counts = np.bincount(
+            (forged_values + cell_offsets).ravel(), minlength=batch * n * size
+        ).reshape(batch, n, size)
+        return shared[:, None, :] + forged_counts
+
+    def field_min(self, field: int) -> np.ndarray:
+        """Per-receiver minimum of one received field: ``(B, n)``."""
+        batch, n = self.batch, self.n
+        values = self.states[:, :, field]
+        if self.forged is None:
+            shared = values.min(axis=1)
+            return np.broadcast_to(shared[:, None], (batch, n))
+        assert self.faulty_idx is not None
+        masked = values.copy()
+        np.put_along_axis(
+            masked, self.faulty_idx, np.iinfo(np.int64).max, axis=1
+        )
+        shared = masked.min(axis=1)
+        return np.minimum(shared[:, None], self.forged[:, :, :, field].min(axis=2))
+
+
+class BatchPullNetwork:
+    """The pulling round's response oracle: gather states, patch forgeries."""
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        faulty_lookup: np.ndarray | None,
+        adversary: "AdversaryBatchKernel | None",
+        correct_sorted: np.ndarray,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.states = states
+        self._faulty_lookup = faulty_lookup
+        self._adversary = adversary
+        self._correct_sorted = correct_sorted
+        self._round_index = round_index
+        self._rng = rng
+
+    def respond(self, targets: np.ndarray) -> np.ndarray:
+        """Responses for a ``(B, n, P)`` target array: ``(B, n, P, fields)``.
+
+        Correct targets answer with their true state (as of the start of the
+        round); faulty targets answer with whatever the adversary kernel
+        forges for the ``(target, puller)`` pair.
+        """
+        batch, n = self.states.shape[0], self.states.shape[1]
+        bidx = np.arange(batch)[:, None, None]
+        responses = self.states[bidx, targets]
+        if self._adversary is None or self._faulty_lookup is None:
+            return responses
+        is_faulty = self._faulty_lookup[bidx, targets]
+        if not is_faulty.any():
+            return responses
+        receivers = np.broadcast_to(np.arange(n)[None, :, None], targets.shape)
+        forged = self._adversary.forge(
+            self._round_index,
+            targets,
+            receivers,
+            self.states,
+            self._correct_sorted,
+            self._rng,
+        )
+        return np.where(is_faulty[..., None], forged, responses)
+
+
+# ---------------------------------------------------------------------- #
+# Adversary kernels
+# ---------------------------------------------------------------------- #
+
+
+class AdversaryBatchKernel(ABC):
+    """Vectorised Byzantine forgery for one strategy.
+
+    The engine calls :meth:`begin_round` once per round, then :meth:`forge`
+    with broadcastable ``(B, ...)`` index arrays of faulty senders and their
+    receivers.  The returned field vectors must already be *coerced* — i.e.
+    valid encodings under the algorithm kernel — matching the scalar engine,
+    which pipes every forgery through ``algorithm.coerce_message``.
+    """
+
+    #: Strategy name (matches :data:`repro.network.adversary.STRATEGIES`).
+    strategy = "abstract"
+
+    #: Whether :meth:`forge` consumes NumPy randomness.
+    deterministic = True
+
+    def __init__(self, kernel: _KernelBase) -> None:
+        self.kernel = kernel
+
+    def begin_round(
+        self,
+        round_index: int,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Per-round hook (e.g. the split-state pair draw)."""
+
+    @abstractmethod
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Forged field vectors for broadcastable sender/receiver indices.
+
+        ``senders`` and ``receivers`` broadcast against each other (with the
+        batch axis first); the result has their broadcast shape plus a
+        trailing ``fields`` axis.
+        """
+
+
+class CrashBatchKernel(AdversaryBatchKernel):
+    """Faulty nodes appear stuck on the algorithm's default state."""
+
+    strategy = "crash"
+    deterministic = True
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        default = self.kernel.default_fields()
+        return np.broadcast_to(default, shape + (self.kernel.fields,))
+
+
+class RandomStateBatchKernel(AdversaryBatchKernel):
+    """Independently random valid state per (sender, receiver) pair."""
+
+    strategy = "random-state"
+    deterministic = False
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        return self.kernel.random_fields(rng, shape)
+
+
+class SplitStateBatchKernel(AdversaryBatchKernel):
+    """One fresh random state for even receivers, another for odd ones."""
+
+    strategy = "split-state"
+    deterministic = False
+
+    def __init__(self, kernel: _KernelBase) -> None:
+        super().__init__(kernel)
+        self._pair: np.ndarray | None = None
+
+    def begin_round(self, round_index, states, correct_sorted, rng):
+        # One pair per trial per round, shared by all faulty senders —
+        # exactly the scalar SplitStateAdversary.on_round_start draw.
+        self._pair = self.kernel.random_fields(rng, (states.shape[0], 2))
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        assert self._pair is not None
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        parity = np.broadcast_to(receivers % 2, shape)
+        batch = states.shape[0]
+        bidx = np.arange(batch).reshape((batch,) + (1,) * (len(shape) - 1))
+        return self._pair[np.broadcast_to(bidx, shape), parity]
+
+
+class MimicBatchKernel(AdversaryBatchKernel):
+    """Echo the true state of a rotating correct victim (deterministic)."""
+
+    strategy = "mimic"
+    deterministic = True
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        num_correct = correct_sorted.shape[1]
+        position = np.broadcast_to(
+            (receivers + round_index) % num_correct, shape
+        )
+        batch = states.shape[0]
+        bidx = np.arange(batch).reshape((batch,) + (1,) * (len(shape) - 1))
+        bidx = np.broadcast_to(bidx, shape)
+        victims = correct_sorted[bidx, position]
+        return states[bidx, victims]
+
+
+#: Adversary strategies with a vectorised kernel.  Strategies missing here
+#: (``phase-king-skew``, ``adaptive-split``) fall back to the scalar engine.
+ADVERSARY_BATCH_KERNELS: dict[str, type[AdversaryBatchKernel]] = {
+    kernel.strategy: kernel
+    for kernel in (
+        CrashBatchKernel,
+        RandomStateBatchKernel,
+        SplitStateBatchKernel,
+        MimicBatchKernel,
+    )
+}
+
+
+def adversary_kernel_available(strategy: str | None) -> bool:
+    """Whether the strategy (or the fault-free ``None``) has a batch kernel."""
+    return strategy is None or strategy in ADVERSARY_BATCH_KERNELS
+
+
+def build_adversary_kernel(
+    strategy: str, kernel: _KernelBase
+) -> AdversaryBatchKernel:
+    """Construct the adversary kernel for a registered strategy name."""
+    try:
+        cls = ADVERSARY_BATCH_KERNELS[strategy]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARY_BATCH_KERNELS))
+        raise SimulationError(
+            f"adversary strategy {strategy!r} has no batch kernel; "
+            f"vectorised strategies: {known}"
+        ) from None
+    return cls(kernel)
+
+
+def build_batch_kernel(algorithm: Any):
+    """The vectorised kernel for an algorithm instance, or ``None``.
+
+    Dispatches to the broadcast kernels of :mod:`repro.counters.kernels` and
+    the pulling kernels of :mod:`repro.sampling.kernels`.  ``None`` means the
+    algorithm (or its parameterisation — e.g. counter periods that overflow
+    int64) has no vectorised fast path and callers must use the scalar
+    engine.
+    """
+    from repro.counters.kernels import build_broadcast_kernel
+    from repro.sampling.kernels import build_pulling_kernel
+
+    kernel = build_broadcast_kernel(algorithm)
+    if kernel is not None:
+        return kernel
+    return build_pulling_kernel(algorithm)
+
+
+# ---------------------------------------------------------------------- #
+# The batched round loop
+# ---------------------------------------------------------------------- #
+
+
+def run_batch_trials(
+    algorithm: Any,
+    kernel: BatchKernel | PullBatchKernel,
+    trials: Sequence[BatchTrial],
+    *,
+    adversary_strategy: str | None = None,
+    adversary_params: Mapping[str, Any] | None = None,
+    max_rounds: int = 1000,
+    stop_after_agreement: int | None = None,
+    batch_size: int = 256,
+) -> list[ExecutionTrace]:
+    """Run many trials of one configuration as a vectorised batch.
+
+    Semantics match running each trial through the scalar engine with
+    ``seed=trial.sim_seed`` and the adversary built from
+    ``(adversary_strategy, trial.faulty, adversary_params)``: the same derived
+    initial-state streams, the same :class:`~repro.network.engine.MaxRounds` /
+    :class:`~repro.network.engine.AgreementWindow` stopping rules (window
+    first on ties), and the same trace layout.  Deterministic kernels are
+    bit-identical; randomised ones are statistically equivalent and stamp
+    :data:`BATCH_RNG_NOTE` into the trace metadata.
+
+    ``batch_size`` bounds the number of trials vectorised together (memory —
+    and, for randomised kernels, the chunking of the NumPy streams).
+    """
+    traces: list[ExecutionTrace] = []
+    for chunk in _chunked(trials, batch_size, max_rounds, stop_after_agreement):
+        chunk_traces, _ = _run_chunk(
+            algorithm,
+            kernel,
+            chunk,
+            adversary_strategy,
+            dict(adversary_params or {}),
+            max_rounds,
+            stop_after_agreement,
+            record_outputs=True,
+        )
+        assert chunk_traces is not None
+        traces.extend(chunk_traces)
+    return traces
+
+
+def run_batch_summaries(
+    algorithm: Any,
+    kernel: BatchKernel | PullBatchKernel,
+    trials: Sequence[BatchTrial],
+    *,
+    adversary_strategy: str | None = None,
+    adversary_params: Mapping[str, Any] | None = None,
+    max_rounds: int = 1000,
+    stop_after_agreement: int | None = None,
+    batch_size: int = 256,
+) -> list[BatchRunSummary]:
+    """Like :func:`run_batch_trials`, but skip the per-round trace rebuild.
+
+    Returns one :class:`BatchRunSummary` per trial — everything the campaign
+    reduction needs, at a fraction of the reconstruction cost.  This is the
+    path :class:`repro.campaigns.batching.BatchExecutor` takes; per-round
+    outputs are never materialised as Python dictionaries.
+    """
+    summaries: list[BatchRunSummary] = []
+    for chunk in _chunked(trials, batch_size, max_rounds, stop_after_agreement):
+        _, chunk_summaries = _run_chunk(
+            algorithm,
+            kernel,
+            chunk,
+            adversary_strategy,
+            dict(adversary_params or {}),
+            max_rounds,
+            stop_after_agreement,
+            record_outputs=False,
+        )
+        summaries.extend(chunk_summaries)
+    return summaries
+
+
+def _chunked(
+    trials: Sequence[BatchTrial],
+    batch_size: int,
+    max_rounds: int,
+    stop_after_agreement: int | None,
+) -> list[Sequence[BatchTrial]]:
+    """Validate the shared parameters and slice the trials into chunks."""
+    if max_rounds < 1:
+        raise SimulationError(f"max_rounds must be positive, got {max_rounds}")
+    if stop_after_agreement is not None and stop_after_agreement < 1:
+        raise SimulationError(
+            f"stop_after_agreement must be positive, got {stop_after_agreement}"
+        )
+    if batch_size < 1:
+        raise SimulationError(f"batch_size must be positive, got {batch_size}")
+    fault_counts = {len(trial.faulty) for trial in trials}
+    if len(fault_counts) > 1:
+        raise SimulationError(
+            "all trials of one batch must have the same number of faults, "
+            f"got {sorted(fault_counts)}"
+        )
+    return [
+        trials[start : start + batch_size]
+        for start in range(0, len(trials), batch_size)
+    ]
+
+
+def _run_chunk(
+    algorithm: Any,
+    kernel: BatchKernel | PullBatchKernel,
+    trials: Sequence[BatchTrial],
+    strategy: str | None,
+    adversary_params: dict[str, Any],
+    max_rounds: int,
+    window: int | None,
+    record_outputs: bool,
+) -> tuple[list[ExecutionTrace] | None, list[BatchRunSummary]]:
+    """Vectorised execution of one chunk of trials."""
+    batch = len(trials)
+    n = algorithm.n
+    c = algorithm.c
+    fields = kernel.fields
+    pulling = kernel.model == "pulling"
+    num_faults = len(trials[0].faulty)
+
+    # ------------------------------------------------------------------ #
+    # Per-trial setup: adversaries, RNG streams, initial states, traces.
+    # The initial states come from exactly the streams the scalar engine
+    # derives, so deterministic runs are bit-identical from round zero.
+    # ------------------------------------------------------------------ #
+    adversary_kernel: AdversaryBatchKernel | None = None
+    if num_faults:
+        if strategy is None:
+            raise SimulationError(
+                "batched trials list faulty nodes but no adversary strategy"
+            )
+        adversary_kernel = build_adversary_kernel(strategy, kernel)
+
+    default = kernel.default_fields()
+    states = np.empty((batch, n, fields), dtype=np.int64)
+    states[:, :, :] = default
+    sender_ok = np.ones((batch, n), dtype=bool)
+    faulty_idx = (
+        np.empty((batch, num_faults), dtype=np.int64) if num_faults else None
+    )
+    correct_sorted = np.empty((batch, n - num_faults), dtype=np.int64)
+    correct_lists: list[list[int]] = []
+    traces: list[ExecutionTrace] = []
+
+    stream_names = (
+        ("initial-states", "adversary", "sampling")
+        if pulling
+        else ("initial-states", "adversary")
+    )
+    randomized = not (
+        kernel.deterministic
+        and (adversary_kernel is None or adversary_kernel.deterministic)
+    )
+
+    faulty_tuples: list[tuple[int, ...]] = []
+    for index, trial in enumerate(trials):
+        adversary = (
+            build_adversary(strategy, trial.faulty, **adversary_params)
+            if strategy is not None
+            else NoAdversary()
+        )
+        adversary.validate(algorithm)
+        faulty = sorted(adversary.faulty)
+        faulty_tuples.append(tuple(faulty))
+        correct = [node for node in range(n) if node not in adversary.faulty]
+        correct_lists.append(correct)
+        correct_sorted[index] = correct
+        if faulty_idx is not None:
+            faulty_idx[index] = faulty
+            sender_ok[index, faulty] = False
+
+        # Only the first derived stream feeds the batch path (the kernels
+        # replace the adversary/sampling streams with NumPy randomness), and
+        # later derivations cannot influence an already-derived stream — so
+        # deriving just "initial-states" is bit-exact and skips constructing
+        # the unused generators.
+        init_rng = derive_streams(ensure_rng(trial.sim_seed), stream_names[0])[0]
+        initial = resolve_initial_states(algorithm, correct, None, init_rng)
+        for node in correct:
+            states[index, node] = kernel.encode(initial[node])
+
+        if record_outputs:
+            metadata: dict[str, Any] = dict(trial.metadata)
+            if pulling:
+                metadata["model"] = "pulling"
+            metadata["adversary"] = adversary.describe()
+            metadata["seed"] = trial.sim_seed
+            metadata["max_rounds"] = max_rounds
+            if randomized:
+                metadata["rng"] = BATCH_RNG_NOTE
+            traces.append(
+                ExecutionTrace(
+                    algorithm_name=algorithm.info.name,
+                    n=n,
+                    c=c,
+                    faulty=adversary.faulty,
+                    initial_outputs={
+                        node: algorithm.output(node, initial[node]) for node in correct
+                    },
+                    metadata=metadata,
+                )
+            )
+
+    rng = np.random.default_rng([int(trial.sim_seed) & 0xFFFFFFFF for trial in trials])
+
+    faulty_lookup = None
+    if pulling and num_faults:
+        faulty_lookup = ~sender_ok
+
+    # ------------------------------------------------------------------ #
+    # The batched round loop.  ``active`` maps live array rows to trial
+    # indices; finished trials are frozen by compacting them out, so the
+    # batch keeps shrinking as the agreement window fires per trial.
+    # ------------------------------------------------------------------ #
+    active = np.arange(batch)
+    prev = np.full(batch, _DISAGREE, dtype=np.int64)
+    streak = np.zeros(batch, dtype=np.int64)
+    #: Per round: (trial indices, agreed values, outputs, pulls per node).
+    recorded: list[
+        tuple[np.ndarray, np.ndarray, np.ndarray | None, int | None]
+    ] = []
+    #: Trial index -> (stopped_early, agreement_streak at the stop).
+    stop_info: dict[int, tuple[bool, int]] = {}
+
+    for round_index in range(max_rounds):
+        if adversary_kernel is not None:
+            adversary_kernel.begin_round(round_index, states, correct_sorted, rng)
+        pulls: int | None = None
+        if pulling:
+            network = BatchPullNetwork(
+                states,
+                faulty_lookup,
+                adversary_kernel,
+                correct_sorted,
+                round_index,
+                rng,
+            )
+            assert isinstance(kernel, PullBatchKernel)
+            states, pulls = kernel.step(network, round_index, rng)
+        else:
+            forged = None
+            if adversary_kernel is not None and faulty_idx is not None:
+                forged = adversary_kernel.forge(
+                    round_index,
+                    faulty_idx[:, None, :],
+                    np.arange(n)[None, :, None],
+                    states,
+                    correct_sorted,
+                    rng,
+                )
+            view = BatchMessages(states, faulty_idx, forged)
+            assert isinstance(kernel, BatchKernel)
+            states = kernel.step(view, round_index, rng)
+
+        outputs = kernel.outputs(states)
+
+        # Agreement and streak tracking (the AgreementWindow semantics):
+        # the streak grows only while the agreed value advances by one
+        # modulo c every round; disagreement resets it.
+        live = len(active)
+        reference = outputs[np.arange(live), correct_sorted[:, 0]]
+        agree = np.all((outputs == reference[:, None]) | ~sender_ok, axis=1)
+        agreed = np.where(agree, reference, _DISAGREE)
+        recorded.append((active, agreed, outputs if record_outputs else None, pulls))
+        window_fired = np.zeros(live, dtype=bool)
+        if window is not None:
+            advanced = (prev >= 0) & (agreed >= 0) & ((prev + 1) % c == agreed)
+            streak = np.where(agreed < 0, 0, np.where(advanced, streak + 1, 1))
+            prev = agreed
+            window_fired = streak >= window
+
+        cap_fired = round_index + 1 >= max_rounds
+        finished = window_fired | cap_fired
+        if not finished.any():
+            continue
+        for position in np.nonzero(finished)[0]:
+            # The window takes precedence over the round cap on ties,
+            # matching FirstOf(AgreementWindow, MaxRounds).
+            stop_info[int(active[position])] = (
+                bool(window_fired[position]),
+                int(streak[position]),
+            )
+        keep = ~finished
+        if not keep.any():
+            break
+        active = active[keep]
+        states = states[keep]
+        sender_ok = sender_ok[keep]
+        correct_sorted = correct_sorted[keep]
+        prev = prev[keep]
+        streak = streak[keep]
+        if faulty_idx is not None:
+            faulty_idx = faulty_idx[keep]
+        if faulty_lookup is not None:
+            faulty_lookup = faulty_lookup[keep]
+
+    # ------------------------------------------------------------------ #
+    # Per-trial reductions.  Trials all start at round zero and drop out
+    # when they stop, so the global round index is the per-trial round
+    # index.  The agreed-value sequences feed the summaries (and, when
+    # requested, full ExecutionTrace objects are rebuilt from the recorded
+    # output rows).
+    # ------------------------------------------------------------------ #
+    bits = algorithm.message_bits() if pulling else 0
+    agreed_per_trial: list[list[int]] = [[] for _ in range(batch)]
+    pulls_per_trial: int | None = None
+    for round_index, (ids, agreed, outputs, pulls) in enumerate(recorded):
+        if pulls is not None:
+            pulls_per_trial = pulls
+        agreed_values = agreed.tolist()
+        id_list = ids.tolist()
+        for position, trial_index in enumerate(id_list):
+            agreed_per_trial[trial_index].append(agreed_values[position])
+        if not record_outputs:
+            continue
+        assert outputs is not None
+        rows = outputs.tolist()
+        for position, trial_index in enumerate(id_list):
+            values = rows[position]
+            record_metadata: dict[str, Any]
+            if pulls is not None:
+                record_metadata = {
+                    "max_pulls": pulls,
+                    "mean_pulls": float(pulls),
+                    "max_bits": pulls * bits,
+                }
+            else:
+                record_metadata = {}
+            traces[trial_index].append(
+                RoundRecord(
+                    round_index=round_index,
+                    outputs={
+                        node: values[node] for node in correct_lists[trial_index]
+                    },
+                    states=None,
+                    metadata=record_metadata,
+                )
+            )
+
+    summaries: list[BatchRunSummary] = []
+    for trial_index in range(batch):
+        stopped_early, final_streak = stop_info[trial_index]
+        summaries.append(
+            BatchRunSummary(
+                faulty=faulty_tuples[trial_index],
+                agreed=tuple(agreed_per_trial[trial_index]),
+                rounds=len(agreed_per_trial[trial_index]),
+                stopped_early=stopped_early,
+                agreement_streak=final_streak if stopped_early else None,
+                pulls_per_round=pulls_per_trial,
+                message_bits=bits,
+                rng_note=BATCH_RNG_NOTE if randomized else None,
+            )
+        )
+    if not record_outputs:
+        return None, summaries
+    for trial_index, trace in enumerate(traces):
+        stopped_early, final_streak = stop_info[trial_index]
+        if stopped_early:
+            trace.metadata.update(
+                {"stopped_early": True, "agreement_streak": final_streak}
+            )
+        else:
+            trace.metadata.update({"stopped_early": False})
+    return traces, summaries

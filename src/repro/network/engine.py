@@ -186,6 +186,7 @@ class ModelAdapter(ABC):
     def __init__(self, algorithm: Any, adversary: Any) -> None:
         self.algorithm = algorithm
         self.adversary = adversary
+        self._correct_nodes: list[int] | None = None
 
     # -- wiring --------------------------------------------------------- #
 
@@ -212,9 +213,18 @@ class ModelAdapter(ABC):
 
     @property
     def correct_nodes(self) -> list[int]:
-        """Identifiers of the non-faulty nodes, ascending."""
-        faulty = self.adversary.faulty
-        return [i for i in range(self.algorithm.n) if i not in faulty]
+        """Identifiers of the non-faulty nodes, ascending.
+
+        Computed once and cached — the adversary's faulty set is fixed at
+        construction, and the engine and stopping rules consult this on
+        every round.
+        """
+        if self._correct_nodes is None:
+            faulty = self.adversary.faulty
+            self._correct_nodes = [
+                i for i in range(self.algorithm.n) if i not in faulty
+            ]
+        return self._correct_nodes
 
     @abstractmethod
     def step(
@@ -343,10 +353,14 @@ def run_engine(
         rule = FirstOf(stopping, rule)
     rule.reset()
 
+    # Hot loop: the bound output method is hoisted, and the outputs mapping
+    # is the only per-round allocation — it is owned by the stored
+    # RoundRecord, so it cannot be a reused buffer.
+    output = algorithm.output
     round_index = 0
     while True:
         states, round_metadata = model.step(states, round_index)
-        outputs = {node: algorithm.output(node, state) for node, state in states.items()}
+        outputs = {node: output(node, state) for node, state in states.items()}
         record = RoundRecord(
             round_index=round_index,
             outputs=outputs,

@@ -102,13 +102,18 @@ def run_round(
         return new_states
 
     faulty_senders = sorted(faulty)
+    # One message buffer is reused across receivers: only the faulty entries
+    # differ per receiver and every one of them is overwritten by the forge
+    # below before the transition reads the list.  Transitions receive the
+    # buffer read-only (they coerce/copy what they keep), so this saves one
+    # O(n) list allocation per receiver per round.
+    messages = list(base)
+    coerce = algorithm.coerce_message
+    forge = adversary.forge
     for receiver in states:
-        messages = list(base)
         for sender in faulty_senders:
-            forged = adversary.forge(
-                round_index, sender, receiver, states, algorithm, rng
-            )
-            messages[sender] = algorithm.coerce_message(forged)
+            forged = forge(round_index, sender, receiver, states, algorithm, rng)
+            messages[sender] = coerce(forged)
         new_states[receiver] = algorithm.transition(receiver, messages)
     return new_states
 

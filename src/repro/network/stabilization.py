@@ -23,6 +23,7 @@ from repro.network.trace import ExecutionTrace
 __all__ = [
     "StabilizationResult",
     "stabilization_round",
+    "stabilization_from_values",
     "is_counting_suffix",
     "agreement_round",
 ]
@@ -90,10 +91,24 @@ def stabilization_round(trace: ExecutionTrace, min_tail: int = 2) -> Stabilizati
         stabilisation.  Two rounds (one increment) is the logical minimum;
         experiments typically use a full counter period or more.
     """
+    return stabilization_from_values(trace.agreed_values(), trace.c, min_tail)
+
+
+def stabilization_from_values(
+    values: Sequence[int | None], c: int, min_tail: int = 2
+) -> StabilizationResult:
+    """The stabilisation analysis on a bare per-round agreed-value sequence.
+
+    ``values[t]`` is the common output of all correct nodes in round ``t``;
+    disagreement is encoded as ``None`` (the trace representation) or any
+    negative integer (the batch engine's array representation).  This is the
+    one implementation behind both the scalar
+    (:func:`stabilization_round`) and the vectorised
+    (:func:`repro.campaigns.batching.reduce_summary`) reductions.
+    """
     if min_tail < 1:
         raise SimulationError(f"min_tail must be at least 1, got {min_tail}")
-    agreed = trace.agreed_values()
-    total = len(agreed)
+    total = len(values)
     if total == 0:
         return StabilizationResult(
             stabilized=False, round=None, tail_length=0, total_rounds=0
@@ -102,9 +117,10 @@ def stabilization_round(trace: ExecutionTrace, min_tail: int = 2) -> Stabilizati
     # Walk backwards to find the longest correct suffix.
     suffix_start = total
     for index in range(total - 1, -1, -1):
-        if agreed[index] is None:
+        value = values[index]
+        if value is None or value < 0:
             break
-        if index + 1 < total and (agreed[index] + 1) % trace.c != agreed[index + 1]:
+        if index + 1 < total and (value + 1) % c != values[index + 1]:
             break
         suffix_start = index
     tail_length = total - suffix_start

@@ -118,8 +118,18 @@ def sampled_phase_king_step(
     if step == 1:
         own_support = counts.get(registers.a, 0)
         d = 1 if (registers.a != INFINITY and own_support >= high) else 0
-        candidates = [j for j in range(C) if counts.get(j, 0) > low]
-        a = min(candidates) if candidates else INFINITY
+        # Only sampled values can clear the threshold, so the distinct
+        # samples (at most M) are the only candidates — no [C] scan.  As in
+        # the scan, only genuine counter values in [C] qualify.
+        a = INFINITY
+        for value, count in counts.items():
+            if (
+                count > low
+                and isinstance(value, int)
+                and 0 <= value < C
+                and (a == INFINITY or value < a)
+            ):
+                a = value
         return PhaseKingRegisters(a=increment(a, C), d=d)
 
     # step == 2: king instruction

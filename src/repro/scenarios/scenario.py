@@ -33,6 +33,13 @@ Component names are resolved eagerly against the unified
 time with the registered alternatives listed, and the communication model
 (broadcast vs pulling) is inferred from the algorithm's registry entry — a
 pulling-model scenario needs no extra flag.
+
+Execution speed is governed by :meth:`Scenario.engine`: the default
+``"auto"`` transparently runs deterministic, kernel-covered grid groups
+through the vectorised NumPy batch engine (bit-identical results, one array
+program instead of hundreds of Python round loops), ``"batch"`` extends the
+fast path to randomised kernels (statistically equivalent, ``rng``-annotated
+traces), and ``"scalar"`` forces the per-run engine everywhere.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from typing import Any, Mapping
 from repro.campaigns.results import CampaignStore, summarize_results
 from repro.campaigns.runner import CampaignReport, run_campaign
 from repro.campaigns.spec import (
+    ENGINES,
     FAULT_PATTERNS,
     AlgorithmSpec,
     CampaignSpec,
@@ -90,6 +98,7 @@ class Scenario:
     _fault_pattern: str = "random"
     _metadata: tuple[tuple[str, Any], ...] = ()
     _model: str | None = None
+    _engine: str = "auto"
 
     # ------------------------------------------------------------------ #
     # Components
@@ -188,6 +197,25 @@ class Scenario:
             )
         return dataclasses.replace(self, _fault_pattern=pattern)
 
+    def engine(self, engine: str) -> "Scenario":
+        """Execution engine: ``"auto"`` (default), ``"batch"`` or ``"scalar"``.
+
+        ``"auto"`` runs grid groups whose vectorised execution is provably
+        bit-identical to the scalar engine (deterministic algorithm and
+        adversary kernels) through the NumPy batch engine and everything
+        else through the scalar per-run loop.  ``"batch"`` forces the batch
+        engine for every kernel-covered group — randomised kernels then use
+        NumPy randomness, which is statistically equivalent to (but not
+        sample-identical with) the scalar streams and is flagged by an
+        ``rng`` note in the trace metadata.  ``"scalar"`` always uses the
+        per-run engine.
+        """
+        if engine not in ENGINES:
+            raise ParameterError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        return dataclasses.replace(self, _engine=engine)
+
     def tag(self, **metadata: Any) -> "Scenario":
         """Merge free-form metadata into the campaign definition."""
         merged = dict(self._metadata)
@@ -219,6 +247,7 @@ class Scenario:
             fault_pattern=self._fault_pattern,
             metadata=self._metadata,
             model=self._model or "broadcast",
+            engine=self._engine,
         )
 
     def expand(self) -> list[RunSpec]:
@@ -236,7 +265,10 @@ class Scenario:
 
         ``jobs > 1`` fans the runs out over worker processes (results are
         bit-identical to a serial run); ``store`` enables JSONL persistence
-        and resume.  An explicit ``executor`` overrides ``jobs``.
+        and resume.  An explicit ``executor`` overrides ``jobs`` and the
+        scenario's :meth:`engine` selection; otherwise the engine decides
+        whether grid groups run vectorised (``"auto"``/``"batch"``) or one
+        scalar simulation at a time (``"scalar"``).
         """
         from repro.campaigns.executor import default_executor
 
@@ -245,7 +277,7 @@ class Scenario:
         return run_campaign(
             self.to_campaign_spec(),
             store=store,
-            executor=executor or default_executor(jobs),
+            executor=executor or default_executor(jobs, self._engine),
             progress=progress,
         )
 

@@ -1,0 +1,299 @@
+"""BatchExecutor: grouping, engine selection, result identity, CLI knob."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaigns.batching import BatchExecutor, group_runs
+from repro.campaigns.executor import SerialExecutor, default_executor
+from repro.campaigns.spec import AlgorithmSpec, CampaignSpec, RunSpec
+from repro.core.errors import ParameterError
+from repro.scenarios import Scenario
+
+
+def deterministic_campaign(runs: int = 5) -> CampaignSpec:
+    return CampaignSpec(
+        name="deterministic",
+        algorithms=(
+            AlgorithmSpec.create(
+                "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+            ),
+            AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),
+        ),
+        adversaries=("crash", "mimic", "none"),
+        runs_per_setting=runs,
+        seed=17,
+        max_rounds=200,
+        stop_after_agreement=6,
+    )
+
+
+def as_dicts(results):
+    return [dataclasses.asdict(result) for result in results]
+
+
+class TestGrouping:
+    def test_grid_groups_by_configuration(self):
+        runs = deterministic_campaign(4).expand()
+        groups, scalar = group_runs(runs)
+        assert not scalar
+        # 2 algorithms x 3 strategies, minus the duplicate-free expansion:
+        # every (algorithm, strategy, fault-count) coordinate is one group
+        # of 4 trials.
+        assert all(len(indices) == 4 for indices in groups.values())
+        assert sum(len(indices) for indices in groups.values()) == len(runs)
+
+    def test_prebuilt_instances_stay_scalar(self):
+        from repro.counters.trivial import TrivialCounter
+
+        spec = RunSpec(run_id="inst", algorithm=TrivialCounter(c=3))
+        groups, scalar = group_runs([spec])
+        assert not groups and scalar == [0]
+
+
+class TestAutoEngine:
+    def test_deterministic_groups_are_batched_and_bit_identical(self):
+        runs = deterministic_campaign().expand()
+        serial = SerialExecutor().run(runs)
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        assert as_dicts(serial) == as_dicts(batched)
+        assert executor.stats.batched == len(runs)
+        assert executor.stats.fallback == 0
+        assert executor.stats.completed == len(runs)
+
+    def test_randomized_groups_fall_back_to_scalar(self):
+        spec = CampaignSpec(
+            name="randomized",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "randomized-follow-majority", {"n": 5, "f": 1, "c": 2}
+                ),
+            ),
+            adversaries=("random-state",),
+            runs_per_setting=3,
+            max_rounds=60,
+            stop_after_agreement=5,
+        )
+        runs = spec.expand()
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        # auto never changes randomised result streams: bit-identical to
+        # the scalar engine because it *is* the scalar engine.
+        assert as_dicts(batched) == as_dicts(SerialExecutor().run(runs))
+        assert executor.stats.batched == 0
+        assert executor.stats.fallback == len(runs)
+
+    def test_uncovered_adversary_falls_back(self):
+        spec = CampaignSpec(
+            name="skew",
+            algorithms=(AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),),
+            adversaries=("phase-king-skew",),
+            runs_per_setting=2,
+            max_rounds=60,
+            stop_after_agreement=5,
+        )
+        runs = spec.expand()
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        assert as_dicts(batched) == as_dicts(SerialExecutor().run(runs))
+        assert executor.stats.batched == 0 and executor.stats.fallback == len(runs)
+
+
+class TestForcedBatchEngine:
+    def test_randomized_groups_run_vectorised(self):
+        spec = CampaignSpec(
+            name="randomized",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "randomized-follow-majority", {"n": 7, "f": 2, "c": 2}
+                ),
+            ),
+            adversaries=("none",),
+            runs_per_setting=6,
+            max_rounds=200,
+            stop_after_agreement=5,
+        )
+        runs = spec.expand()
+        executor = BatchExecutor(engine="batch")
+        results = executor.run(runs)
+        assert executor.stats.batched == len(runs)
+        assert all(result.error is None for result in results)
+        assert all(result.rounds_simulated >= 1 for result in results)
+        # Randomised batch executions are self-describing in the store:
+        # the rng field records the NumPy stream family.  Scalar runs (and
+        # deterministic batch runs) leave it None.
+        from repro.network.batch import BATCH_RNG_NOTE
+
+        assert all(result.rng == BATCH_RNG_NOTE for result in results)
+        scalar_results = SerialExecutor().run(runs)
+        assert all(result.rng is None for result in scalar_results)
+        roundtrip = type(results[0]).from_dict(results[0].to_dict())
+        assert roundtrip.rng == BATCH_RNG_NOTE
+
+    def test_uncovered_group_raises(self):
+        spec = CampaignSpec(
+            name="skew",
+            algorithms=(AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),),
+            adversaries=("phase-king-skew",),
+            runs_per_setting=2,
+        )
+        with pytest.raises(ParameterError, match="no\\s+vectorised kernel"):
+            BatchExecutor(engine="batch").run(spec.expand())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ParameterError, match="unknown batch engine"):
+            BatchExecutor(engine="warp")
+
+
+class TestPullingGroups:
+    def test_pseudo_random_boosted_is_bit_identical(self):
+        spec = CampaignSpec(
+            name="pulls",
+            model="pulling",
+            algorithms=(
+                AlgorithmSpec.create("pseudo-random-boosted", {"sample_size": 3}),
+            ),
+            adversaries=("crash", "none"),
+            num_faults=(1,),
+            runs_per_setting=3,
+            seed=5,
+            max_rounds=60,
+            stop_after_agreement=6,
+        )
+        runs = spec.expand()
+        serial = SerialExecutor().run(runs)
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        assert as_dicts(serial) == as_dicts(batched)
+        assert executor.stats.batched == len(runs)
+        # The Theorem 4 statistics survive the summary-based reduction.
+        pulled = [result for result in batched if result.adversary != "none"]
+        assert all(result.max_pulls and result.max_bits for result in pulled)
+
+
+class TestEngineKnob:
+    def test_campaign_spec_round_trips_engine(self):
+        spec = deterministic_campaign()
+        assert spec.engine == "auto"
+        forced = CampaignSpec.from_dict({**spec.to_dict(), "engine": "batch"})
+        assert forced.engine == "batch"
+        assert CampaignSpec.from_dict(json.loads(json.dumps(forced.to_dict()))) == forced
+        with pytest.raises(ParameterError, match="unknown engine"):
+            CampaignSpec.from_dict({**spec.to_dict(), "engine": "warp"})
+
+    def test_default_executor_selects_engine(self):
+        assert isinstance(default_executor(None, None), SerialExecutor)
+        assert isinstance(default_executor(None, "scalar"), SerialExecutor)
+        assert isinstance(default_executor(None, "auto"), BatchExecutor)
+        forced = default_executor(2, "batch")
+        assert isinstance(forced, BatchExecutor)
+        assert forced.engine == "batch" and forced.processes == 2
+        with pytest.raises(ParameterError, match="unknown engine"):
+            default_executor(None, "warp")
+
+    def test_scenario_engine_is_bit_identical_across_engines(self):
+        scenario = (
+            Scenario.counter("naive-majority", n=6, c=3, claimed_resilience=1)
+            .adversary("crash")
+            .faults(1)
+            .runs(4)
+            .max_rounds(60)
+            .stop_after_agreement(5)
+        )
+        scalar = scenario.engine("scalar").execute()
+        auto = scenario.execute()  # default engine is auto
+        forced = scenario.engine("batch").execute()
+        assert as_dicts(scalar.results) == as_dicts(auto.results)
+        assert as_dicts(scalar.results) == as_dicts(forced.results)
+        with pytest.raises(ParameterError, match="unknown engine"):
+            scenario.engine("warp")
+
+    def test_scenario_compiles_engine_into_campaign_spec(self):
+        scenario = Scenario.counter("trivial", c=2).engine("batch")
+        assert scenario.to_campaign_spec().engine == "batch"
+
+
+class TestCli:
+    def test_repro_run_engine_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        store = tmp_path / "store.jsonl"
+        code = main(
+            [
+                "run",
+                "naive-majority:n=6,c=3,claimed_resilience=1",
+                "--adversary",
+                "crash",
+                "--faults",
+                "1",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "40",
+                "--stop-after-agreement",
+                "5",
+                "--engine",
+                "batch",
+                "--quiet",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        assert "2 runs" in capsys.readouterr().out
+        assert len(store.read_text().strip().splitlines()) == 2
+
+    def test_campaign_define_and_run_engine(self, capsys, tmp_path):
+        from repro.campaigns.cli import main
+
+        definition = tmp_path / "c.json"
+        store = tmp_path / "c.jsonl"
+        assert (
+            main(
+                [
+                    "define",
+                    "--name",
+                    "batched",
+                    "--algorithm",
+                    "corollary1:f=1,c=2",
+                    "--adversary",
+                    "crash",
+                    "--runs",
+                    "2",
+                    "--max-rounds",
+                    "120",
+                    "--stop-after-agreement",
+                    "5",
+                    "--engine",
+                    "batch",
+                    "--out",
+                    str(definition),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(definition.read_text())["engine"] == "batch"
+        assert (
+            main(["run", str(definition), "--store", str(store), "--quiet"]) == 0
+        )
+        capsys.readouterr()
+        # The --engine override accepts scalar as well and reruns nothing.
+        assert (
+            main(
+                [
+                    "run",
+                    str(definition),
+                    "--store",
+                    str(store),
+                    "--engine",
+                    "scalar",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert "0 executed, 2 resumed" in capsys.readouterr().out

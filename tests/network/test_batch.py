@@ -1,0 +1,314 @@
+"""Batch-engine equivalence: the vectorised fast path vs the scalar engine.
+
+The contract under test (see :mod:`repro.network.batch`):
+
+* deterministic algorithm+adversary combinations produce **bit-identical**
+  traces, trial by trial — same derived initial-state streams, same round
+  outputs, same stop metadata;
+* randomised combinations are **statistically equivalent** — same trace
+  shape and metadata (plus an explicit ``rng`` note), and matched
+  stabilisation-time distributions under a KS-style tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters.registry import default_registry
+from repro.network.adversary import NoAdversary, build_adversary
+from repro.network.batch import (
+    BATCH_RNG_NOTE,
+    ADVERSARY_BATCH_KERNELS,
+    BatchTrial,
+    build_batch_kernel,
+    run_batch_summaries,
+    run_batch_trials,
+)
+from repro.network.pulling import PullSimulationConfig, run_pull_simulation
+from repro.network.simulator import SimulationConfig, run_simulation
+from repro.network.stabilization import stabilization_round
+
+#: (registry name, params, faults, max_rounds) for every kernel-covered
+#: entry.  ``faults`` is the fault count paired with the active strategy.
+KERNEL_ENTRIES = [
+    ("trivial", {"c": 4}, 0, 24),
+    ("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}, 1, 40),
+    ("randomized-follow-majority", {"n": 7, "f": 2, "c": 2}, 2, 120),
+    ("corollary1", {"f": 1, "c": 2}, 1, 400),
+    ("figure2", {"levels": 1, "c": 2}, 3, 300),
+    ("sampled-boosted", {"sample_size": 2}, 1, 40),
+    ("pseudo-random-boosted", {"sample_size": 3}, 1, 60),
+]
+
+DETERMINISTIC = {
+    "trivial",
+    "naive-majority",
+    "corollary1",
+    "figure2",
+    "pseudo-random-boosted",
+}
+
+#: The active strategy exercised next to NoAdversary.  ``crash`` is
+#: deterministic, so the bit-identity assertion extends to forged rounds.
+ACTIVE_STRATEGY = "crash"
+
+
+def _build(name: str, params: dict):
+    return default_registry().build(name, **params)
+
+
+def _spread(n: int, faults: int) -> tuple[int, ...]:
+    from repro.network.adversary import spread_faults
+
+    return tuple(sorted(spread_faults(n, faults)))
+
+
+def _scalar_trace(algorithm, strategy, trial: BatchTrial, max_rounds, window):
+    adversary = (
+        build_adversary(strategy, trial.faulty) if strategy else NoAdversary()
+    )
+    is_pulling = hasattr(algorithm, "pull_targets")
+    if is_pulling:
+        config = PullSimulationConfig(
+            max_rounds=max_rounds,
+            stop_after_agreement=window,
+            seed=trial.sim_seed,
+            metadata=dict(trial.metadata),
+        )
+        return run_pull_simulation(algorithm, adversary=adversary, config=config)
+    config = SimulationConfig(
+        max_rounds=max_rounds,
+        stop_after_agreement=window,
+        seed=trial.sim_seed,
+        metadata=dict(trial.metadata),
+    )
+    return run_simulation(algorithm, adversary=adversary, config=config)
+
+
+@pytest.mark.parametrize("name,params,faults,max_rounds", KERNEL_ENTRIES)
+@pytest.mark.parametrize("strategy_kind", ["none", "active"])
+@pytest.mark.parametrize("window", [None, 6])
+def test_batch_matches_scalar(name, params, faults, max_rounds, strategy_kind, window):
+    """Every kernel-covered registry entry, fault-free and attacked,
+    with and without early stopping."""
+    algorithm = _build(name, params)
+    kernel = build_batch_kernel(algorithm)
+    assert kernel is not None, f"{name} should advertise a batch kernel"
+
+    if strategy_kind == "active" and faults == 0:
+        pytest.skip("0-resilient algorithm has no attacked configuration")
+    strategy = ACTIVE_STRATEGY if strategy_kind == "active" else None
+    faulty = _spread(algorithm.n, faults if strategy else 0)
+
+    trials = [
+        BatchTrial(sim_seed=seed, faulty=faulty, metadata=(("trial", seed),))
+        for seed in (11, 12, 13)
+    ]
+    batch_traces = run_batch_trials(
+        algorithm,
+        kernel,
+        trials,
+        adversary_strategy=strategy,
+        max_rounds=max_rounds,
+        stop_after_agreement=window,
+    )
+    scalar_traces = [
+        _scalar_trace(algorithm, strategy, trial, max_rounds, window)
+        for trial in trials
+    ]
+
+    deterministic = name in DETERMINISTIC
+    for scalar, batch in zip(scalar_traces, batch_traces):
+        if deterministic:
+            # Bit identity: the dataclass equality covers initial outputs,
+            # every round's outputs and metadata, and the trace header.
+            assert batch == scalar
+        else:
+            # Shape and metadata parity; the rng note marks the divergence.
+            # (agreement_streak only exists on early-stopped runs, and
+            # randomised runs may stop differently per engine.)
+            assert batch.algorithm_name == scalar.algorithm_name
+            assert batch.n == scalar.n and batch.c == scalar.c
+            assert batch.faulty == scalar.faulty
+            assert batch.initial_outputs == scalar.initial_outputs
+            streak = {"agreement_streak"}
+            assert set(batch.metadata) - streak == (
+                set(scalar.metadata) - streak
+            ) | {"rng"}
+            assert batch.metadata["rng"] == BATCH_RNG_NOTE
+            assert ("agreement_streak" in batch.metadata) == bool(
+                batch.metadata["stopped_early"]
+            )
+            assert 1 <= batch.num_rounds <= max_rounds
+            for record in batch.rounds:
+                assert set(record.outputs) == set(scalar.rounds[0].outputs)
+                assert all(
+                    0 <= value < algorithm.c for value in record.outputs.values()
+                )
+                if batch.metadata.get("model") == "pulling":
+                    assert record.metadata["max_pulls"] == (
+                        scalar.rounds[0].metadata["max_pulls"]
+                    )
+
+
+@pytest.mark.parametrize("strategy", sorted(ADVERSARY_BATCH_KERNELS))
+def test_adversary_kernels_against_scalar(strategy):
+    """Each vectorised strategy: bit-identical when deterministic, shape
+    parity (plus valid outputs) when randomised."""
+    algorithm = _build("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1})
+    kernel = build_batch_kernel(algorithm)
+    faulty = (1,)
+    trials = [BatchTrial(sim_seed=seed, faulty=faulty) for seed in range(5)]
+    batch_traces = run_batch_trials(
+        algorithm,
+        kernel,
+        trials,
+        adversary_strategy=strategy,
+        max_rounds=30,
+        stop_after_agreement=4,
+    )
+    deterministic = ADVERSARY_BATCH_KERNELS[strategy].deterministic
+    for trial, batch in zip(trials, batch_traces):
+        scalar = _scalar_trace(algorithm, strategy, trial, 30, 4)
+        if deterministic:
+            assert batch == scalar
+        else:
+            assert batch.faulty == scalar.faulty
+            assert batch.initial_outputs == scalar.initial_outputs
+            assert set(batch.metadata) == set(scalar.metadata) | {"rng"}
+            for record in batch.rounds:
+                assert all(
+                    0 <= value < algorithm.c for value in record.outputs.values()
+                )
+
+
+def _ks_statistic(left: list[int], right: list[int]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (max CDF distance)."""
+    points = sorted(set(left) | set(right))
+    worst = 0.0
+    for point in points:
+        cdf_left = sum(1 for value in left if value <= point) / len(left)
+        cdf_right = sum(1 for value in right if value <= point) / len(right)
+        worst = max(worst, abs(cdf_left - cdf_right))
+    return worst
+
+
+def test_randomized_counter_stabilization_distribution_matches():
+    """KS-style tolerance between scalar and batch stabilisation times.
+
+    Fixed seeds make this deterministic; the 0.25 bound is far above the
+    expected KS distance of two 120-sample draws from one distribution
+    (≈ 0.18 at the 0.5 % level) yet far below a genuinely shifted
+    distribution.
+    """
+    params = {"n": 7, "f": 2, "c": 2}
+    trials = [BatchTrial(sim_seed=seed, faulty=()) for seed in range(120)]
+
+    def stabilization_times(traces):
+        times = []
+        for trace in traces:
+            result = stabilization_round(trace, min_tail=2)
+            times.append(
+                result.round if result.round is not None else trace.num_rounds
+            )
+        return times
+
+    scalar_times = []
+    for trial in trials:
+        algorithm = _build("randomized-follow-majority", params)
+        algorithm.reseed(trial.sim_seed + 1_000_003)
+        scalar_times.extend(
+            stabilization_times(
+                [_scalar_trace(algorithm, None, trial, 200, None)]
+            )
+        )
+    algorithm = _build("randomized-follow-majority", params)
+    kernel = build_batch_kernel(algorithm)
+    batch_times = stabilization_times(
+        run_batch_trials(algorithm, kernel, trials, max_rounds=200)
+    )
+
+    assert _ks_statistic(scalar_times, batch_times) < 0.25
+
+
+def test_summaries_match_traces():
+    """run_batch_summaries reports exactly what the full traces contain."""
+    algorithm = _build("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1})
+    kernel = build_batch_kernel(algorithm)
+    trials = [BatchTrial(sim_seed=seed, faulty=(2,)) for seed in (5, 6, 7)]
+    kwargs = dict(
+        adversary_strategy="crash", max_rounds=40, stop_after_agreement=5
+    )
+    traces = run_batch_trials(algorithm, kernel, trials, **kwargs)
+    summaries = run_batch_summaries(algorithm, kernel, trials, **kwargs)
+    for trace, summary in zip(traces, summaries):
+        assert summary.rounds == trace.num_rounds
+        expected = tuple(
+            -1 if value is None else value for value in trace.agreed_values()
+        )
+        assert summary.agreed == expected
+        assert summary.stopped_early == trace.metadata["stopped_early"]
+        if summary.stopped_early:
+            assert summary.agreement_streak == trace.metadata["agreement_streak"]
+        assert summary.faulty == (2,)
+
+
+def test_batch_size_chunks_do_not_change_deterministic_results():
+    algorithm = _build("corollary1", {"f": 1, "c": 2})
+    kernel = build_batch_kernel(algorithm)
+    trials = [BatchTrial(sim_seed=seed, faulty=(0,)) for seed in range(5)]
+    kwargs = dict(
+        adversary_strategy="crash", max_rounds=300, stop_after_agreement=8
+    )
+    whole = run_batch_trials(algorithm, kernel, trials, batch_size=256, **kwargs)
+    chunked = run_batch_trials(algorithm, kernel, trials, batch_size=2, **kwargs)
+    assert whole == chunked
+
+
+def test_mixed_fault_counts_are_rejected():
+    algorithm = _build("figure2", {"levels": 1, "c": 2})
+    kernel = build_batch_kernel(algorithm)
+    from repro.core.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="same number of faults"):
+        run_batch_trials(
+            algorithm,
+            kernel,
+            [
+                BatchTrial(sim_seed=0, faulty=(0,)),
+                BatchTrial(sim_seed=1, faulty=(0, 1)),
+            ],
+            adversary_strategy="crash",
+        )
+
+
+def test_faults_without_strategy_are_rejected():
+    algorithm = _build("naive-majority", {"n": 4, "c": 2, "claimed_resilience": 1})
+    kernel = build_batch_kernel(algorithm)
+    from repro.core.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="no adversary strategy"):
+        run_batch_trials(algorithm, kernel, [BatchTrial(sim_seed=0, faulty=(1,))])
+
+
+def test_kernel_coverage_and_overflow_guard():
+    """The registry's executable algorithms advertise kernels; oversized
+    Corollary 1 instances decline instead of overflowing int64."""
+    registry = default_registry()
+    for name, params, _, _ in KERNEL_ENTRIES:
+        assert build_batch_kernel(registry.build(name, **params)) is not None
+    # f = 5 needs a trivial base counter of 21 * 16^16 > 2^62 states.
+    oversized = registry.build("corollary1", f=5, c=2)
+    assert build_batch_kernel(oversized) is None
+
+
+def test_state_encoding_round_trips():
+    import random
+
+    for name, params, _, _ in KERNEL_ENTRIES:
+        algorithm = _build(name, params)
+        kernel = build_batch_kernel(algorithm)
+        rng = random.Random(7)
+        for _ in range(20):
+            state = algorithm.random_state(rng)
+            assert kernel.decode(kernel.encode(state)) == state
