@@ -18,6 +18,13 @@ Case catalogue:
   recursive inner counters, leader votes and the phase king, all vectorised.
 * ``pseudo-random-boosted-pulling`` — the Corollary 5 pulling-model counter
   (fixed pull plans, bit-identical batch execution).
+* ``fixed-state-corollary1`` — the fixed-state adversary kernel
+  (deterministic, bit-identical) on the Corollary 1 construction.
+* ``phase-king-skew-figure2`` — the targeted phase-king register attack on
+  ``A(12, 3)``; draws NumPy randomness, so it runs under ``engine="batch"``.
+* ``adaptive-split-naive-n24`` — the adaptive majority-splitting attack on
+  the flat n = 24 baseline, where its kernel is deterministic and the batch
+  results are asserted bit-identical.
 """
 
 from __future__ import annotations
@@ -114,6 +121,51 @@ BENCH_CASES: tuple[BatchBenchCase, ...] = (
             runs_per_setting=100,
             max_rounds=60,
             stop_after_agreement=6,
+        ),
+        engine="auto",
+        deterministic=True,
+    ),
+    BatchBenchCase(
+        name="fixed-state-corollary1",
+        spec=_case_spec(
+            name="fixed-state-corollary1",
+            algorithms=(AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),),
+            adversaries=("fixed-state",),
+            num_faults=(1,),
+            runs_per_setting=200,
+            max_rounds=250,
+            stop_after_agreement=10,
+        ),
+        engine="auto",
+        deterministic=True,
+    ),
+    BatchBenchCase(
+        name="phase-king-skew-figure2",
+        spec=_case_spec(
+            name="phase-king-skew-figure2",
+            algorithms=(AlgorithmSpec.create("figure2", {"levels": 1, "c": 2}),),
+            adversaries=("phase-king-skew",),
+            runs_per_setting=100,
+            max_rounds=250,
+            stop_after_agreement=10,
+        ),
+        engine="batch",
+        deterministic=False,
+    ),
+    BatchBenchCase(
+        name="adaptive-split-naive-n24",
+        spec=_case_spec(
+            name="adaptive-split-naive-n24",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "naive-majority", {"n": 24, "c": 4, "claimed_resilience": 2}
+                ),
+            ),
+            adversaries=("adaptive-split",),
+            num_faults=(2,),
+            runs_per_setting=200,
+            max_rounds=120,
+            stop_after_agreement=8,
         ),
         engine="auto",
         deterministic=True,

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Run the batch-vs-scalar differential parity fuzz sweep.
+
+Samples a seeded random grid over the algorithm registry × every registered
+adversary strategy × fault counts × stopping rules, runs every configuration
+through both engines, and verifies the equivalence class the kernels
+advertise: bit-identity for deterministic configurations, structural parity
+plus Kolmogorov–Smirnov distribution closeness for the randomised ones.
+Exits non-zero on any violation — the CI ``parity-fuzz`` job runs this so a
+kernel change that breaks scalar equivalence cannot land silently.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_parity_fuzz.py                    # default sweep
+    PYTHONPATH=src python scripts/run_parity_fuzz.py --samples 64 --seed 7
+    PYTHONPATH=src python scripts/run_parity_fuzz.py --out PARITY_fuzz.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.network.parity import (  # noqa: E402
+    ALL_STRATEGIES,
+    check_distributions,
+    run_parity_fuzz,
+)
+
+#: Randomised strategies whose stabilisation-time distributions are checked.
+DISTRIBUTION_STRATEGIES = (
+    "random-state",
+    "split-state",
+    "phase-king-skew",
+    "adaptive-split",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential batch-vs-scalar parity fuzzing."
+    )
+    parser.add_argument("--samples", type=int, default=48, help="configurations to sample")
+    parser.add_argument("--seed", type=int, default=7, help="sweep master seed")
+    parser.add_argument(
+        "--trials-per-config", type=int, default=3, help="seeds per configuration"
+    )
+    parser.add_argument(
+        "--max-rounds-cap",
+        type=int,
+        default=None,
+        help="cap the per-configuration round budget (quick mode)",
+    )
+    parser.add_argument(
+        "--distribution-trials",
+        type=int,
+        default=60,
+        help="trials per engine for the KS distribution checks (0 disables)",
+    )
+    parser.add_argument(
+        "--ks-tolerance",
+        type=float,
+        default=0.3,
+        help="maximum accepted KS statistic for randomised strategies",
+    )
+    parser.add_argument("--out", default=None, help="optional JSON report path")
+    args = parser.parse_args(argv)
+
+    reports = run_parity_fuzz(
+        count=args.samples,
+        seed=args.seed,
+        trials_per_config=args.trials_per_config,
+        max_rounds_cap=args.max_rounds_cap,
+    )
+    failures: list[str] = []
+    covered = {report.config.strategy for report in reports}
+    for report in reports:
+        status = "ok" if report.ok else "FAIL"
+        print(f"[{report.mode:>13}] {status}  {report.config.label()}")
+        for failure in report.failures:
+            failures.append(f"{report.config.label()}: {failure}")
+    missing = set(ALL_STRATEGIES) - covered
+    if missing:
+        failures.append(f"sweep did not cover strategies: {sorted(missing)}")
+
+    distributions: dict[str, float] = {}
+    if args.distribution_trials > 0:
+        for strategy in DISTRIBUTION_STRATEGIES:
+            ks, trials = check_distributions(
+                strategy, trials=args.distribution_trials, seed=args.seed
+            )
+            distributions[strategy] = ks
+            verdict = "ok" if ks < args.ks_tolerance else "FAIL"
+            print(f"[ distribution] {verdict}  {strategy}: KS={ks:.3f} ({trials} trials)")
+            if ks >= args.ks_tolerance:
+                failures.append(
+                    f"{strategy}: KS={ks:.3f} exceeds tolerance {args.ks_tolerance}"
+                )
+
+    bit_identical = sum(1 for report in reports if report.mode == "bit-identical")
+    print(
+        f"parity fuzz: {len(reports)} configurations "
+        f"({bit_identical} bit-identical, {len(reports) - bit_identical} "
+        f"statistical), {len(covered)}/{len(ALL_STRATEGIES)} strategies, "
+        f"{len(failures)} failure(s)"
+    )
+
+    if args.out:
+        payload = {
+            "suite": "batch-vs-scalar-parity-fuzz",
+            "samples": args.samples,
+            "seed": args.seed,
+            "strategies_covered": sorted(covered),
+            "distributions": distributions,
+            "failures": failures,
+            "reports": [
+                {
+                    "config": report.config.label(),
+                    "mode": report.mode,
+                    "trials": report.trials,
+                    "ok": report.ok,
+                    "failures": report.failures,
+                }
+                for report in reports
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

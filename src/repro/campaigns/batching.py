@@ -32,7 +32,7 @@ smoke job use to detect silent fallbacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.campaigns.executor import (
@@ -54,6 +54,22 @@ from repro.network.batch import (
 
 __all__ = ["BatchExecutorStats", "BatchExecutor", "group_runs", "reduce_summary"]
 
+
+def _group_label(spec: RunSpec, algorithm=None) -> str:
+    """Human-readable identity of one batchable group.
+
+    Names everything a user needs to recognise the offending grid
+    coordinate — algorithm (with parameters), adversary strategy, and the
+    ``n``/``f`` envelope — so fallback reasons and forced-batch errors never
+    point at a bare strategy name.
+    """
+    label = f"{spec.algorithm_label()} x {spec.adversary_label()}"
+    if algorithm is not None:
+        label += f" (n={algorithm.n}, f={len(spec.faulty)})"
+    else:
+        label += f" (f={len(spec.faulty)})"
+    return label
+
 #: Engines the executor understands (``"scalar"`` is handled by
 #: :func:`repro.campaigns.executor.default_executor` and never reaches here).
 _ENGINES = ("auto", "batch")
@@ -68,6 +84,16 @@ class BatchExecutorStats(ExecutorStats):
     #: Runs that a batched group handed back to the scalar engine (either
     #: no kernel coverage in ``auto`` mode, or a runtime batch failure).
     fallback: int = 0
+    #: Why each scalar group fell back, as ``"<group>: <reason>"`` lines —
+    #: one entry per group (not per run), in execution order.  This is the
+    #: anti-silent-fallback surface: the CLI prints it, and the benchmark
+    #: harness asserts it stays empty for kernel-covered campaigns.
+    fallback_reasons: list[str] = field(default_factory=list)
+
+    def record_fallback(self, label: str, runs: int, reason: str) -> None:
+        """Account one group (of ``runs`` runs) taking the scalar path."""
+        self.fallback += runs
+        self.fallback_reasons.append(f"{label}: {reason}")
 
 
 def group_runs(
@@ -151,10 +177,18 @@ class BatchExecutor:
                 on_result(result)
 
         groups, scalar_indices = group_runs(spec_list)
+        if scalar_indices:
+            self.stats.record_fallback(
+                f"{len(scalar_indices)} run(s) with pre-built instances",
+                len(scalar_indices),
+                "pre-built algorithm or adversary instances are never grouped",
+            )
         for key, indices in groups.items():
             group = [spec_list[index] for index in indices]
-            batched = self._try_batch(group)
+            batched, label, reason = self._try_batch(group)
             if batched is None:
+                assert reason is not None
+                self.stats.record_fallback(label, len(indices), reason)
                 scalar_indices.extend(indices)
                 continue
             for index, result in zip(indices, batched):
@@ -163,7 +197,6 @@ class BatchExecutor:
 
         if scalar_indices:
             scalar_indices.sort()
-            self.stats.fallback += len(scalar_indices)
             leftovers = [spec_list[index] for index in scalar_indices]
             if self.processes is not None and self.processes > 1 and len(leftovers) > 1:
                 scalar_results = ParallelExecutor(processes=self.processes).run(
@@ -180,11 +213,20 @@ class BatchExecutor:
     # Group planning
     # ------------------------------------------------------------------ #
 
-    def _try_batch(self, group: list[RunSpec]) -> list[RunResult] | None:
-        """Run one group through the batch engine; ``None`` means scalar.
+    def _try_batch(
+        self, group: list[RunSpec]
+    ) -> tuple[list[RunResult] | None, str, str | None]:
+        """Run one group through the batch engine.
 
-        In ``engine="batch"`` mode, missing kernel coverage raises instead
-        of silently falling back.
+        Returns ``(results, label, None)`` on the vectorised path, or
+        ``(None, label, reason)`` when the group must take the scalar path —
+        ``label`` names the group as completely as possible (including ``n``
+        whenever the algorithm built) and the reason is recorded in
+        :attr:`BatchExecutorStats.fallback_reasons`.  In ``engine="batch"``
+        mode, missing kernel coverage raises a
+        :class:`~repro.core.errors.ParameterError` naming the full offending
+        group (algorithm, strategy, ``n``/``f``) instead of silently falling
+        back.
         """
         spec = group[0]
         reason: str | None = None
@@ -211,33 +253,45 @@ class BatchExecutor:
                     f"kernel model {kernel.model!r} does not match the run "
                     f"model {spec.model!r}"
                 )
+        label = _group_label(spec, algorithm)
         if reason is not None:
             if self.engine == "batch":
                 raise ParameterError(
-                    f"engine='batch' requested but {reason}; use engine='auto' "
-                    "to fall back to the scalar engine"
+                    f"engine='batch' requested but group {label} cannot "
+                    f"batch: {reason}; use engine='auto' to fall back to the "
+                    "scalar engine"
                 )
-            return None
+            return None, label, reason
         assert kernel is not None
         if self.engine == "auto" and not self._bit_identical(kernel, spec):
             # auto never changes randomised result streams behind the
             # caller's back; engine='batch' opts into statistical
             # equivalence explicitly.
-            return None
+            return None, label, (
+                "randomised configuration is only statistically equivalent; "
+                "auto batches provably bit-identical groups (force "
+                "engine='batch' to opt in)"
+            )
         if self.engine == "batch":
             # Forced mode promises no silent fallback: a runtime failure of
             # the batch engine propagates instead of quietly rerunning the
             # group on the scalar path.
-            return self._run_group(algorithm, kernel, group)
+            return self._run_group(algorithm, kernel, group), label, None
         try:
-            return self._run_group(algorithm, kernel, group)
-        except Exception:  # noqa: BLE001 - the scalar rerun surfaces real
+            return self._run_group(algorithm, kernel, group), label, None
+        except Exception as exc:  # noqa: BLE001 - the scalar rerun surfaces real
             # per-run errors through execute_run's failure accounting.
-            return None
+            return None, label, f"batch execution failed ({exc}); re-running scalar"
 
     @staticmethod
     def _bit_identical(kernel, spec: RunSpec) -> bool:
-        """Whether the batch path is provably bit-identical for this group."""
+        """Whether the batch path is provably bit-identical for this group.
+
+        Determinism of an adversary kernel can depend on the algorithm's
+        state encoding (the adaptive-split fabrication path), so the check
+        asks the kernel class about *this* algorithm kernel instead of
+        reading a per-strategy flag.
+        """
         from repro.network.batch import ADVERSARY_BATCH_KERNELS
 
         if not kernel.deterministic:
@@ -245,7 +299,9 @@ class BatchExecutor:
         if spec.adversary is None or not spec.faulty:
             return True
         adversary_kernel = ADVERSARY_BATCH_KERNELS.get(spec.adversary)
-        return adversary_kernel is not None and adversary_kernel.deterministic
+        return adversary_kernel is not None and adversary_kernel.is_deterministic_for(
+            kernel
+        )
 
     def _run_group(self, algorithm, kernel, group: list[RunSpec]) -> list[RunResult]:
         """Vectorised execution of one homogeneous group."""

@@ -38,6 +38,11 @@ class CampaignReport:
         store already held them, and finished with an error.
     elapsed:
         Wall-clock seconds spent executing (zero when everything was skipped).
+    fallback_reasons:
+        Why groups of runs took the scalar path when a batch-capable
+        executor handled the campaign (one ``"<group>: <reason>"`` line per
+        group, from :class:`~repro.campaigns.batching.BatchExecutorStats`);
+        empty for scalar executors and fully vectorised campaigns.
     """
 
     results: list[RunResult] = field(default_factory=list)
@@ -45,6 +50,7 @@ class CampaignReport:
     skipped: int = 0
     failed: int = 0
     elapsed: float = 0.0
+    fallback_reasons: list[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -114,10 +120,12 @@ def run_campaign(
     by_id = dict(recovered)
     by_id.update({result.run_id: result for result in executed})
     results = [by_id[run.run_id] for run in runs]
+    stats = getattr(executor, "stats", None)
     return CampaignReport(
         results=results,
         executed=len(executed),
         skipped=len(recovered),
         failed=sum(1 for result in executed if result.error is not None),
         elapsed=elapsed,
+        fallback_reasons=list(getattr(stats, "fallback_reasons", ()) or ()),
     )

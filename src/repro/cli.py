@@ -89,6 +89,10 @@ def _command_run(args: argparse.Namespace) -> int:
         f"({report.executed} executed, {report.skipped} resumed, "
         f"{report.failed} failed) in {report.elapsed:.2f}s{suffix}"
     )
+    if report.fallback_reasons and not args.quiet:
+        print("scalar fallbacks (see `repro list adversaries` for coverage):")
+        for reason in report.fallback_reasons:
+            print(f"  - {reason}")
     group_by = tuple(
         column.strip() for column in args.group_by.split(",") if column.strip()
     )
@@ -116,9 +120,15 @@ def _command_list(args: argparse.Namespace) -> int:
         width = max(len(name) for name, _ in rows)
         return "\n".join(f"  {name.ljust(width)}  {text}" for name, text in rows)
 
+    def batch_suffix(entry: dict) -> str:
+        return f" [batch: {entry['batch']}]" if entry.get("batch") else ""
+
     if args.kind in ("algorithms", "all"):
         rows = [
-            (entry["name"], f"[{entry['model']}] {entry['description']}")
+            (
+                entry["name"],
+                f"[{entry['model']}] {entry['description']}" + batch_suffix(entry),
+            )
             for entry in registry.describe(kind="algorithm")
             if args.model is None or entry["model"] == args.model
         ]
@@ -126,7 +136,7 @@ def _command_list(args: argparse.Namespace) -> int:
             sections.append("Algorithms:\n" + format_rows(rows))
     if args.kind in ("adversaries", "all"):
         rows = [
-            (entry["name"], entry["description"])
+            (entry["name"], entry["description"] + batch_suffix(entry))
             for entry in registry.describe(kind="adversary")
         ]
         sections.append("Adversaries:\n" + format_rows(rows))

@@ -17,6 +17,10 @@ Contents:
   per-node message/bit accounting.
 * :mod:`repro.network.trace` — execution traces.
 * :mod:`repro.network.stabilization` — empirical stabilisation detection.
+* :mod:`repro.network.batch` — the vectorised batch-trial engine (needs
+  NumPy; not imported here so the scalar substrate stays dependency-free).
+* :mod:`repro.network.parity` — the differential batch-vs-scalar
+  parity-fuzz harness guarding the batch engine's equivalence contract.
 """
 
 from repro.network.adversary import (

@@ -143,11 +143,22 @@ class CrashAdversary(Adversary):
 
 
 class FixedStateAdversary(Adversary):
-    """Faulty nodes always broadcast one fixed, attacker-chosen state."""
+    """Faulty nodes always broadcast one fixed, attacker-chosen state.
 
-    def __init__(self, faulty: Iterable[int], state: State) -> None:
+    The ``state`` parameter defaults to ``0`` so the strategy is usable from
+    parameter-less campaign grids; whatever is passed is piped through the
+    algorithm's ``coerce_message`` by the simulator, so arbitrary garbage is
+    read as *some* valid state, exactly like any other forgery.
+    """
+
+    def __init__(self, faulty: Iterable[int], state: State = 0) -> None:
         super().__init__(faulty)
         self._state = state
+
+    @property
+    def state(self) -> State:
+        """The fixed (un-coerced) state every faulty node broadcasts."""
+        return self._state
 
     def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
         return self._state
@@ -368,6 +379,7 @@ class AdaptiveSplitAdversary(Adversary):
 #: faulty set entirely.
 STRATEGIES: dict[str, type[Adversary]] = {
     "crash": CrashAdversary,
+    "fixed-state": FixedStateAdversary,
     "random-state": RandomStateAdversary,
     "split-state": SplitStateAdversary,
     "mimic": MimicAdversary,
@@ -382,6 +394,7 @@ STRATEGIES: dict[str, type[Adversary]] = {
 STRATEGY_DESCRIPTIONS: dict[str, str] = {
     "none": "fault-free adversary (F is empty); use for 0-fault grid rows",
     "crash": "faulty nodes appear stuck, always broadcasting the default state",
+    "fixed-state": "always broadcast one fixed attacker-chosen state (param 'state', default 0)",
     "random-state": "independently random valid state to every receiver",
     "split-state": "one random state to even receivers, another to odd, redrawn each round",
     "mimic": "echo a rotating correct node's real state, inconsistently across receivers",

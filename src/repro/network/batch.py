@@ -60,6 +60,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.core.errors import SimulationError
+from repro.core.phase_king import INFINITY as _INFINITY
 from repro.network.adversary import NoAdversary, build_adversary
 from repro.network.engine import derive_streams, resolve_initial_states
 from repro.network.trace import ExecutionTrace, RoundRecord
@@ -76,6 +77,7 @@ __all__ = [
     "AdversaryBatchKernel",
     "ADVERSARY_BATCH_KERNELS",
     "adversary_kernel_available",
+    "adversary_kernel_coverage",
     "build_adversary_kernel",
     "build_batch_kernel",
     "run_batch_trials",
@@ -424,11 +426,25 @@ class AdversaryBatchKernel(ABC):
     #: Strategy name (matches :data:`repro.network.adversary.STRATEGIES`).
     strategy = "abstract"
 
-    #: Whether :meth:`forge` consumes NumPy randomness.
+    #: Whether :meth:`forge` consumes NumPy randomness against *every*
+    #: algorithm kernel.  Strategies whose randomness depends on the state
+    #: structure refine this per algorithm via :meth:`is_deterministic_for`;
+    #: instances always carry the resolved answer in ``self.deterministic``.
     deterministic = True
 
     def __init__(self, kernel: _KernelBase) -> None:
         self.kernel = kernel
+
+    @classmethod
+    def is_deterministic_for(cls, kernel: _KernelBase) -> bool:
+        """Whether forgeries against this algorithm kernel are pure.
+
+        The default answer is the class-level :attr:`deterministic` flag;
+        strategies that only draw randomness for some state encodings (the
+        adaptive-split fabrication path) override this so the executor can
+        prove bit-identity per group instead of per strategy.
+        """
+        return cls.deterministic
 
     def begin_round(
         self,
@@ -457,6 +473,28 @@ class AdversaryBatchKernel(ABC):
         """
 
 
+def _boosted_layout(kernel: _KernelBase) -> tuple[int, int] | None:
+    """``(inner_fields, c)`` when the kernel encodes BoostedState rows.
+
+    Every structured kernel (broadcast and pulling boosted counters) uses the
+    shared :class:`repro.counters.kernels.BoostedStateCodec` layout — the
+    inner core's fields followed by the phase king registers ``(a, d)`` — so
+    the register columns sit at ``fields - 2`` and ``fields - 1``.  ``None``
+    means the kernel's states are flat integers.
+    """
+    from repro.core.boosting import BoostedState
+
+    if isinstance(kernel.algorithm.default_state(), BoostedState):
+        return kernel.fields - 2, kernel.algorithm.c
+    return None
+
+
+def _batch_index(batch: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Trial indices broadcast to a forge-result shape (batch axis first)."""
+    bidx = np.arange(batch).reshape((batch,) + (1,) * (len(shape) - 1))
+    return np.broadcast_to(bidx, shape)
+
+
 class CrashBatchKernel(AdversaryBatchKernel):
     """Faulty nodes appear stuck on the algorithm's default state."""
 
@@ -467,6 +505,27 @@ class CrashBatchKernel(AdversaryBatchKernel):
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         default = self.kernel.default_fields()
         return np.broadcast_to(default, shape + (self.kernel.fields,))
+
+
+class FixedStateBatchKernel(AdversaryBatchKernel):
+    """Faulty nodes broadcast one fixed, attacker-chosen state.
+
+    The scalar engine pipes every forgery through ``coerce_message``, so the
+    fixed state is coerced once at construction and its encoding broadcast to
+    every (sender, receiver) pair — deterministic and bit-identical.
+    """
+
+    strategy = "fixed-state"
+    deterministic = True
+
+    def __init__(self, kernel: _KernelBase, state: Any = 0) -> None:
+        super().__init__(kernel)
+        coerced = kernel.algorithm.coerce_message(state)
+        self._fields = np.asarray(kernel.encode(coerced), dtype=np.int64)
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        return np.broadcast_to(self._fields, shape + (self.kernel.fields,))
 
 
 class RandomStateBatchKernel(AdversaryBatchKernel):
@@ -523,17 +582,226 @@ class MimicBatchKernel(AdversaryBatchKernel):
         return states[bidx, victims]
 
 
-#: Adversary strategies with a vectorised kernel.  Strategies missing here
-#: (``phase-king-skew``, ``adaptive-split``) fall back to the scalar engine.
+class PhaseKingSkewBatchKernel(AdversaryBatchKernel):
+    """Targeted skew of the boosted counter's phase king registers.
+
+    Mirrors :class:`~repro.network.adversary.PhaseKingSkewAdversary`: copy
+    the per-receiver victim's state (``correct[receiver % len(correct)]``),
+    replace the output register ``a`` with a shifted value for even receivers
+    and the reset marker for odd ones, and draw the auxiliary bit ``d``
+    uniformly.  For flat integer states the scalar class degrades to fully
+    random forgeries, so the kernel does too (``random_fields``).  Both paths
+    consume randomness — the ``d`` draw or the random fallback — so this
+    kernel is statistically equivalent, never bit-identical.
+    """
+
+    strategy = "phase-king-skew"
+    deterministic = False
+
+    def __init__(self, kernel: _KernelBase, offset: int = 1) -> None:
+        super().__init__(kernel)
+        self._offset = int(offset)
+        self._layout = _boosted_layout(kernel)
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        if self._layout is None:
+            return self.kernel.random_fields(rng, shape)
+        inner_fields, c = self._layout
+        num_correct = correct_sorted.shape[1]
+        bidx = _batch_index(states.shape[0], shape)
+        position = np.broadcast_to(receivers % num_correct, shape)
+        victims = correct_sorted[bidx, position]
+        forged = states[bidx, victims].copy()
+        victim_a = forged[..., inner_fields]
+        skewed = np.where(
+            victim_a == _INFINITY, 0, (victim_a + self._offset) % c
+        )
+        even = np.broadcast_to(receivers % 2 == 0, shape)
+        forged[..., inner_fields] = np.where(even, skewed, _INFINITY)
+        forged[..., inner_fields + 1] = rng.integers(
+            0, 2, size=shape, dtype=np.int64
+        )
+        return forged
+
+
+class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
+    """Keep the correct nodes' outputs split between the two largest camps.
+
+    Mirrors :class:`~repro.network.adversary.AdaptiveSplitAdversary` exactly:
+
+    * :meth:`begin_round` ranks the correct outputs by ``(count desc, first
+      occurrence in ascending node order)`` — the ``Counter.most_common``
+      tie-break — and records, per output value, the first correct node
+      exhibiting it (the scalar ``_state_by_output`` scan);
+    * :meth:`forge` shows each correct receiver the camp opposite its own
+      output (receivers outside both camps see camp 0, faulty receivers the
+      camp of their parity) by replaying the representative node's state, or
+      fabricating one when the target camp has no representative.
+
+    Fabrication is where determinism splits: for flat integer counters the
+    scalar ``_fabricate_state`` returns the target value without touching
+    the RNG, so the kernel is **bit-identical**; for boosted states it draws
+    a random state, so the kernel is statistically equivalent there —
+    :meth:`is_deterministic_for` reports the split per algorithm kernel.
+    """
+
+    strategy = "adaptive-split"
+    deterministic = False
+
+    def __init__(self, kernel: _KernelBase) -> None:
+        super().__init__(kernel)
+        self._layout = _boosted_layout(kernel)
+        self._int_state = self.is_deterministic_for(kernel)
+        self.deterministic = self._int_state
+        self._camp0: np.ndarray | None = None
+        self._camp1: np.ndarray | None = None
+        self._outputs: np.ndarray | None = None
+        self._correct_mask: np.ndarray | None = None
+        self._first_pos: np.ndarray | None = None
+
+    @classmethod
+    def is_deterministic_for(cls, kernel: _KernelBase) -> bool:
+        return kernel.fields == 1 and isinstance(
+            kernel.algorithm.default_state(), int
+        )
+
+    def begin_round(self, round_index, states, correct_sorted, rng):
+        batch, n = states.shape[0], states.shape[1]
+        c = self.kernel.algorithm.c
+        k = correct_sorted.shape[1]
+        outputs = self.kernel.outputs(states)  # (B, n); garbage at faulty cols
+        bidx = np.arange(batch)[:, None]
+        correct_outputs = outputs[bidx, correct_sorted]  # (B, k)
+        # Camp ranking: count desc, then first occurrence (ascending correct
+        # node order) asc — exactly Counter.most_common over sorted nodes.
+        onehot = correct_outputs[:, :, None] == np.arange(c)[None, None, :]
+        counts = onehot.sum(axis=1)  # (B, c)
+        present = onehot.any(axis=1)
+        first_pos = np.where(present, onehot.argmax(axis=1), k)  # (B, c)
+        key = counts * (k + 1) + (k - first_pos)
+        camp0 = key.argmax(axis=1)
+        runner_up = key.copy()
+        runner_up[np.arange(batch), camp0] = -1
+        camp1 = runner_up.argmax(axis=1)
+        has_second = counts[np.arange(batch), camp1] > 0
+        camp1 = np.where(has_second, camp1, (camp0 + 1) % c)
+        mask = np.zeros((batch, n), dtype=bool)
+        np.put_along_axis(mask, correct_sorted, True, axis=1)
+        self._camp0, self._camp1 = camp0, camp1
+        self._outputs = outputs
+        self._correct_mask = mask
+        self._first_pos = first_pos
+
+    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+        assert self._camp0 is not None and self._camp1 is not None
+        assert self._outputs is not None and self._correct_mask is not None
+        assert self._first_pos is not None
+        shape = np.broadcast_shapes(senders.shape, receivers.shape)
+        bidx = _batch_index(states.shape[0], shape)
+        rec = np.broadcast_to(receivers, shape)
+        camp0, camp1 = self._camp0[bidx], self._camp1[bidx]
+        target = np.where(
+            self._correct_mask[bidx, rec],
+            np.where(self._outputs[bidx, rec] == camp0, camp1, camp0),
+            np.where(rec % 2 == 0, camp0, camp1),
+        )
+        if self._int_state:
+            # Representative and fabricated states alike *are* the target
+            # value for flat counters — no gather, no randomness.
+            return target[..., None]
+        k = correct_sorted.shape[1]
+        pos = self._first_pos[bidx, target]
+        have_rep = pos < k
+        rep_nodes = correct_sorted[bidx, np.minimum(pos, k - 1)]
+        forged = states[bidx, rep_nodes].copy()
+        if not have_rep.all():
+            forged = np.where(
+                have_rep[..., None], forged, self._fabricate(target, shape, rng)
+            )
+        return forged
+
+    def _fabricate(self, target, shape, rng):
+        # The scalar _fabricate_state for structured states: a random state
+        # with the phase king registers pinned to (target, 1).
+        fields = self.kernel.random_fields(rng, shape)
+        if self._layout is not None:
+            inner_fields, c = self._layout
+            fields[..., inner_fields] = target % c
+            fields[..., inner_fields + 1] = 1
+        return fields
+
+
+#: Every registered adversary strategy has a vectorised kernel.  Coverage is
+#: total by construction — asserted against the scalar STRATEGIES registry in
+#: the test suite — and the per-strategy equivalence class (bit-identical vs
+#: statistically equivalent) is generated from the kernel classes by
+#: :func:`adversary_kernel_coverage`, never hand-maintained here.
 ADVERSARY_BATCH_KERNELS: dict[str, type[AdversaryBatchKernel]] = {
     kernel.strategy: kernel
     for kernel in (
         CrashBatchKernel,
+        FixedStateBatchKernel,
         RandomStateBatchKernel,
         SplitStateBatchKernel,
         MimicBatchKernel,
+        PhaseKingSkewBatchKernel,
+        AdaptiveSplitBatchKernel,
     )
 }
+
+
+class _CoverageProbe:
+    """A stand-in algorithm kernel used to classify strategy coverage.
+
+    :func:`adversary_kernel_coverage` asks each kernel class whether it is
+    deterministic against a flat integer encoding and against a boosted
+    encoding; the probe carries exactly the surface
+    :meth:`AdversaryBatchKernel.is_deterministic_for` implementations read
+    (``fields`` and ``algorithm.default_state``).
+    """
+
+    class _Algorithm:
+        def __init__(self, default: Any) -> None:
+            self._default = default
+            self.c = 2
+
+        def default_state(self) -> Any:
+            return self._default
+
+    def __init__(self, default: Any, fields: int) -> None:
+        self.algorithm = self._Algorithm(default)
+        self.fields = fields
+
+
+def adversary_kernel_coverage() -> dict[str, str]:
+    """Generated coverage note: strategy name -> batch equivalence class.
+
+    Derived from the kernel classes' own :meth:`is_deterministic_for`
+    answers (probed against a flat integer and a boosted state encoding), so
+    it can never go stale the way a hand-written coverage comment can.  The
+    fault-free ``"none"`` entry is included because discovery surfaces list
+    it next to the active strategies.
+    """
+    from repro.core.boosting import BoostedState
+
+    flat = _CoverageProbe(default=0, fields=1)
+    boosted = _CoverageProbe(default=BoostedState(inner=0, a=0, d=0), fields=3)
+    notes: dict[str, str] = {"none": "bit-identical (no forgeries)"}
+    for strategy in sorted(ADVERSARY_BATCH_KERNELS):
+        cls = ADVERSARY_BATCH_KERNELS[strategy]
+        flat_ok = cls.is_deterministic_for(flat)
+        boosted_ok = cls.is_deterministic_for(boosted)
+        if flat_ok and boosted_ok:
+            notes[strategy] = "bit-identical"
+        elif flat_ok:
+            notes[strategy] = (
+                "bit-identical for flat counters, "
+                "statistically equivalent for boosted states"
+            )
+        else:
+            notes[strategy] = "statistically equivalent (NumPy RNG)"
+    return notes
 
 
 def adversary_kernel_available(strategy: str | None) -> bool:
@@ -542,9 +810,17 @@ def adversary_kernel_available(strategy: str | None) -> bool:
 
 
 def build_adversary_kernel(
-    strategy: str, kernel: _KernelBase
+    strategy: str,
+    kernel: _KernelBase,
+    params: Mapping[str, Any] | None = None,
 ) -> AdversaryBatchKernel:
-    """Construct the adversary kernel for a registered strategy name."""
+    """Construct the adversary kernel for a registered strategy name.
+
+    ``params`` are the strategy parameters of the scalar
+    :func:`~repro.network.adversary.build_adversary` call (e.g. the
+    fixed-state ``state`` or the phase-king-skew ``offset``); kernels accept
+    exactly the parameters their scalar classes do.
+    """
     try:
         cls = ADVERSARY_BATCH_KERNELS[strategy]
     except KeyError:
@@ -553,7 +829,13 @@ def build_adversary_kernel(
             f"adversary strategy {strategy!r} has no batch kernel; "
             f"vectorised strategies: {known}"
         ) from None
-    return cls(kernel)
+    try:
+        return cls(kernel, **dict(params or {}))
+    except TypeError as exc:
+        raise SimulationError(
+            f"adversary strategy {strategy!r} rejected batch parameters "
+            f"{dict(params or {})!r}: {exc}"
+        ) from None
 
 
 def build_batch_kernel(algorithm: Any):
@@ -711,7 +993,7 @@ def _run_chunk(
             raise SimulationError(
                 "batched trials list faulty nodes but no adversary strategy"
             )
-        adversary_kernel = build_adversary_kernel(strategy, kernel)
+        adversary_kernel = build_adversary_kernel(strategy, kernel, adversary_params)
 
     default = kernel.default_fields()
     states = np.empty((batch, n, fields), dtype=np.int64)

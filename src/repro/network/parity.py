@@ -1,0 +1,411 @@
+"""Differential parity fuzzing: the batch engine against the scalar engine.
+
+The vectorised batch engine (:mod:`repro.network.batch`) promises, per
+configuration, one of two equivalence classes with the scalar engine:
+
+* **bit-identical** — deterministic algorithm kernel *and* deterministic
+  adversary kernel: traces must match the scalar engine bit for bit;
+* **statistically equivalent** — some kernel draws NumPy randomness: traces
+  must have the same shape, header and stop semantics (plus the explicit
+  ``rng`` note), and the per-round *distributions* must match.
+
+Hand-picked identity tests only cover the corners someone thought of.  This
+module instead sweeps a **seeded random grid** over the algorithm registry ×
+every registered adversary strategy × fault counts × stopping rules
+(``stop_after_agreement`` ∈ {None, 1, 2, > max_rounds}) and checks the
+promised equivalence for every sampled configuration:
+
+* :func:`sample_configs` — draw a reproducible sweep (the first samples
+  cycle through all strategies so even tiny sweeps cover the registry);
+* :func:`check_parity` — run one configuration through both engines and
+  verify the equivalence class the kernels advertise;
+* :func:`check_distributions` — Kolmogorov–Smirnov closeness of the
+  stabilisation-time distributions for the statistically equivalent
+  strategies (fixed seeds keep it deterministic);
+* :func:`run_parity_fuzz` — the full sweep, consumed by
+  ``tests/network/test_parity_fuzz.py`` and ``scripts/run_parity_fuzz.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.network.adversary import STRATEGIES, NoAdversary, build_adversary
+
+__all__ = [
+    "FUZZ_ALGORITHMS",
+    "ALL_STRATEGIES",
+    "ParityConfig",
+    "ParityReport",
+    "sample_configs",
+    "check_parity",
+    "check_distributions",
+    "run_parity_fuzz",
+]
+
+#: Fuzzable registry entries: ``(name, params, max_faults, max_rounds)``.
+#: Every entry must advertise a batch kernel (asserted by the sweep); the
+#: round caps are sized so the slowest configurations stay test-suite cheap.
+FUZZ_ALGORITHMS: tuple[tuple[str, dict[str, Any], int, int], ...] = (
+    ("trivial", {"c": 4}, 0, 24),
+    ("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}, 1, 40),
+    ("naive-majority", {"n": 9, "c": 4, "claimed_resilience": 2}, 2, 48),
+    ("randomized-follow-majority", {"n": 7, "f": 2, "c": 2}, 2, 90),
+    ("corollary1", {"f": 1, "c": 2}, 1, 260),
+    ("figure2", {"levels": 1, "c": 2}, 3, 160),
+    ("sampled-boosted", {"sample_size": 2}, 1, 40),
+    ("pseudo-random-boosted", {"sample_size": 3}, 1, 60),
+)
+
+#: The full strategy vocabulary: the fault-free ``"none"`` plus every
+#: registered active strategy — the "all 8" of the coverage contract.
+ALL_STRATEGIES: tuple[str, ...] = ("none", *sorted(STRATEGIES))
+
+#: The stopping-rule grid: no early stop, the boundary window 1, a small
+#: window, and a window larger than the round cap (can never fire).
+WINDOW_CHOICES: tuple[str, ...] = ("none", "one", "small", "beyond")
+
+
+@dataclass(frozen=True)
+class ParityConfig:
+    """One sampled grid point: algorithm × strategy × faults × stopping."""
+
+    algorithm: str
+    params: tuple[tuple[str, Any], ...]
+    strategy: str  # "none" or a STRATEGIES key
+    adversary_params: tuple[tuple[str, Any], ...]
+    trials: tuple[tuple[int, tuple[int, ...]], ...]  # (sim_seed, faulty)
+    max_rounds: int
+    stop_after_agreement: int | None
+
+    def label(self) -> str:
+        """Compact identity for failure messages and reports."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        adv = self.strategy
+        if self.adversary_params:
+            adv += "(" + ",".join(f"{k}={v}" for k, v in self.adversary_params) + ")"
+        faults = len(self.trials[0][1]) if self.trials else 0
+        return (
+            f"{self.algorithm}({inner}) x {adv} f={faults} "
+            f"rounds={self.max_rounds} window={self.stop_after_agreement}"
+        )
+
+
+@dataclass
+class ParityReport:
+    """Outcome of :func:`check_parity` for one configuration."""
+
+    config: ParityConfig
+    mode: str  # "bit-identical" | "statistical"
+    trials: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _adversary_param_choices(
+    strategy: str, rng: random.Random
+) -> tuple[tuple[str, Any], ...]:
+    """Sometimes exercise the strategy's optional parameters."""
+    if strategy == "fixed-state" and rng.random() < 0.5:
+        return (("state", rng.randrange(4)),)
+    if strategy == "phase-king-skew" and rng.random() < 0.5:
+        return (("offset", rng.choice((1, 2, -1))),)
+    return ()
+
+
+def _window_value(choice: str, max_rounds: int) -> int | None:
+    if choice == "none":
+        return None
+    if choice == "one":
+        return 1
+    if choice == "small":
+        return 2
+    return max_rounds + 7  # "beyond": can never fire before the cap
+
+
+def sample_configs(
+    count: int,
+    seed: int = 0,
+    *,
+    trials_per_config: int = 3,
+    max_rounds_cap: int | None = None,
+) -> list[ParityConfig]:
+    """Draw a reproducible sweep of ``count`` configurations.
+
+    The first samples cycle deterministically through every strategy in
+    :data:`ALL_STRATEGIES` (so any sweep of at least 8 configurations covers
+    the whole registry); algorithms, fault counts, faulty sets, stopping
+    windows and optional adversary parameters are drawn from ``seed``.
+    """
+    rng = random.Random(seed)
+    configs: list[ParityConfig] = []
+    for index in range(count):
+        if index < len(ALL_STRATEGIES):
+            strategy = ALL_STRATEGIES[index]
+        else:
+            strategy = rng.choice(ALL_STRATEGIES)
+        candidates = [
+            entry for entry in FUZZ_ALGORITHMS if strategy == "none" or entry[2] > 0
+        ]
+        name, params, max_faults, max_rounds = rng.choice(candidates)
+        if max_rounds_cap is not None:
+            max_rounds = min(max_rounds, max_rounds_cap)
+        faults = 0 if strategy == "none" else rng.randint(1, max_faults)
+        n = _algorithm_n(name, params)
+        trials = tuple(
+            (
+                rng.getrandbits(32),
+                tuple(sorted(rng.sample(range(n), faults))),
+            )
+            for _ in range(trials_per_config)
+        )
+        configs.append(
+            ParityConfig(
+                algorithm=name,
+                params=tuple(sorted(params.items())),
+                strategy=strategy,
+                adversary_params=_adversary_param_choices(strategy, rng),
+                trials=trials,
+                max_rounds=max_rounds,
+                stop_after_agreement=_window_value(rng.choice(WINDOW_CHOICES), max_rounds),
+            )
+        )
+    return configs
+
+
+def _algorithm_n(name: str, params: Mapping[str, Any]) -> int:
+    from repro.counters.registry import default_registry
+
+    return default_registry().build(name, **dict(params)).n
+
+
+def _scalar_trace(algorithm, config: ParityConfig, sim_seed: int, faulty):
+    """One scalar-engine reference run for a sampled configuration."""
+    from repro.network.pulling import PullSimulationConfig, run_pull_simulation
+    from repro.network.simulator import SimulationConfig, run_simulation
+
+    adversary = (
+        build_adversary(config.strategy, faulty, **dict(config.adversary_params))
+        if config.strategy != "none"
+        else NoAdversary()
+    )
+    if hasattr(algorithm, "pull_targets"):
+        return run_pull_simulation(
+            algorithm,
+            adversary=adversary,
+            config=PullSimulationConfig(
+                max_rounds=config.max_rounds,
+                stop_after_agreement=config.stop_after_agreement,
+                seed=sim_seed,
+            ),
+        )
+    return run_simulation(
+        algorithm,
+        adversary=adversary,
+        config=SimulationConfig(
+            max_rounds=config.max_rounds,
+            stop_after_agreement=config.stop_after_agreement,
+            seed=sim_seed,
+        ),
+    )
+
+
+def check_parity(config: ParityConfig) -> ParityReport:
+    """Run one configuration through both engines and verify equivalence.
+
+    Deterministic configurations must be bit-identical (full trace
+    equality); randomised ones must agree on everything the NumPy streams
+    cannot change — the trace header, initial outputs, output ranges, stop
+    semantics and the ``rng`` provenance note.  Both modes additionally
+    cross-check :func:`~repro.network.batch.run_batch_summaries` against the
+    full traces, covering the summary/compaction path under every sampled
+    stopping rule.
+    """
+    from repro.counters.registry import default_registry
+    from repro.network.batch import (
+        ADVERSARY_BATCH_KERNELS,
+        BATCH_RNG_NOTE,
+        BatchTrial,
+        build_batch_kernel,
+        run_batch_summaries,
+        run_batch_trials,
+    )
+
+    algorithm = default_registry().build(config.algorithm, **dict(config.params))
+    kernel = build_batch_kernel(algorithm)
+    report = ParityReport(config=config, mode="?", trials=len(config.trials))
+    if kernel is None:
+        report.failures.append("algorithm advertises no batch kernel")
+        return report
+
+    strategy = None if config.strategy == "none" else config.strategy
+    deterministic = kernel.deterministic and (
+        strategy is None
+        or ADVERSARY_BATCH_KERNELS[strategy].is_deterministic_for(kernel)
+    )
+    report.mode = "bit-identical" if deterministic else "statistical"
+
+    trials = [
+        BatchTrial(sim_seed=sim_seed, faulty=faulty)
+        for sim_seed, faulty in config.trials
+    ]
+    kwargs = dict(
+        adversary_strategy=strategy,
+        adversary_params=dict(config.adversary_params),
+        max_rounds=config.max_rounds,
+        stop_after_agreement=config.stop_after_agreement,
+    )
+    batch_traces = run_batch_trials(algorithm, kernel, trials, **kwargs)
+    summaries = run_batch_summaries(algorithm, kernel, trials, **kwargs)
+
+    for trial, batch, summary in zip(trials, batch_traces, summaries):
+        scalar = _scalar_trace(algorithm, config, trial.sim_seed, trial.faulty)
+        where = f"seed={trial.sim_seed} faulty={list(trial.faulty)}"
+        if deterministic:
+            if batch != scalar:
+                report.failures.append(f"{where}: trace diverged from scalar")
+                continue
+        else:
+            if batch.metadata.get("rng") != BATCH_RNG_NOTE:
+                report.failures.append(f"{where}: missing rng provenance note")
+            if batch.faulty != scalar.faulty:
+                report.failures.append(f"{where}: faulty sets differ")
+            if batch.initial_outputs != scalar.initial_outputs:
+                report.failures.append(
+                    f"{where}: initial states left the scalar streams"
+                )
+            for record in batch.rounds:
+                if set(record.outputs) != set(scalar.rounds[0].outputs):
+                    report.failures.append(f"{where}: output node set differs")
+                    break
+                if not all(
+                    0 <= value < algorithm.c for value in record.outputs.values()
+                ):
+                    report.failures.append(f"{where}: output outside [0, c)")
+                    break
+        # Stop semantics hold on both modes and both reduction paths.
+        window = config.stop_after_agreement
+        stopped = batch.metadata["stopped_early"]
+        if window is None or window > config.max_rounds:
+            if stopped or batch.num_rounds != config.max_rounds:
+                report.failures.append(f"{where}: early stop fired without window")
+        elif stopped and batch.metadata["agreement_streak"] < window:
+            report.failures.append(f"{where}: stop before the window filled")
+        if deterministic and stopped != scalar.metadata["stopped_early"]:
+            report.failures.append(f"{where}: stop flags differ from scalar")
+        # Summary path must agree with the trace path exactly.
+        agreed = tuple(
+            -1 if value is None else value for value in batch.agreed_values()
+        )
+        if (
+            summary.rounds != batch.num_rounds
+            or summary.agreed != agreed
+            or summary.stopped_early != stopped
+            or (
+                stopped
+                and summary.agreement_streak != batch.metadata["agreement_streak"]
+            )
+        ):
+            report.failures.append(f"{where}: summary diverged from trace")
+    return report
+
+
+def _ks_statistic(left: Sequence[float], right: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (max CDF distance)."""
+    points = sorted(set(left) | set(right))
+    worst = 0.0
+    for point in points:
+        cdf_left = sum(1 for value in left if value <= point) / len(left)
+        cdf_right = sum(1 for value in right if value <= point) / len(right)
+        worst = max(worst, abs(cdf_left - cdf_right))
+    return worst
+
+
+def check_distributions(
+    strategy: str,
+    *,
+    trials: int = 60,
+    seed: int = 0,
+    max_rounds: int = 150,
+    tolerance: float = 0.3,
+) -> tuple[float, int]:
+    """KS closeness of scalar vs batch stabilisation times for one strategy.
+
+    Runs the strategy against the boosted ``corollary1`` counter (whose
+    structured states exercise the skew/fabrication paths) with ``trials``
+    fixed seeds per engine and returns ``(ks_statistic, trials)``.  Fixed
+    seeds make the statistic deterministic; ``tolerance`` is the caller's
+    acceptance bound (the expected KS distance of two same-distribution
+    60-sample draws is ≈ 0.25 at the 0.5% level).
+    """
+    from repro.counters.registry import default_registry
+    from repro.network.batch import BatchTrial, build_batch_kernel, run_batch_trials
+    from repro.network.stabilization import stabilization_round
+
+    algorithm = default_registry().build("corollary1", f=1, c=2)
+    kernel = build_batch_kernel(algorithm)
+    assert kernel is not None
+    rng = random.Random(seed)
+    trial_list = [
+        BatchTrial(
+            sim_seed=rng.getrandbits(32),
+            faulty=(rng.randrange(algorithm.n),),
+        )
+        for _ in range(trials)
+    ]
+    config = ParityConfig(
+        algorithm="corollary1",
+        params=(("c", 2), ("f", 1)),
+        strategy=strategy,
+        adversary_params=(),
+        trials=tuple((t.sim_seed, t.faulty) for t in trial_list),
+        max_rounds=max_rounds,
+        stop_after_agreement=None,
+    )
+
+    def times(traces):
+        values = []
+        for trace in traces:
+            result = stabilization_round(trace, min_tail=2)
+            values.append(
+                result.round if result.round is not None else trace.num_rounds
+            )
+        return values
+
+    batch_times = times(
+        run_batch_trials(
+            algorithm,
+            kernel,
+            trial_list,
+            adversary_strategy=strategy,
+            max_rounds=max_rounds,
+        )
+    )
+    scalar_times = times(
+        _scalar_trace(algorithm, config, t.sim_seed, t.faulty) for t in trial_list
+    )
+    return _ks_statistic(scalar_times, batch_times), trials
+
+
+def run_parity_fuzz(
+    count: int = 32,
+    seed: int = 0,
+    *,
+    trials_per_config: int = 3,
+    max_rounds_cap: int | None = None,
+) -> list[ParityReport]:
+    """The full seeded sweep: sample ``count`` configurations, check each."""
+    return [
+        check_parity(config)
+        for config in sample_configs(
+            count,
+            seed,
+            trials_per_config=trials_per_config,
+            max_rounds_cap=max_rounds_cap,
+        )
+    ]

@@ -67,6 +67,11 @@ class Component:
         Whether the built component draws internal randomness.
     source:
         Paper reference (section, theorem, figure) when applicable.
+    batch:
+        Batch-engine coverage note: what the vectorised engine guarantees
+        for this component (bit-identical / statistically equivalent /
+        conditions), so discovery surfaces explain *why* an ``engine="auto"``
+        group may take the scalar path instead of it happening silently.
     """
 
     name: str
@@ -76,6 +81,7 @@ class Component:
     model: str = ""
     deterministic: bool = True
     source: str = ""
+    batch: str = ""
 
 
 class ComponentRegistry:
@@ -129,6 +135,7 @@ class ComponentRegistry:
                 "model": component.model,
                 "deterministic": component.deterministic,
                 "source": component.source,
+                "batch": component.batch,
             }
             for name in self.names(kind=kind)
             for component in (self._components[name],)
@@ -178,12 +185,25 @@ def default_component_registry() -> ComponentRegistry:
         build_adversary,
     )
 
+    try:
+        from repro.network.batch import adversary_kernel_coverage
+
+        coverage = adversary_kernel_coverage()
+    except ImportError:  # pragma: no cover - numpy-less environments
+        coverage = {}
+
     registry = ComponentRegistry()
     algorithms = default_registry()
     for entry in algorithms.describe():
+        batch_note = (
+            "vectorised, bit-identical (int64-safe parameterisations)"
+            if entry["deterministic"]
+            else "vectorised, statistically equivalent (NumPy RNG)"
+        )
         registry.register(
             Component(
                 build=algorithms.factory(entry["name"]).build,
+                batch=batch_note if coverage else "",
                 **entry,
             )
         )
@@ -201,9 +221,19 @@ def default_component_registry() -> ComponentRegistry:
                 kind="adversary",
                 description=STRATEGY_DESCRIPTIONS[strategy],
                 build=_adversary_builder(strategy),
+                # adaptive-split draws randomness only when fabricating
+                # states for camp-less boosted targets, but a flag cannot
+                # carry that nuance — mark it non-deterministic and let the
+                # batch note explain the per-encoding split.
                 deterministic=strategy
-                not in ("random-state", "split-state", "phase-king-skew"),
+                not in (
+                    "random-state",
+                    "split-state",
+                    "phase-king-skew",
+                    "adaptive-split",
+                ),
                 source="Section 2 (Byzantine model)",
+                batch=coverage.get(strategy, ""),
             )
         )
     return registry

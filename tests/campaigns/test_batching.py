@@ -87,7 +87,9 @@ class TestAutoEngine:
         assert executor.stats.batched == 0
         assert executor.stats.fallback == len(runs)
 
-    def test_uncovered_adversary_falls_back(self):
+    def test_statistically_equivalent_adversary_falls_back_with_reason(self):
+        # phase-king-skew has a kernel, but it consumes NumPy randomness, so
+        # auto keeps the scalar path — and says why instead of staying silent.
         spec = CampaignSpec(
             name="skew",
             algorithms=(AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),),
@@ -101,6 +103,33 @@ class TestAutoEngine:
         batched = executor.run(runs)
         assert as_dicts(batched) == as_dicts(SerialExecutor().run(runs))
         assert executor.stats.batched == 0 and executor.stats.fallback == len(runs)
+        assert len(executor.stats.fallback_reasons) == 1
+        reason = executor.stats.fallback_reasons[0]
+        assert "corollary1(c=2,f=1) x phase-king-skew" in reason
+        assert "statistically equivalent" in reason
+
+    def test_deterministic_adaptive_split_is_batched_bit_identically(self):
+        # adaptive-split draws no randomness against flat integer counters,
+        # so auto proves bit-identity per group and vectorises it.
+        spec = CampaignSpec(
+            name="adaptive",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+                ),
+            ),
+            adversaries=("adaptive-split", "fixed-state"),
+            runs_per_setting=3,
+            max_rounds=40,
+            stop_after_agreement=5,
+        )
+        runs = spec.expand()
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        assert as_dicts(batched) == as_dicts(SerialExecutor().run(runs))
+        assert executor.stats.batched == len(runs)
+        assert executor.stats.fallback == 0
+        assert executor.stats.fallback_reasons == []
 
 
 class TestForcedBatchEngine:
@@ -134,19 +163,62 @@ class TestForcedBatchEngine:
         roundtrip = type(results[0]).from_dict(results[0].to_dict())
         assert roundtrip.rng == BATCH_RNG_NOTE
 
-    def test_uncovered_group_raises(self):
+    def test_uncovered_group_raises_naming_the_full_group(self):
+        # Every adversary strategy has a kernel now, so the uncovered case
+        # is an algorithm whose parameters overflow the int64 kernels
+        # (corollary1 beyond f=4).  The error must name the full group —
+        # algorithm, strategy and the n/f envelope — not just a strategy.
         spec = CampaignSpec(
-            name="skew",
-            algorithms=(AlgorithmSpec.create("corollary1", {"f": 1, "c": 2}),),
-            adversaries=("phase-king-skew",),
+            name="oversized",
+            algorithms=(AlgorithmSpec.create("corollary1", {"f": 5, "c": 2}),),
+            adversaries=("crash",),
+            num_faults=(1,),
             runs_per_setting=2,
         )
         with pytest.raises(ParameterError, match="no\\s+vectorised kernel"):
+            BatchExecutor(engine="batch").run(spec.expand())
+        with pytest.raises(
+            ParameterError, match=r"corollary1\(c=2,f=5\) x crash \(n=\d+, f=1\)"
+        ):
             BatchExecutor(engine="batch").run(spec.expand())
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ParameterError, match="unknown batch engine"):
             BatchExecutor(engine="warp")
+
+
+class TestStoppingBoundaries:
+    @pytest.mark.parametrize("window", [1, 500])
+    def test_boundary_windows_are_bit_identical_across_engines(self, window):
+        # window=1 stops at the first agreeing round (the whole group
+        # compacts out of the batch in the same round for the trivial-like
+        # fast stabilisers); window > max_rounds never fires.  Both must
+        # reduce identically through run_batch_summaries.
+        spec = CampaignSpec(
+            name=f"window-{window}",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+                ),
+                AlgorithmSpec.create("trivial", {"c": 4}),
+            ),
+            adversaries=("none",),
+            num_faults=(0,),
+            runs_per_setting=4,
+            max_rounds=25,
+            stop_after_agreement=window,
+        )
+        runs = spec.expand()
+        serial = SerialExecutor().run(runs)
+        executor = BatchExecutor(engine="auto")
+        batched = executor.run(runs)
+        assert as_dicts(serial) == as_dicts(batched)
+        assert executor.stats.batched == len(runs)
+        if window > 25:
+            assert all(r.rounds_simulated == 25 for r in batched)
+            assert not any(r.stopped_early for r in batched)
+        else:
+            assert all(r.stopped_early for r in batched)
 
 
 class TestPullingGroups:

@@ -167,7 +167,9 @@ def test_adversary_kernels_against_scalar(strategy):
         max_rounds=30,
         stop_after_agreement=4,
     )
-    deterministic = ADVERSARY_BATCH_KERNELS[strategy].deterministic
+    # Determinism can depend on the algorithm kernel (adaptive-split is
+    # bit-identical for flat counters only), so ask per kernel.
+    deterministic = ADVERSARY_BATCH_KERNELS[strategy].is_deterministic_for(kernel)
     for trial, batch in zip(trials, batch_traces):
         scalar = _scalar_trace(algorithm, strategy, trial, 30, 4)
         if deterministic:
@@ -251,6 +253,93 @@ def test_summaries_match_traces():
         if summary.stopped_early:
             assert summary.agreement_streak == trace.metadata["agreement_streak"]
         assert summary.faulty == (2,)
+
+
+class TestStoppingBoundaries:
+    """The agreement-window boundary values, on both engines.
+
+    ``window = 1`` stops at the very first agreeing round; a window larger
+    than ``max_rounds`` can never fire and must be indistinguishable from no
+    early stopping; and when *every* trial of a batch stops in the same
+    round, the compaction path must freeze the whole batch at once.
+    """
+
+    def _compare(self, name, params, strategy, faulty, max_rounds, window):
+        algorithm = _build(name, params)
+        kernel = build_batch_kernel(algorithm)
+        trials = [
+            BatchTrial(sim_seed=seed, faulty=faulty) for seed in (21, 22, 23, 24)
+        ]
+        batch = run_batch_trials(
+            algorithm,
+            kernel,
+            trials,
+            adversary_strategy=strategy,
+            max_rounds=max_rounds,
+            stop_after_agreement=window,
+        )
+        scalar = [
+            _scalar_trace(algorithm, strategy, trial, max_rounds, window)
+            for trial in trials
+        ]
+        return batch, scalar
+
+    @pytest.mark.parametrize(
+        "name,params,strategy,faulty",
+        [
+            ("trivial", {"c": 4}, None, ()),
+            ("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}, "crash", (1,)),
+            ("corollary1", {"f": 1, "c": 2}, "fixed-state", (0,)),
+        ],
+    )
+    def test_window_one_is_bit_identical(self, name, params, strategy, faulty):
+        batch, scalar = self._compare(name, params, strategy, faulty, 60, 1)
+        for left, right in zip(batch, scalar):
+            assert left == right
+            if left.metadata["stopped_early"]:
+                assert left.metadata["agreement_streak"] == 1
+
+    @pytest.mark.parametrize(
+        "name,params,strategy,faulty",
+        [
+            ("trivial", {"c": 4}, None, ()),
+            ("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}, "crash", (1,)),
+        ],
+    )
+    def test_window_beyond_cap_never_fires(self, name, params, strategy, faulty):
+        max_rounds = 20
+        batch, scalar = self._compare(
+            name, params, strategy, faulty, max_rounds, max_rounds + 5
+        )
+        for left, right in zip(batch, scalar):
+            assert left == right
+            assert left.metadata["stopped_early"] is False
+            assert "agreement_streak" not in left.metadata
+            assert left.num_rounds == max_rounds
+
+    def test_whole_batch_stopping_in_one_round_compacts_cleanly(self):
+        # The trivial counter agrees from round zero, so with window = 1
+        # every trial of the batch finishes in the same round — the
+        # compaction path where nothing survives the keep mask.  Both the
+        # trace path and the summary path must report the single round.
+        algorithm = _build("trivial", {"c": 4})
+        kernel = build_batch_kernel(algorithm)
+        trials = [BatchTrial(sim_seed=seed) for seed in range(8)]
+        traces = run_batch_trials(
+            algorithm, kernel, trials, max_rounds=30, stop_after_agreement=1
+        )
+        summaries = run_batch_summaries(
+            algorithm, kernel, trials, max_rounds=30, stop_after_agreement=1
+        )
+        for trial, trace, summary in zip(trials, traces, summaries):
+            scalar = _scalar_trace(algorithm, None, trial, 30, 1)
+            assert trace == scalar
+            assert trace.num_rounds == 1
+            assert trace.metadata["stopped_early"] is True
+            assert trace.metadata["agreement_streak"] == 1
+            assert summary.rounds == 1
+            assert summary.stopped_early is True
+            assert summary.agreement_streak == 1
 
 
 def test_batch_size_chunks_do_not_change_deterministic_results():
