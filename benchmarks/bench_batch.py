@@ -181,16 +181,24 @@ def scaled(case: BatchBenchCase, runs: int | None) -> BatchBenchCase:
 
 
 def run_case(case: BatchBenchCase, engine: str):
-    """Execute one case on one engine; returns (elapsed, results, stats)."""
+    """Execute one case on one engine; returns (elapsed, cpu, results, stats).
+
+    ``elapsed`` is wall-clock and ``cpu`` is process CPU time
+    (:func:`time.process_time`) over the same window — on the serial
+    executors the two track each other, but the CPU column survives noisy
+    shared runners where wall-clock lies.
+    """
     runs = case.spec.expand()
     if engine == "scalar":
         executor = SerialExecutor()
     else:
         executor = BatchExecutor(engine=engine)
     started = time.perf_counter()
+    cpu_started = time.process_time()
     results = executor.run(runs)
+    cpu = time.process_time() - cpu_started
     elapsed = time.perf_counter() - started
-    return elapsed, results, executor.stats
+    return elapsed, cpu, results, executor.stats
 
 
 def time_engines(case: BatchBenchCase) -> dict:
@@ -202,8 +210,10 @@ def time_engines(case: BatchBenchCase) -> dict:
     """
     warmup = scaled(case, 2)
     run_case(warmup, case.engine)
-    scalar_elapsed, scalar_results, _ = run_case(case, "scalar")
-    batch_elapsed, batch_results, batch_stats = run_case(case, case.engine)
+    scalar_elapsed, scalar_cpu, scalar_results, _ = run_case(case, "scalar")
+    batch_elapsed, batch_cpu, batch_results, batch_stats = run_case(
+        case, case.engine
+    )
     identical = None
     if case.deterministic:
         identical = [r.to_json() for r in scalar_results] == [
@@ -219,6 +229,8 @@ def time_engines(case: BatchBenchCase) -> dict:
         "identical_results": identical,
         "scalar_seconds": scalar_elapsed,
         "batch_seconds": batch_elapsed,
+        "scalar_cpu_seconds": scalar_cpu,
+        "batch_cpu_seconds": batch_cpu,
         "speedup": scalar_elapsed / batch_elapsed if batch_elapsed else None,
         "scalar_rounds_per_second": scalar_rounds / scalar_elapsed,
         "batch_rounds_per_second": batch_rounds / batch_elapsed,

@@ -2,18 +2,24 @@
 """Run the scalar-vs-batch benchmark suite and emit ``BENCH_batch.json``.
 
 The machine-readable output tracks the perf trajectory across PRs: per case,
-the scalar and batch wall-clock, rounds/second on both engines, the speedup,
-and — crucially — how many runs actually took the vectorised path
-(``batched_runs``) versus the scalar fallback (``fallback_runs``).  The CI
-benchmark-smoke job runs this in ``--quick`` mode, fails when a
-kernel-covered case silently fell back to scalar, and uploads the JSON as an
-artifact.
+the scalar and batch wall-clock and CPU seconds, rounds/second (total and
+per core) on both engines, the speedup, and — crucially — how many runs
+actually took the vectorised path (``batched_runs``) versus the scalar
+fallback (``fallback_runs``).  Every entry is stamped with the UTC
+timestamp and the git commit it measured, and each invocation *appends* the
+payload as one line to ``BENCH_history.jsonl`` so the trajectory survives
+across PRs instead of being overwritten; ``BENCH_batch.json`` remains the
+latest-snapshot view.  The CI benchmark-smoke job runs this in ``--quick``
+mode, fails when a kernel-covered case silently fell back to scalar or the
+NullObserver overhead budget is blown (``--max-null-overhead``), and
+uploads both files as artifacts.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_benchmarks.py                 # full suite
     PYTHONPATH=src python scripts/run_benchmarks.py --quick         # CI smoke
     PYTHONPATH=src python scripts/run_benchmarks.py --require-speedup 10
+    PYTHONPATH=src python scripts/run_benchmarks.py --quick --max-null-overhead 2
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -34,6 +41,40 @@ from bench_batch import BENCH_CASES, scaled, time_engines  # noqa: E402
 
 #: The acceptance-criterion case: n >= 16, >= 200 trials, randomised.
 HEADLINE_CASE = "figure1-style-randomized-n16"
+
+#: Both engines run in-process on a single core; the per-core rounds/second
+#: columns therefore equal the totals today, but stay honest if a future
+#: executor fans out.
+ENGINE_CORES = 1
+
+
+def git_sha() -> str | None:
+    """The current commit hash, or None outside a usable git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def stamp(comparison: dict, timestamp: str, sha: str | None) -> dict:
+    """Stamp one case entry with provenance and derived per-core rates."""
+    comparison = dict(comparison)
+    comparison["timestamp"] = timestamp
+    comparison["git_sha"] = sha
+    comparison["cores"] = ENGINE_CORES
+    for engine in ("scalar", "batch"):
+        comparison[f"{engine}_rounds_per_second_per_core"] = (
+            comparison[f"{engine}_rounds_per_second"] / ENGINE_CORES
+        )
+    return comparison
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,6 +106,25 @@ def main(argv: list[str] | None = None) -> int:
             "at least this speedup (use on quiet machines only)"
         ),
     )
+    parser.add_argument(
+        "--max-null-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "also measure the NullObserver batch-hot-path overhead "
+            "(benchmarks/bench_obs.py) and exit non-zero above this "
+            "percentage (CI passes 2)"
+        ),
+    )
+    parser.add_argument(
+        "--history",
+        default=os.path.join(REPO_ROOT, "BENCH_history.jsonl"),
+        help=(
+            "JSONL file the payload is appended to (one line per "
+            "invocation; empty string disables)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     wanted = (
@@ -72,12 +132,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.cases
         else None
     )
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    sha = git_sha()
     comparisons = []
     for case in BENCH_CASES:
         if wanted is not None and case.name not in wanted:
             continue
         effective = scaled(case, case.quick_runs) if args.quick else case
-        comparison = time_engines(effective)
+        comparison = stamp(time_engines(effective), timestamp, sha)
         comparisons.append(comparison)
         print(
             f"{comparison['case']}: {comparison['runs']} runs, "
@@ -95,18 +157,41 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    null_overhead = None
+    if args.max_null_overhead is not None:
+        from bench_obs import measure_null_overhead
+
+        null_overhead = measure_null_overhead(
+            runs=40 if args.quick else 120,
+            repeats=3 if args.quick else 5,
+            attempts=4,
+            threshold=args.max_null_overhead / 100.0,
+        )
+        print(
+            f"null-observer overhead: {null_overhead['overhead'] * 100:+.2f}% "
+            f"(budget {args.max_null_overhead:.1f}%, live observer "
+            f"{null_overhead['observed_overhead'] * 100:+.2f}%)"
+        )
+
     payload = {
         "suite": "scalar-vs-batch",
         "quick": args.quick,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": timestamp,
+        "git_sha": sha,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cases": comparisons,
+        "null_observer_overhead": null_overhead,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
+    if args.history:
+        with open(args.history, "a", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        print(f"appended to {args.history}")
 
     failures = []
     for comparison in comparisons:
@@ -130,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"{HEADLINE_CASE}: speedup {headline['speedup']:.1f}x is below "
                 f"the required {args.require_speedup:.1f}x"
             )
+    if null_overhead is not None and not null_overhead["within_threshold"]:
+        failures.append(
+            f"null-observer overhead {null_overhead['overhead'] * 100:.2f}% "
+            f"exceeds the {args.max_null_overhead:.1f}% budget"
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

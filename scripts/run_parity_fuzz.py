@@ -70,14 +70,35 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum accepted KS statistic for randomised strategies",
     )
     parser.add_argument("--out", default=None, help="optional JSON report path")
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help=(
+            "attach a recording observer to every engine invocation of the "
+            "sweep (observers must not perturb any trace, so the reports are "
+            "identical either way; this exercises the instrumented paths)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    observer = None
+    if args.observe:
+        from repro.obs import Observer
+
+        observer = Observer.recording(round_stride=1)
 
     reports = run_parity_fuzz(
         count=args.samples,
         seed=args.seed,
         trials_per_config=args.trials_per_config,
         max_rounds_cap=args.max_rounds_cap,
+        observer=observer,
     )
+    if observer is not None:
+        print(
+            f"recording observer: {len(observer.buffer.events)} buffered "
+            f"event(s), {len(observer.metrics)} metric(s)"
+        )
     failures: list[str] = []
     covered = {report.config.strategy for report in reports}
     for report in reports:

@@ -25,21 +25,26 @@ Engine semantics:
   raise :class:`~repro.core.errors.ParameterError` for groups with no kernel
   coverage instead of silently falling back.
 
-The executor's :class:`BatchExecutorStats` reports how many runs took which
-path (``batched`` / ``fallback``), which the benchmark harness and the CI
-smoke job use to detect silent fallbacks.
+The executor's stats (the unified
+:class:`~repro.campaigns.executor.ExecutorStats`) report how many runs took
+which path (``batched`` / ``fallback``), which the benchmark harness and the
+CI smoke job use to detect silent fallbacks; with an observer attached the
+same information flows out as :class:`~repro.obs.events.BatchGroupScheduled`
+/ :class:`~repro.obs.events.FallbackTaken` events and ``executor.*``
+counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.campaigns.executor import (
     ExecutorStats,
     ParallelExecutor,
     ResultCallback,
+    _emit_run_finished,
     execute_run,
+    resolve_observer,
 )
 from repro.campaigns.results import RunResult
 from repro.campaigns.spec import AlgorithmSpec, RunSpec
@@ -51,6 +56,8 @@ from repro.network.batch import (
     build_batch_kernel,
     run_batch_summaries,
 )
+from repro.obs.events import BatchGroupScheduled, FallbackTaken
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 __all__ = ["BatchExecutorStats", "BatchExecutor", "group_runs", "reduce_summary"]
 
@@ -75,25 +82,9 @@ def _group_label(spec: RunSpec, algorithm=None) -> str:
 _ENGINES = ("auto", "batch")
 
 
-@dataclass
-class BatchExecutorStats(ExecutorStats):
-    """Progress accounting plus the batched-vs-scalar path split."""
-
-    #: Runs executed through the vectorised batch engine.
-    batched: int = 0
-    #: Runs that a batched group handed back to the scalar engine (either
-    #: no kernel coverage in ``auto`` mode, or a runtime batch failure).
-    fallback: int = 0
-    #: Why each scalar group fell back, as ``"<group>: <reason>"`` lines —
-    #: one entry per group (not per run), in execution order.  This is the
-    #: anti-silent-fallback surface: the CLI prints it, and the benchmark
-    #: harness asserts it stays empty for kernel-covered campaigns.
-    fallback_reasons: list[str] = field(default_factory=list)
-
-    def record_fallback(self, label: str, runs: int, reason: str) -> None:
-        """Account one group (of ``runs`` runs) taking the scalar path."""
-        self.fallback += runs
-        self.fallback_reasons.append(f"{label}: {reason}")
+#: Backwards-compatible alias: the batched/fallback accounting now lives on
+#: the unified :class:`~repro.campaigns.executor.ExecutorStats` dataclass.
+BatchExecutorStats = ExecutorStats
 
 
 def group_runs(
@@ -141,6 +132,13 @@ class BatchExecutor:
         in-process — they are the fast path already.
     batch_size:
         Trials vectorised together per NumPy batch.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`.  Batched groups emit
+        :class:`~repro.obs.events.BatchGroupScheduled` /
+        :class:`~repro.obs.events.FallbackTaken` events and forward the
+        observer into the batch engine's round loop; every run still gets
+        exactly one :class:`~repro.obs.events.RunFinished` event (emitted
+        here, not by the scalar leftovers' inner executor).
     """
 
     def __init__(
@@ -148,6 +146,7 @@ class BatchExecutor:
         engine: str = "auto",
         processes: int | None = None,
         batch_size: int = 256,
+        observer: Observer | None = None,
     ) -> None:
         if engine not in _ENGINES:
             raise ParameterError(
@@ -156,6 +155,7 @@ class BatchExecutor:
         self.engine = engine
         self.processes = processes
         self.batch_size = batch_size
+        self.observer = observer
         self.stats = BatchExecutorStats()
 
     # ------------------------------------------------------------------ #
@@ -167,18 +167,30 @@ class BatchExecutor:
     ) -> list[RunResult]:
         """Execute all specs and return their results in submission order."""
         spec_list = list(specs)
-        self.stats = BatchExecutorStats(total=len(spec_list))
+        obs = resolve_observer(self.observer)
+        self.stats = BatchExecutorStats(
+            total=len(spec_list), metrics=obs.metrics if obs is not None else None
+        )
         results: list[RunResult | None] = [None] * len(spec_list)
 
         def finish(index: int, result: RunResult) -> None:
             results[index] = result
             self.stats.record(result)
+            if obs is not None:
+                # One run_finished per run, whichever path executed it; the
+                # group's cost is shared, so no per-run seconds here.
+                _emit_run_finished(obs, result, None)
             if on_result is not None:
                 on_result(result)
 
+        def fall_back(label: str, runs: int, reason: str) -> None:
+            self.stats.record_fallback(label, runs, reason)
+            if obs is not None:
+                obs.emit(FallbackTaken(label=label, runs=runs, reason=reason))
+
         groups, scalar_indices = group_runs(spec_list)
         if scalar_indices:
-            self.stats.record_fallback(
+            fall_back(
                 f"{len(scalar_indices)} run(s) with pre-built instances",
                 len(scalar_indices),
                 "pre-built algorithm or adversary instances are never grouped",
@@ -188,22 +200,32 @@ class BatchExecutor:
             batched, label, reason = self._try_batch(group)
             if batched is None:
                 assert reason is not None
-                self.stats.record_fallback(label, len(indices), reason)
+                fall_back(label, len(indices), reason)
                 scalar_indices.extend(indices)
                 continue
             for index, result in zip(indices, batched):
                 finish(index, result)
-            self.stats.batched += len(indices)
+            self.stats.record_batched(len(indices))
 
         if scalar_indices:
             scalar_indices.sort()
             leftovers = [spec_list[index] for index in scalar_indices]
+            # The inner executor runs unobserved: finish() below is the one
+            # place run_finished events and completion counters are emitted,
+            # so routing leftovers through another observed executor would
+            # double-account them.  NULL_OBSERVER (not None) pins that down
+            # even when a process-default observer is installed.  The serial
+            # path still forwards the observer into the engine itself —
+            # engine-level metrics are distinct from the executor's run
+            # accounting.
             if self.processes is not None and self.processes > 1 and len(leftovers) > 1:
-                scalar_results = ParallelExecutor(processes=self.processes).run(
-                    leftovers
-                )
+                scalar_results = ParallelExecutor(
+                    processes=self.processes, observer=NULL_OBSERVER
+                ).run(leftovers)
             else:
-                scalar_results = [execute_run(spec) for spec in leftovers]
+                scalar_results = [
+                    execute_run(spec, observer=obs) for spec in leftovers
+                ]
             for index, result in zip(scalar_indices, scalar_results):
                 finish(index, result)
 
@@ -272,6 +294,16 @@ class BatchExecutor:
                 "auto batches provably bit-identical groups (force "
                 "engine='batch' to opt in)"
             )
+        obs = resolve_observer(self.observer)
+        if obs is not None:
+            obs.emit(
+                BatchGroupScheduled(
+                    label=label,
+                    runs=len(group),
+                    engine=self.engine,
+                    deterministic=self._bit_identical(kernel, spec),
+                )
+            )
         if self.engine == "batch":
             # Forced mode promises no silent fallback: a runtime failure of
             # the batch engine propagates instead of quietly rerunning the
@@ -323,6 +355,7 @@ class BatchExecutor:
             max_rounds=spec.max_rounds,
             stop_after_agreement=spec.stop_after_agreement,
             batch_size=self.batch_size,
+            observer=resolve_observer(self.observer),
         )
         return [
             reduce_summary(member, algorithm, summary)

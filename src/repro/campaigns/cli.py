@@ -56,6 +56,7 @@ from repro.campaigns.spec import (
 )
 from repro.core.errors import ReproError
 from repro.network.adversary import STRATEGIES
+from repro.obs.cli import add_observability_arguments, observation_from_args
 
 __all__ = [
     "main",
@@ -226,6 +227,7 @@ def register_commands(subparsers) -> None:
         executor_parser.add_argument(
             "--quiet", action="store_true", help="suppress per-run progress lines"
         )
+        add_observability_arguments(executor_parser)
 
     summarize = subparsers.add_parser(
         "summarize",
@@ -285,12 +287,14 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         print(f"[{done}/{total}] {result.run_id}: {status}", flush=True)
 
-    report = run_campaign(
-        spec,
-        store=store,
-        executor=executor,
-        progress=None if args.quiet else progress,
-    )
+    with observation_from_args(args) as observer:
+        report = run_campaign(
+            spec,
+            store=store,
+            executor=executor,
+            progress=None if args.quiet else progress,
+            observer=observer,
+        )
     print(
         f"campaign '{spec.name}': {report.total} runs "
         f"({report.executed} executed, {report.skipped} resumed, "

@@ -19,18 +19,22 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
-from dataclasses import dataclass
-from typing import Callable, Iterable
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 from repro.campaigns.results import RunResult, reduce_trace
 from repro.campaigns.spec import AlgorithmSpec, RunSpec
 from repro.network.adversary import Adversary
 from repro.network.pulling import PullSimulationConfig, run_pull_simulation
 from repro.network.simulator import SimulationConfig, run_simulation
+from repro.obs.events import RunFinished, RunStarted
+from repro.obs.observer import Observer, active, default_observer
 from repro.util.rng import derive_rng
 
 __all__ = [
     "execute_run",
+    "resolve_observer",
     "ExecutorStats",
     "SerialExecutor",
     "ParallelExecutor",
@@ -42,7 +46,7 @@ __all__ = [
 ResultCallback = Callable[[RunResult], None]
 
 
-def execute_run(spec: RunSpec) -> RunResult:
+def execute_run(spec: RunSpec, observer: Observer | None = None) -> RunResult:
     """Execute one run spec and reduce its trace — the executors' work unit.
 
     Never raises: any exception (bad registry name, simulation error, ...)
@@ -54,6 +58,9 @@ def execute_run(spec: RunSpec) -> RunResult:
     results depend on execution order and process placement), and
     non-deterministic algorithms exposing ``reseed`` are reseeded from the
     spec's ``sim_seed`` so their internal randomness is pinned per run.
+    ``observer`` is forwarded into the simulation engine (in-process callers
+    only — pool workers always run unobserved and report timings back by
+    value instead).
     """
     try:
         algorithm = spec.resolve_algorithm()
@@ -74,7 +81,7 @@ def execute_run(spec: RunSpec) -> RunResult:
                 metadata=metadata,
             )
             trace = run_pull_simulation(
-                algorithm, adversary=adversary, config=pull_config
+                algorithm, adversary=adversary, config=pull_config, observer=observer
             )
         else:
             config = SimulationConfig(
@@ -83,7 +90,9 @@ def execute_run(spec: RunSpec) -> RunResult:
                 seed=spec.sim_seed,
                 metadata=metadata,
             )
-            trace = run_simulation(algorithm, adversary=adversary, config=config)
+            trace = run_simulation(
+                algorithm, adversary=adversary, config=config, observer=observer
+            )
         return reduce_trace(spec, algorithm, trace)
     except Exception as exc:  # noqa: BLE001 - failure accounting by design
         return RunResult(
@@ -107,35 +116,121 @@ def execute_run(spec: RunSpec) -> RunResult:
         )
 
 
-def _execute_indexed(item: tuple[int, RunSpec]) -> tuple[int, RunResult]:
+def _execute_indexed(
+    item: tuple[int, RunSpec]
+) -> tuple[int, RunResult, float]:
     """Pool work function: carry the submission index through the shuffle.
 
     Results are reassembled by position, not ``run_id``, so executors behave
-    identically even when a caller-supplied spec list repeats an id.
+    identically even when a caller-supplied spec list repeats an id.  The
+    run's wall time is measured in the worker and serialised back with the
+    result — the parent merges it into its metrics at receive time, so no
+    registry is ever shared across processes.
     """
     index, spec = item
-    return index, execute_run(spec)
+    started = time.perf_counter()
+    result = execute_run(spec)
+    return index, result, time.perf_counter() - started
 
 
 @dataclass
 class ExecutorStats:
-    """Progress and failure accounting for one executor invocation."""
+    """Progress, failure and execution-path accounting for one executor run.
+
+    One dataclass serves every executor: the scalar executors only touch
+    ``total``/``completed``/``failed``, while the batch executor also
+    accounts the batched-vs-scalar path split (``batched`` / ``fallback`` /
+    ``fallback_reasons``).  When ``metrics`` is set (an active observer's
+    :class:`~repro.obs.metrics.MetricsRegistry`), every recording also bumps
+    the corresponding ``executor.*`` counters, so reports and metric
+    snapshots can never drift apart.
+    """
 
     total: int = 0
     completed: int = 0
     failed: int = 0
+    #: Runs executed through the vectorised batch engine.
+    batched: int = 0
+    #: Runs that a batched group handed back to the scalar engine (either
+    #: no kernel coverage in ``auto`` mode, or a runtime batch failure).
+    fallback: int = 0
+    #: Why each scalar group fell back, as ``"<group>: <reason>"`` lines —
+    #: one entry per group (not per run), in execution order.  This is the
+    #: anti-silent-fallback surface: the CLI prints it, and the benchmark
+    #: harness asserts it stays empty for kernel-covered campaigns.
+    fallback_reasons: list[str] = field(default_factory=list)
+    #: Backing metrics registry (``None`` when unobserved); excluded from
+    #: equality so stats comparisons stay value-based.
+    metrics: Any = field(default=None, repr=False, compare=False)
 
     def record(self, result: RunResult) -> None:
         """Account one finished run."""
         self.completed += 1
         if result.error is not None:
             self.failed += 1
+        if self.metrics is not None:
+            self.metrics.counter("executor.runs_completed").inc()
+            if result.error is not None:
+                self.metrics.counter("executor.runs_failed").inc()
+
+    def record_batched(self, runs: int) -> None:
+        """Account ``runs`` runs executed on the vectorised path."""
+        self.batched += runs
+        if self.metrics is not None:
+            self.metrics.counter("executor.runs_batched").inc(runs)
+
+    def record_fallback(self, label: str, runs: int, reason: str) -> None:
+        """Account one group (of ``runs`` runs) taking the scalar path."""
+        self.fallback += runs
+        self.fallback_reasons.append(f"{label}: {reason}")
+        if self.metrics is not None:
+            self.metrics.counter("executor.fallback_runs").inc(runs)
+            self.metrics.counter("executor.fallback_groups").inc()
+
+
+def resolve_observer(observer: Observer | None) -> Observer | None:
+    """An executor's active observer, falling back to the process default.
+
+    Executors are the chokepoint every campaign *and* every experiment
+    script runs through, so the default-observer fallback lives here: the
+    CLI's ``--progress``/``--metrics-out``/``--events-out`` flags install a
+    process default, and code that drives an executor directly (the
+    experiment modules call ``executor.run`` without going through
+    :func:`~repro.campaigns.runner.run_campaign`) is still observed.  Pass
+    :data:`~repro.obs.observer.NULL_OBSERVER` explicitly to suppress
+    observation regardless of the installed default — the batch executor
+    does this for its inner scalar-leftover executor, which must not emit a
+    second ``run_finished`` per run.
+    """
+    if observer is None:
+        observer = default_observer()
+    return active(observer)
+
+
+def _emit_run_finished(
+    obs: Observer, result: RunResult, seconds: float | None
+) -> None:
+    """Record one finished run into an active observer (events + metrics)."""
+    if seconds is not None:
+        obs.metrics.histogram("run.seconds").observe(seconds)
+    obs.metrics.histogram("run.rounds").observe(result.rounds_simulated)
+    obs.emit(
+        RunFinished(
+            run_id=result.run_id,
+            error=result.error,
+            stabilized=result.stabilized,
+            stabilization_round=result.stabilization_round,
+            rounds=result.rounds_simulated,
+            seconds=seconds,
+        )
+    )
 
 
 class SerialExecutor:
     """Run every spec in-process, in order — the reference executor."""
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Observer | None = None) -> None:
+        self.observer = observer
         self.stats = ExecutorStats()
 
     def run(
@@ -143,10 +238,18 @@ class SerialExecutor:
     ) -> list[RunResult]:
         """Execute all specs and return their results in submission order."""
         spec_list = list(specs)
-        self.stats = ExecutorStats(total=len(spec_list))
+        obs = resolve_observer(self.observer)
+        self.stats = ExecutorStats(
+            total=len(spec_list), metrics=obs.metrics if obs is not None else None
+        )
         results: list[RunResult] = []
         for spec in spec_list:
-            result = execute_run(spec)
+            if obs is not None:
+                obs.emit(RunStarted(run_id=spec.run_id))
+                started = time.perf_counter()
+            result = execute_run(spec, observer=obs)
+            if obs is not None:
+                _emit_run_finished(obs, result, time.perf_counter() - started)
             self.stats.record(result)
             if on_result is not None:
                 on_result(result)
@@ -168,6 +271,11 @@ class ParallelExecutor:
     mp_context:
         Optional multiprocessing start-method context (e.g.
         ``multiprocessing.get_context("spawn")``).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`.  Workers never see
+        it — they measure locally (per-run wall time travels back with each
+        result) and the parent records events and metrics at receive time,
+        so there is no shared mutable state across processes.
     """
 
     def __init__(
@@ -175,10 +283,12 @@ class ParallelExecutor:
         processes: int | None = None,
         chunksize: int | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.processes = processes
         self.chunksize = chunksize
         self._mp_context = mp_context
+        self.observer = observer
         self.stats = ExecutorStats()
 
     def _resolve_pool_shape(self, num_specs: int) -> tuple[int, int]:
@@ -201,13 +311,16 @@ class ParallelExecutor:
         submission order of ``specs``, matching :class:`SerialExecutor`.
         """
         spec_list = list(specs)
-        self.stats = ExecutorStats(total=len(spec_list))
+        obs = resolve_observer(self.observer)
+        self.stats = ExecutorStats(
+            total=len(spec_list), metrics=obs.metrics if obs is not None else None
+        )
         if not spec_list:
             return []
         processes, chunksize = self._resolve_pool_shape(len(spec_list))
         if processes == 1:
             # A one-worker pool would only add IPC overhead.
-            serial = SerialExecutor()
+            serial = SerialExecutor(observer=self.observer)
             results = serial.run(spec_list, on_result=on_result)
             self.stats = serial.stats
             return results
@@ -215,10 +328,16 @@ class ParallelExecutor:
         context = self._mp_context or multiprocessing.get_context()
         collected: list[RunResult | None] = [None] * len(spec_list)
         with context.Pool(processes=processes) as pool:
-            for index, result in pool.imap_unordered(
+            for index, result, seconds in pool.imap_unordered(
                 _execute_indexed, list(enumerate(spec_list)), chunksize=chunksize
             ):
                 self.stats.record(result)
+                if obs is not None:
+                    # Worker-side measurements are merged here, at the join
+                    # point — run_started is not emitted for pooled runs
+                    # because the parent only learns of a run when it is
+                    # already done.
+                    _emit_run_finished(obs, result, seconds)
                 if on_result is not None:
                     on_result(result)
                 collected[index] = result

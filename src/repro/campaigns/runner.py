@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.campaigns.executor import ParallelExecutor, SerialExecutor
 from repro.campaigns.results import CampaignStore, RunResult
 from repro.campaigns.spec import CampaignSpec, RunSpec
+from repro.obs.events import CampaignFinished, CampaignStarted, RunsSkippedOnResume
+from repro.obs.observer import Observer, active, default_observer
 
 __all__ = ["CampaignReport", "run_campaign"]
 
@@ -41,8 +43,13 @@ class CampaignReport:
     fallback_reasons:
         Why groups of runs took the scalar path when a batch-capable
         executor handled the campaign (one ``"<group>: <reason>"`` line per
-        group, from :class:`~repro.campaigns.batching.BatchExecutorStats`);
-        empty for scalar executors and fully vectorised campaigns.
+        group, from the unified
+        :class:`~repro.campaigns.executor.ExecutorStats`); empty for scalar
+        executors and fully vectorised campaigns.
+    metrics:
+        Snapshot of the observer's metrics registry taken when the campaign
+        finished (``None`` when the campaign ran unobserved); excluded from
+        equality so reports stay comparable by outcome.
     """
 
     results: list[RunResult] = field(default_factory=list)
@@ -51,6 +58,7 @@ class CampaignReport:
     failed: int = 0
     elapsed: float = 0.0
     fallback_reasons: list[str] = field(default_factory=list)
+    metrics: dict[str, Any] | None = field(default=None, repr=False, compare=False)
 
     @property
     def total(self) -> int:
@@ -63,6 +71,7 @@ def run_campaign(
     store: CampaignStore | None = None,
     executor: "SerialExecutor | ParallelExecutor | object | None" = None,
     progress: ProgressCallback | None = None,
+    observer: Observer | None = None,
 ) -> CampaignReport:
     """Run a campaign (resuming from ``store`` when one is given).
 
@@ -82,16 +91,33 @@ def run_campaign(
         :class:`SerialExecutor`.
     progress:
         Optional callback ``(done, total, result)`` fired per completed run.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` for lifecycle events
+        and metrics; defaults to the process-global default observer
+        (installed by the CLI's ``--progress``/``--metrics-out``/
+        ``--events-out`` flags), so surface layers can observe campaigns
+        without threading the handle through every call site.  The observer
+        is also attached to the executor (unless the executor already has
+        one), which forwards it into the engines.
     """
+    if observer is None:
+        observer = default_observer()
     if isinstance(campaign, CampaignSpec):
         runs = campaign.expand()
+        name = campaign.name
         if executor is None:
             from repro.campaigns.executor import default_executor
 
             executor = default_executor(engine=campaign.engine)
     else:
         runs = list(campaign)
+        name = "runs"
     executor = executor or SerialExecutor()
+    if (
+        observer is not None
+        and getattr(executor, "observer", "unsupported") is None
+    ):
+        executor.observer = observer
 
     recovered: dict[str, RunResult] = {}
     if store is not None:
@@ -102,6 +128,27 @@ def run_campaign(
             if run_id in run_ids and result.error is None
         }
     pending = [run for run in runs if run.run_id not in recovered]
+
+    obs = active(observer)
+    if obs is not None:
+        metrics = obs.metrics
+        metrics.counter("campaign.runs_total").inc(len(runs))
+        obs.emit(
+            CampaignStarted(
+                name=name,
+                total_runs=len(runs),
+                pending=len(pending),
+                skipped=len(recovered),
+            )
+        )
+        if recovered:
+            # The resume gap fix: without this, a resumed campaign's
+            # progress silently restarts from zero even though most of the
+            # grid is already done.
+            metrics.counter("campaign.runs_skipped_on_resume").inc(len(recovered))
+            obs.emit(
+                RunsSkippedOnResume(count=len(recovered), total=len(runs))
+            )
 
     done = 0
 
@@ -121,11 +168,28 @@ def run_campaign(
     by_id.update({result.run_id: result for result in executed})
     results = [by_id[run.run_id] for run in runs]
     stats = getattr(executor, "stats", None)
+    failed = sum(1 for result in executed if result.error is not None)
+    snapshot: dict[str, Any] | None = None
+    if obs is not None:
+        metrics = obs.metrics
+        metrics.counter("campaign.runs_executed").inc(len(executed))
+        metrics.counter("campaign.runs_failed").inc(failed)
+        obs.emit(
+            CampaignFinished(
+                name=name,
+                executed=len(executed),
+                skipped=len(recovered),
+                failed=failed,
+                elapsed_seconds=elapsed,
+            )
+        )
+        snapshot = metrics.snapshot()
     return CampaignReport(
         results=results,
         executed=len(executed),
         skipped=len(recovered),
-        failed=sum(1 for result in executed if result.error is not None),
+        failed=failed,
         elapsed=elapsed,
         fallback_reasons=list(getattr(stats, "fallback_reasons", ()) or ()),
+        metrics=snapshot,
     )

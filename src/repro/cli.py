@@ -40,6 +40,7 @@ from repro.campaigns.results import CampaignStore, RunResult, summarize_results
 from repro.campaigns.spec import ENGINES, FAULT_PATTERNS
 from repro.core.errors import ParameterError
 from repro.experiments.catalog import experiment_catalog
+from repro.obs.cli import add_observability_arguments, observation_from_args
 from repro.scenarios import Scenario, default_component_registry
 
 __all__ = ["main", "build_parser"]
@@ -79,9 +80,13 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         print(f"[{done}/{total}] {result.run_id}: {status}", flush=True)
 
-    report = scenario.execute(
-        jobs=args.jobs, store=store, progress=None if args.quiet else progress
-    )
+    with observation_from_args(args) as observer:
+        report = scenario.execute(
+            jobs=args.jobs,
+            store=store,
+            progress=None if args.quiet else progress,
+            observer=observer,
+        )
     name = scenario.to_campaign_spec().name
     suffix = f" -> {store.path}" if store is not None else ""
     print(
@@ -104,8 +109,14 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    """Run a catalogue experiment and print its tables."""
-    results = args.experiment.run(args)
+    """Run a catalogue experiment and print its tables.
+
+    Observability flags work here without per-experiment wiring: the
+    observer is installed as the process default for the duration of the
+    command, and every campaign the experiment runs picks it up.
+    """
+    with observation_from_args(args):
+        results = args.experiment.run(args)
     renderer = "to_markdown" if args.markdown else "format_table"
     print("\n\n".join(getattr(result, renderer)() for result in results))
     return 0
@@ -288,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    add_observability_arguments(run)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -317,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="emit the tables as Markdown instead of aligned text",
         )
+        add_observability_arguments(experiment_parser)
         experiment_parser.set_defaults(handler=_command_experiment, experiment=entry)
 
     list_parser = subparsers.add_parser(

@@ -53,6 +53,7 @@ Correctness contract
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -64,6 +65,8 @@ from repro.core.phase_king import INFINITY as _INFINITY
 from repro.network.adversary import NoAdversary, build_adversary
 from repro.network.engine import derive_streams, resolve_initial_states
 from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.obs.events import RoundObserved
+from repro.obs.observer import active as _active_observer
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -871,6 +874,7 @@ def run_batch_trials(
     max_rounds: int = 1000,
     stop_after_agreement: int | None = None,
     batch_size: int = 256,
+    observer: Any = None,
 ) -> list[ExecutionTrace]:
     """Run many trials of one configuration as a vectorised batch.
 
@@ -885,6 +889,9 @@ def run_batch_trials(
 
     ``batch_size`` bounds the number of trials vectorised together (memory —
     and, for randomised kernels, the chunking of the NumPy streams).
+    ``observer`` attaches :mod:`repro.obs` instrumentation (step timers,
+    throughput counters, sampled ``round_observed`` events); observers only
+    read, so results are unchanged by one.
     """
     traces: list[ExecutionTrace] = []
     for chunk in _chunked(trials, batch_size, max_rounds, stop_after_agreement):
@@ -897,6 +904,7 @@ def run_batch_trials(
             max_rounds,
             stop_after_agreement,
             record_outputs=True,
+            observer=observer,
         )
         assert chunk_traces is not None
         traces.extend(chunk_traces)
@@ -913,6 +921,7 @@ def run_batch_summaries(
     max_rounds: int = 1000,
     stop_after_agreement: int | None = None,
     batch_size: int = 256,
+    observer: Any = None,
 ) -> list[BatchRunSummary]:
     """Like :func:`run_batch_trials`, but skip the per-round trace rebuild.
 
@@ -932,6 +941,7 @@ def run_batch_summaries(
             max_rounds,
             stop_after_agreement,
             record_outputs=False,
+            observer=observer,
         )
         summaries.extend(chunk_summaries)
     return summaries
@@ -973,6 +983,7 @@ def _run_chunk(
     max_rounds: int,
     window: int | None,
     record_outputs: bool,
+    observer: Any = None,
 ) -> tuple[list[ExecutionTrace] | None, list[BatchRunSummary]]:
     """Vectorised execution of one chunk of trials."""
     batch = len(trials)
@@ -1086,7 +1097,19 @@ def _run_chunk(
     #: Trial index -> (stopped_early, agreement_streak at the stop).
     stop_info: dict[int, tuple[bool, int]] = {}
 
+    # Observation: the disabled path costs one ``is not None`` check per
+    # round (the hot-path contract the NullObserver overhead benchmark
+    # enforces); the step timer and the stride gate do the rest only when
+    # an active observer is attached.
+    obs = _active_observer(observer)
+    stride = obs.round_stride if obs is not None else 0
+    step_timer = obs.metrics.histogram("batch.step_seconds") if obs is not None else None
+    trial_rounds = 0
+    chunk_started = time.perf_counter() if obs is not None else 0.0
+
     for round_index in range(max_rounds):
+        if step_timer is not None:
+            step_started = time.perf_counter()
         if adversary_kernel is not None:
             adversary_kernel.begin_round(round_index, states, correct_sorted, rng)
         pulls: int | None = None
@@ -1117,6 +1140,8 @@ def _run_chunk(
             states = kernel.step(view, round_index, rng)
 
         outputs = kernel.outputs(states)
+        if step_timer is not None:
+            step_timer.observe(time.perf_counter() - step_started)
 
         # Agreement and streak tracking (the AgreementWindow semantics):
         # the streak grows only while the agreed value advances by one
@@ -1126,6 +1151,17 @@ def _run_chunk(
         agree = np.all((outputs == reference[:, None]) | ~sender_ok, axis=1)
         agreed = np.where(agree, reference, _DISAGREE)
         recorded.append((active, agreed, outputs if record_outputs else None, pulls))
+        if obs is not None:
+            trial_rounds += live
+            if stride and round_index % stride == 0:
+                obs.emit(
+                    RoundObserved(
+                        source="batch",
+                        round_index=round_index,
+                        live_trials=live,
+                        agreed_trials=int((agreed >= 0).sum()),
+                    )
+                )
         window_fired = np.zeros(live, dtype=bool)
         if window is not None:
             advanced = (prev >= 0) & (agreed >= 0) & ((prev + 1) % c == agreed)
@@ -1144,6 +1180,11 @@ def _run_chunk(
                 bool(window_fired[position]),
                 int(streak[position]),
             )
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.counter("batch.compactions").inc()
+            metrics.counter("batch.trials_finished").inc(int(finished.sum()))
+            metrics.gauge("batch.live_trials").set(int((~finished).sum()))
         keep = ~finished
         if not keep.any():
             break
@@ -1157,6 +1198,19 @@ def _run_chunk(
             faulty_idx = faulty_idx[keep]
         if faulty_lookup is not None:
             faulty_lookup = faulty_lookup[keep]
+
+    if obs is not None:
+        chunk_seconds = time.perf_counter() - chunk_started
+        metrics = obs.metrics
+        metrics.counter("batch.chunks").inc()
+        metrics.counter("batch.trials").inc(batch)
+        metrics.counter("batch.rounds").inc(len(recorded))
+        metrics.counter("batch.trial_rounds").inc(trial_rounds)
+        metrics.histogram("batch.chunk_seconds").observe(chunk_seconds)
+        if chunk_seconds > 0:
+            metrics.gauge("batch.trial_rounds_per_second").set(
+                trial_rounds / chunk_seconds
+            )
 
     # ------------------------------------------------------------------ #
     # Per-trial reductions.  Trials all start at round zero and drop out

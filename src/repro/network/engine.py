@@ -33,11 +33,14 @@ verbatim copies of the legacy engines).
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Mapping, Sequence
 
 from repro.core.errors import SimulationError
 from repro.network.trace import ExecutionTrace, RoundRecord
+from repro.obs.events import RoundObserved
+from repro.obs.observer import Observer, active
 from repro.util.rng import derive_rng, ensure_rng
 
 __all__ = [
@@ -298,6 +301,7 @@ def run_engine(
     seed: int | None = 0,
     metadata: Mapping[str, Any] | None = None,
     initial_states: Mapping[int, Any] | Sequence[Any] | None = None,
+    observer: Observer | None = None,
 ) -> ExecutionTrace:
     """Run a simulation of ``model`` and record an :class:`ExecutionTrace`.
 
@@ -321,6 +325,13 @@ def run_engine(
         simulator-owned keys win on collision.
     initial_states:
         Forwarded to :func:`resolve_initial_states`.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`.  Observers only
+        read — they never draw randomness — so attaching one cannot change
+        the trace.  With a positive ``round_stride`` every N-th round is
+        emitted as a :class:`~repro.obs.events.RoundObserved` event;
+        run-level counters and timing histograms are always recorded when
+        an active observer is present.
     """
     model.validate()
 
@@ -355,7 +366,12 @@ def run_engine(
 
     # Hot loop: the bound output method is hoisted, and the outputs mapping
     # is the only per-round allocation — it is owned by the stored
-    # RoundRecord, so it cannot be a reused buffer.
+    # RoundRecord, so it cannot be a reused buffer.  Observation costs one
+    # ``is not None`` check per round when disabled; the stride gate keeps
+    # event construction out of unsampled rounds.
+    obs = active(observer)
+    stride = obs.round_stride if obs is not None else 0
+    started = time.perf_counter() if obs is not None else 0.0
     output = algorithm.output
     round_index = 0
     while True:
@@ -369,9 +385,28 @@ def run_engine(
         )
         trace.append(record)
 
+        if stride and round_index % stride == 0:
+            obs.emit(
+                RoundObserved(
+                    source="engine",
+                    round_index=round_index,
+                    live_trials=1,
+                    agreed_value=record.agreed_value(),
+                )
+            )
+
         fired = rule.observe(record)
         if fired is not None:
             trace.metadata.update(fired.stop_metadata())
+            if obs is not None:
+                rounds = round_index + 1
+                metrics = obs.metrics
+                metrics.counter("engine.runs").inc()
+                metrics.counter("engine.rounds").inc(rounds)
+                metrics.histogram("engine.run_rounds").observe(rounds)
+                metrics.histogram("engine.run_seconds").observe(
+                    time.perf_counter() - started
+                )
             return trace
         round_index += 1
 

@@ -184,7 +184,9 @@ def _algorithm_n(name: str, params: Mapping[str, Any]) -> int:
     return default_registry().build(name, **dict(params)).n
 
 
-def _scalar_trace(algorithm, config: ParityConfig, sim_seed: int, faulty):
+def _scalar_trace(
+    algorithm, config: ParityConfig, sim_seed: int, faulty, observer: Any = None
+):
     """One scalar-engine reference run for a sampled configuration."""
     from repro.network.pulling import PullSimulationConfig, run_pull_simulation
     from repro.network.simulator import SimulationConfig, run_simulation
@@ -203,6 +205,7 @@ def _scalar_trace(algorithm, config: ParityConfig, sim_seed: int, faulty):
                 stop_after_agreement=config.stop_after_agreement,
                 seed=sim_seed,
             ),
+            observer=observer,
         )
     return run_simulation(
         algorithm,
@@ -212,10 +215,11 @@ def _scalar_trace(algorithm, config: ParityConfig, sim_seed: int, faulty):
             stop_after_agreement=config.stop_after_agreement,
             seed=sim_seed,
         ),
+        observer=observer,
     )
 
 
-def check_parity(config: ParityConfig) -> ParityReport:
+def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
     """Run one configuration through both engines and verify equivalence.
 
     Deterministic configurations must be bit-identical (full trace
@@ -225,6 +229,11 @@ def check_parity(config: ParityConfig) -> ParityReport:
     cross-check :func:`~repro.network.batch.run_batch_summaries` against the
     full traces, covering the summary/compaction path under every sampled
     stopping rule.
+
+    ``observer`` is attached to *every* engine invocation (scalar reference
+    runs included).  Observers never draw randomness, so a sweep with one
+    attached must produce exactly the reports of an unobserved sweep — the
+    no-perturbation guarantee asserted by the observability test suite.
     """
     from repro.counters.registry import default_registry
     from repro.network.batch import (
@@ -259,12 +268,15 @@ def check_parity(config: ParityConfig) -> ParityReport:
         adversary_params=dict(config.adversary_params),
         max_rounds=config.max_rounds,
         stop_after_agreement=config.stop_after_agreement,
+        observer=observer,
     )
     batch_traces = run_batch_trials(algorithm, kernel, trials, **kwargs)
     summaries = run_batch_summaries(algorithm, kernel, trials, **kwargs)
 
     for trial, batch, summary in zip(trials, batch_traces, summaries):
-        scalar = _scalar_trace(algorithm, config, trial.sim_seed, trial.faulty)
+        scalar = _scalar_trace(
+            algorithm, config, trial.sim_seed, trial.faulty, observer=observer
+        )
         where = f"seed={trial.sim_seed} faulty={list(trial.faulty)}"
         if deterministic:
             if batch != scalar:
@@ -398,10 +410,16 @@ def run_parity_fuzz(
     *,
     trials_per_config: int = 3,
     max_rounds_cap: int | None = None,
+    observer: Any = None,
 ) -> list[ParityReport]:
-    """The full seeded sweep: sample ``count`` configurations, check each."""
+    """The full seeded sweep: sample ``count`` configurations, check each.
+
+    ``observer`` is forwarded into every engine invocation of the sweep;
+    because observers only read, the reports must be identical to an
+    unobserved sweep with the same arguments.
+    """
     return [
-        check_parity(config)
+        check_parity(config, observer=observer)
         for config in sample_configs(
             count,
             seed,

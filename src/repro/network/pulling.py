@@ -257,13 +257,15 @@ def run_pull_simulation(
     adversary: Adversary | None = None,
     config: PullSimulationConfig | None = None,
     initial_states: Mapping[int, State] | Sequence[State] | None = None,
+    observer: Any = None,
 ) -> ExecutionTrace:
     """Simulate a pulling-model algorithm and record outputs plus pull counts.
 
     The returned trace carries, per round, the metadata keys
     ``max_pulls`` / ``mean_pulls`` (messages pulled by correct nodes) and
     ``max_bits`` (messages times the per-message bit size), which the
-    Corollary 4 experiment aggregates.
+    Corollary 4 experiment aggregates.  ``observer`` is forwarded to the
+    engine; observers only read, so the trace is unchanged by one.
     """
     adversary = adversary or NoAdversary()
     config = config or PullSimulationConfig()
@@ -280,4 +282,5 @@ def run_pull_simulation(
         seed=config.seed,
         metadata=config.metadata,
         initial_states=initial_states,
+        observer=observer,
     )

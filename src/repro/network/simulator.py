@@ -150,6 +150,7 @@ def run_simulation(
     adversary: Adversary | None = None,
     config: SimulationConfig | None = None,
     initial_states: Mapping[int, State] | Sequence[State] | None = None,
+    observer: Any = None,
 ) -> ExecutionTrace:
     """Simulate the algorithm under the given adversary from an arbitrary start.
 
@@ -168,6 +169,9 @@ def run_simulation(
         uniformly random initial configuration — self-stabilisation demands
         correctness from *any* starting point, so random starts are the
         default workload.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`, forwarded to the
+        engine; observers only read, so the trace is unchanged by one.
 
     Returns
     -------
@@ -189,4 +193,5 @@ def run_simulation(
         seed=config.seed,
         metadata=config.metadata,
         initial_states=initial_states,
+        observer=observer,
     )

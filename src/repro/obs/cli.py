@@ -1,0 +1,96 @@
+"""Observability flags shared by the ``repro`` command-line surfaces.
+
+``repro run``, ``repro campaign run/resume`` and every ``repro experiment``
+subcommand take the same four flags (added by
+:func:`add_observability_arguments`):
+
+``--progress``
+    Rolling stderr progress line with completion rate and ETA.
+``--metrics-out PATH``
+    Write a JSON metrics snapshot when the command finishes.
+``--events-out PATH``
+    Stream lifecycle events to a newline-JSONL file as they happen.
+``--round-stride N``
+    Additionally sample every N-th simulation round as a
+    ``round_observed`` event (0 = off; implies per-round work, so it is
+    opt-in).
+
+:func:`observation_from_args` turns parsed flags into an installed default
+observer for the duration of the command, so the underlying code paths —
+including experiment scripts that predate the observability layer — get
+wired without passing observers through every call site.
+"""
+
+from __future__ import annotations
+
+import argparse
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.events import EventSink, JsonlSink, ProgressSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer, observing
+
+__all__ = ["add_observability_arguments", "observation_from_args"]
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--progress``/``--metrics-out``/``--events-out``/``--round-stride`` flags."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a rolling progress line with rate and ETA on stderr",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics snapshot to PATH when the command finishes",
+    )
+    group.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="stream lifecycle events to PATH as newline-delimited JSON",
+    )
+    group.add_argument(
+        "--round-stride",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample every N-th simulation round as a round_observed event (0 = off)",
+    )
+
+
+@contextmanager
+def observation_from_args(args: argparse.Namespace) -> Iterator[Observer | None]:
+    """Build, install and tear down the observer the parsed flags describe.
+
+    Yields ``None`` (and installs nothing) when no observability flag was
+    given, so unobserved commands keep their exact pre-existing behaviour.
+    On exit the metrics snapshot is written to ``--metrics-out`` (if set)
+    and all sinks are closed.
+    """
+    progress = getattr(args, "progress", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
+    round_stride = getattr(args, "round_stride", 0) or 0
+    if not (progress or metrics_out or events_out or round_stride):
+        yield None
+        return
+
+    sinks: list[EventSink] = []
+    if events_out:
+        sinks.append(JsonlSink(events_out))
+    if progress:
+        sinks.append(ProgressSink())
+    observer = Observer(
+        sinks=sinks, metrics=MetricsRegistry(), round_stride=round_stride
+    )
+    try:
+        with observing(observer):
+            yield observer
+    finally:
+        if metrics_out:
+            observer.metrics.write_json(metrics_out)

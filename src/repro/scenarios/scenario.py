@@ -260,6 +260,7 @@ class Scenario:
         store: CampaignStore | str | None = None,
         executor: Any = None,
         progress: Any = None,
+        observer: Any = None,
     ) -> CampaignReport:
         """Run the scenario and return the campaign report.
 
@@ -268,7 +269,9 @@ class Scenario:
         and resume.  An explicit ``executor`` overrides ``jobs`` and the
         scenario's :meth:`engine` selection; otherwise the engine decides
         whether grid groups run vectorised (``"auto"``/``"batch"``) or one
-        scalar simulation at a time (``"scalar"``).
+        scalar simulation at a time (``"scalar"``).  ``observer`` attaches a
+        :class:`~repro.obs.observer.Observer` for lifecycle events and
+        metrics; observers only read, so results are unchanged by one.
         """
         from repro.campaigns.executor import default_executor
 
@@ -279,6 +282,7 @@ class Scenario:
             store=store,
             executor=executor or default_executor(jobs, self._engine),
             progress=progress,
+            observer=observer,
         )
 
     def summarize(

@@ -24,6 +24,7 @@ EXAMPLES: dict[str, dict] = {
     "fault_injection_study": {"runs": 1, "seed": 13},
     "energy_efficient_pulling": {"sample_sizes": (2, 4), "runs": 1, "max_rounds": 120},
     "construction_planner": {"target": 16},
+    "observe_campaign": {"runs": 2, "max_rounds": 60, "seed": 11},
     "tdma_circuit": {"max_rounds": 4000, "seed": 7},
 }
 

@@ -1,0 +1,154 @@
+"""Event model and sink tests: typed round-trips, JSONL persistence, progress."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    CampaignFinished,
+    CampaignStarted,
+    FallbackTaken,
+    JsonlSink,
+    ProgressSink,
+    RingBufferSink,
+    RoundObserved,
+    RunFinished,
+    RunStarted,
+    RunsSkippedOnResume,
+    event_from_dict,
+    read_events,
+)
+from repro.obs.events import EVENT_KINDS, BatchGroupScheduled
+
+#: One representative instance of every event kind.
+SAMPLES = [
+    CampaignStarted(name="demo", total_runs=10, pending=7, skipped=3),
+    RunsSkippedOnResume(count=3, total=10),
+    RunStarted(run_id="r-0"),
+    RunFinished(run_id="r-0", stabilized=True, stabilization_round=4, rounds=9, seconds=0.01),
+    RunFinished(run_id="r-1", error="boom"),
+    BatchGroupScheduled(label="naive x crash", runs=8, engine="batch", deterministic=True),
+    RoundObserved(source="engine", round_index=3, agreed_value=1),
+    RoundObserved(source="batch", round_index=5, live_trials=40, agreed_trials=12),
+    FallbackTaken(label="odd group", runs=2, reason="no batch kernel"),
+    CampaignFinished(name="demo", executed=7, skipped=3, failed=0, elapsed_seconds=1.25),
+]
+
+
+class TestEventModel:
+    def test_every_kind_is_registered_and_sampled(self):
+        assert {type(event) for event in SAMPLES} == set(EVENT_KINDS.values())
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_to_dict_from_dict_round_trip(self, event):
+        data = event.to_dict()
+        assert data["event"] == event.kind
+        assert event_from_dict(data) == event
+
+    def test_from_dict_drops_ts_and_unknown_fields(self):
+        data = RunStarted(run_id="x").to_dict()
+        data["ts"] = 123.0
+        data["future_field"] = "ignored"
+        assert event_from_dict(data) == RunStarted(run_id="x")
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"event": "no-such-event"})
+
+    def test_events_are_frozen(self):
+        event = RunStarted(run_id="x")
+        with pytest.raises(AttributeError):
+            event.run_id = "y"
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_events(self):
+        sink = RingBufferSink(capacity=3)
+        for index in range(5):
+            sink.emit(RunStarted(run_id=f"r-{index}"))
+        assert [event.run_id for event in sink.events] == ["r-2", "r-3", "r-4"]
+
+    def test_of_kind_filters_and_preserves_order(self):
+        sink = RingBufferSink()
+        sink.emit(RunStarted(run_id="a"))
+        sink.emit(RunFinished(run_id="a"))
+        sink.emit(RunStarted(run_id="b"))
+        assert [e.run_id for e in sink.of_kind(RunStarted)] == ["a", "b"]
+        assert [e.run_id for e in sink.of_kind(RunFinished)] == ["a"]
+
+
+class TestJsonlSink:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        for event in SAMPLES:
+            sink.emit(event)
+        sink.close()
+        assert read_events(path) == SAMPLES
+
+    def test_records_carry_wall_clock_ts(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(RunStarted(run_id="x"))
+        sink.close()
+        record = json.loads(path.read_text(encoding="utf-8").strip())
+        assert record["event"] == "run_started"
+        assert isinstance(record["ts"], float)
+
+    def test_appends_rather_than_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = JsonlSink(path)
+        first.emit(RunStarted(run_id="a"))
+        first.close()
+        second = JsonlSink(path)
+        second.emit(RunStarted(run_id="b"))
+        second.close()
+        assert [e.run_id for e in read_events(path)] == ["a", "b"]
+
+    def test_emit_after_close_is_a_no_op(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        sink.emit(RunStarted(run_id="late"))
+        sink.close()  # idempotent
+        assert read_events(path) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "events.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+
+class TestProgressSink:
+    def test_draws_counts_rate_and_eta(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream)
+        sink.emit(CampaignStarted(name="demo", total_runs=4, pending=4, skipped=0))
+        sink.emit(RunFinished(run_id="r-0"))
+        sink.close()
+        output = stream.getvalue()
+        assert "demo: 0/4 runs" in output
+        assert "1/4 runs" in output
+        assert "/s" in output and "eta" in output
+        assert output.endswith("\n")
+
+    def test_resume_baseline_starts_from_skipped(self):
+        # The silent-progress-gap fix: recovered runs count as already done,
+        # so a resumed campaign draws 3/5 immediately instead of 0/5.
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream)
+        sink.emit(CampaignStarted(name="resumed", total_runs=5, pending=2, skipped=3))
+        assert "resumed: 3/5 runs" in stream.getvalue()
+        sink.emit(RunFinished(run_id="r-3"))
+        sink.emit(RunFinished(run_id="r-4"))
+        sink.emit(CampaignFinished(name="resumed", executed=2, skipped=3, failed=0, elapsed_seconds=0.1))
+        assert "5/5 runs" in stream.getvalue()
+        assert "done" in stream.getvalue()
+
+    def test_close_without_events_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressSink(stream=stream).close()
+        assert stream.getvalue() == ""

@@ -1,0 +1,169 @@
+"""Unit tests for the metrics layer: instruments, registry, merge semantics."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+    set_global_metrics,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        # Get-or-create returns the same instrument.
+        assert registry.counter("runs") is counter
+
+    def test_gauge_keeps_latest_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live")
+        assert gauge.value is None
+        gauge.set(7)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = Histogram()
+        for value in (0.5, 2.0, 9.0, 0.25):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(11.75)
+        assert histogram.minimum == 0.25
+        assert histogram.maximum == 9.0
+        assert histogram.mean == pytest.approx(11.75 / 4)
+
+    def test_power_of_two_buckets(self):
+        histogram = Histogram()
+        # 3.0 lands in [2, 4) -> frexp exponent 2; 0.75 in [0.5, 1) -> 0.
+        histogram.observe(3.0)
+        histogram.observe(0.75)
+        histogram.observe(0.0)  # non-positive -> the zero bucket
+        assert set(histogram.buckets.values()) == {1}
+        assert len(histogram.buckets) == 3
+
+    def test_quantile_is_bucket_upper_bound(self):
+        histogram = Histogram()
+        for value in (1.5, 1.5, 1.5, 100.0):
+            histogram.observe(value)
+        # Three of four observations sit in [1, 2): the median's bucket
+        # upper bound is 2.0, a factor-2 approximation of 1.5.
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 128.0  # bucket [64, 128)
+        assert histogram.quantile(0.0) == 2.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty_histogram_quantile_and_mean_are_none(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.mean is None
+
+    def test_merge_adds_counts_and_extends_extremes(self):
+        left, right = Histogram(), Histogram()
+        left.observe(1.0)
+        right.observe(0.25)
+        right.observe(16.0)
+        left.merge(right.snapshot())
+        assert left.count == 3
+        assert left.minimum == 0.25
+        assert left.maximum == 16.0
+        assert left.total == pytest.approx(17.25)
+        # Merging an empty snapshot is a no-op.
+        left.merge(Histogram().snapshot())
+        assert left.count == 3
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("a.gauge").set(2.5)
+        registry.histogram("a.hist").observe(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.count": 3}
+        assert snapshot["gauges"] == {"a.gauge": 2.5}
+        assert snapshot["histograms"]["a.hist"]["count"] == 1
+        # The snapshot is pure JSON, and rebuilding from it is lossless.
+        rebuilt = MetricsRegistry.from_snapshot(json.loads(json.dumps(snapshot)))
+        assert rebuilt.snapshot() == snapshot
+
+    def test_merge_semantics(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("runs").inc(2)
+        parent.gauge("live").set(10)
+        parent.histogram("seconds").observe(1.0)
+        worker.counter("runs").inc(3)
+        worker.gauge("live").set(4)
+        worker.histogram("seconds").observe(2.0)
+        parent.merge(worker)
+        assert parent.counter("runs").value == 5  # counters add
+        assert parent.gauge("live").value == 4  # gauges: last merge wins
+        assert parent.histogram("seconds").count == 2  # histograms fold
+
+    def test_merge_accepts_registry_or_snapshot(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("x").inc()
+        parent.merge(worker)
+        parent.merge(worker.snapshot())
+        assert parent.counter("x").value == 2
+
+    def test_timer_records_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("block.seconds"):
+            pass
+        histogram = registry.histogram("block.seconds")
+        assert histogram.count == 1
+        assert histogram.maximum is not None and histogram.maximum >= 0.0
+
+    def test_len_counts_all_instruments(self):
+        registry = MetricsRegistry()
+        assert len(registry) == 0
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_write_json_creates_parents(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        target = tmp_path / "deep" / "nested" / "metrics.json"
+        registry.write_json(target)
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert data["counters"]["x"] == 1
+
+
+class TestGlobalRegistry:
+    def test_global_is_stable_and_replaceable(self):
+        previous = set_global_metrics(None)
+        try:
+            first = global_metrics()
+            assert global_metrics() is first
+            mine = MetricsRegistry()
+            assert set_global_metrics(mine) is first
+            assert global_metrics() is mine
+        finally:
+            set_global_metrics(previous)
+
+    def test_quantile_upper_bounds_are_powers_of_two(self):
+        histogram = Histogram()
+        for value in (0.1, 0.9, 3.0, 40.0):
+            histogram.observe(value)
+        for q in (0.25, 0.5, 0.75, 1.0):
+            bound = histogram.quantile(q)
+            assert bound is not None
+            assert math.log2(bound) == int(math.log2(bound))
