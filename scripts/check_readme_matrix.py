@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Check (or regenerate) README's strategy × engine coverage matrix.
+
+The matrix between the ``BEGIN GENERATED: adversary-coverage-matrix`` /
+``END GENERATED`` markers in README.md is generated from the semantics
+catalogue (`repro.semantics.adversary_coverage_notes`), the same single
+source the engines and `python -m repro list` read.  This script fails when
+the committed README drifts from the spec layer, so the CI ``semantics-audit``
+job catches a spec edit that forgets the docs.
+
+Usage::
+
+    python scripts/check_readme_matrix.py             # verify, exit 1 on drift
+    python scripts/check_readme_matrix.py --write     # rewrite README in place
+    python scripts/check_readme_matrix.py --out FILE  # also dump the matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+README = os.path.join(REPO_ROOT, "README.md")
+BEGIN = "<!-- BEGIN GENERATED: adversary-coverage-matrix -->"
+END = "<!-- END GENERATED: adversary-coverage-matrix -->"
+
+
+def render_matrix() -> str:
+    """The coverage matrix as Markdown, one row per strategy."""
+    from repro.semantics import adversary_coverage_notes
+
+    notes = adversary_coverage_notes()
+    width = max(len(name) for name in notes) + 2  # backticks
+    note_width = max(len(note) for note in notes.values())
+    header = (
+        f"| {'Strategy'.ljust(width)} | Batch kernel | "
+        f"{'Equivalence under `auto` / `batch`'.ljust(note_width)} |"
+    )
+    rule = f"|{'-' * (width + 2)}|--------------|{'-' * (note_width + 2)}|"
+    rows = [
+        f"| {f'`{name}`'.ljust(width)} | ✓            | {note.ljust(note_width)} |"
+        for name, note in notes.items()
+    ]
+    return "\n".join([header, rule, *rows])
+
+
+def replace_block(text: str, block: str) -> str:
+    """Swap the generated block between the markers for ``block``."""
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"README.md is missing the {BEGIN!r} / {END!r} markers"
+        ) from None
+    return f"{head}{BEGIN}\n{block}\n{END}{tail}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Verify README's coverage matrix against repro.semantics."
+    )
+    parser.add_argument(
+        "--write", action="store_true", help="rewrite the README block in place"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the generated matrix to this path"
+    )
+    args = parser.parse_args(argv)
+
+    matrix = render_matrix()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(matrix + "\n")
+        print(f"wrote {args.out}")
+
+    with open(README, encoding="utf-8") as handle:
+        current = handle.read()
+    expected = replace_block(current, matrix)
+
+    if args.write:
+        if expected != current:
+            with open(README, "w", encoding="utf-8") as handle:
+                handle.write(expected)
+            print("README.md matrix rewritten")
+        else:
+            print("README.md matrix already up to date")
+        return 0
+
+    if expected != current:
+        print(
+            "README.md coverage matrix drifted from repro.semantics — run\n"
+            "    python scripts/check_readme_matrix.py --write",
+            file=sys.stderr,
+        )
+        return 1
+    print("README.md coverage matrix matches repro.semantics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,16 +29,9 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.network.parity import (  # noqa: E402
     ALL_STRATEGIES,
+    DISTRIBUTION_STRATEGIES,
     check_distributions,
     run_parity_fuzz,
-)
-
-#: Randomised strategies whose stabilisation-time distributions are checked.
-DISTRIBUTION_STRATEGIES = (
-    "random-state",
-    "split-state",
-    "phase-king-skew",
-    "adaptive-split",
 )
 
 

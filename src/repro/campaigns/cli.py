@@ -55,7 +55,7 @@ from repro.campaigns.spec import (
     CampaignSpec,
 )
 from repro.core.errors import ReproError
-from repro.network.adversary import STRATEGIES
+from repro.semantics import strategy_names
 from repro.obs.cli import add_observability_arguments, observation_from_args
 
 __all__ = [
@@ -150,7 +150,7 @@ def register_commands(subparsers) -> None:
     define.add_argument(
         "--adversary",
         action="append",
-        choices=["none", *sorted(STRATEGIES)],
+        choices=list(strategy_names()),
         help="adversary strategy (repeatable; default: random-state)",
     )
     define.add_argument(

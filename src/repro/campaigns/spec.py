@@ -24,13 +24,13 @@ from typing import Any, Iterable, Mapping
 from repro.core.algorithm import SynchronousCountingAlgorithm
 from repro.core.errors import ParameterError, SimulationError
 from repro.network.adversary import (
-    STRATEGIES,
     Adversary,
     NoAdversary,
     build_adversary,
     random_faulty_set,
     spread_faults,
 )
+from repro.semantics import strategy_names
 from repro.util.rng import derive_rng
 
 __all__ = [
@@ -246,8 +246,8 @@ class CampaignSpec:
                 f"expected one of {FAULT_PATTERNS}"
             )
         for strategy in self.adversaries:
-            if strategy != "none" and strategy not in STRATEGIES:
-                known = ", ".join(["none", *sorted(STRATEGIES)])
+            if strategy not in strategy_names():
+                known = ", ".join(strategy_names())
                 raise ParameterError(
                     f"unknown adversary strategy {strategy!r}; known: {known}"
                 )

@@ -122,14 +122,52 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _algorithm_detail(name: str) -> list[str]:
+    """The ``list --verbose`` detail lines of one algorithm, from its spec."""
+    from repro.semantics import algorithm_semantics, format_schema
+
+    spec = algorithm_semantics(name)
+    state = "flat integer states" if spec.flat_state else "boosted (structured) states"
+    scalar = "deterministic" if spec.scalar_deterministic else "randomised"
+    batch = "bit-identical" if spec.batch_deterministic else "statistically equivalent"
+    lines = [
+        f"params: {format_schema(spec.parameters)}",
+        f"semantics: {state}; scalar {scalar}, batch {batch}",
+    ]
+    if spec.rng_note:
+        lines.append(f"rng: {spec.rng_note}")
+    lines.append(f"source: {spec.source}")
+    return lines
+
+
+def _adversary_detail(name: str) -> list[str]:
+    """The ``list --verbose`` detail lines of one strategy, from its spec."""
+    from repro.semantics import adversary_semantics, format_schema
+
+    spec = adversary_semantics(name)
+    scalar = "deterministic" if spec.scalar_deterministic else "randomised"
+    lines = [
+        f"params: {format_schema(spec.parameters)}",
+        f"semantics: scalar {scalar}; batch {spec.coverage_note()}",
+        f"source: {spec.source}",
+    ]
+    return lines
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """List algorithms, adversaries and experiments with descriptions."""
     registry = default_component_registry()
     sections: list[str] = []
+    verbose = getattr(args, "verbose", False)
 
-    def format_rows(rows: list[tuple[str, str]]) -> str:
-        width = max(len(name) for name, _ in rows)
-        return "\n".join(f"  {name.ljust(width)}  {text}" for name, text in rows)
+    def format_rows(rows: list[tuple[str, str, list[str]]]) -> str:
+        width = max(len(name) for name, _, _ in rows)
+        lines = []
+        for name, text, details in rows:
+            lines.append(f"  {name.ljust(width)}  {text}")
+            for detail in details:
+                lines.append(f"  {' ' * width}    {detail}")
+        return "\n".join(lines)
 
     def batch_suffix(entry: dict) -> str:
         return f" [batch: {entry['batch']}]" if entry.get("batch") else ""
@@ -139,6 +177,7 @@ def _command_list(args: argparse.Namespace) -> int:
             (
                 entry["name"],
                 f"[{entry['model']}] {entry['description']}" + batch_suffix(entry),
+                _algorithm_detail(entry["name"]) if verbose else [],
             )
             for entry in registry.describe(kind="algorithm")
             if args.model is None or entry["model"] == args.model
@@ -147,13 +186,17 @@ def _command_list(args: argparse.Namespace) -> int:
             sections.append("Algorithms:\n" + format_rows(rows))
     if args.kind in ("adversaries", "all"):
         rows = [
-            (entry["name"], entry["description"] + batch_suffix(entry))
+            (
+                entry["name"],
+                entry["description"] + batch_suffix(entry),
+                _adversary_detail(entry["name"]) if verbose else [],
+            )
             for entry in registry.describe(kind="adversary")
         ]
         sections.append("Adversaries:\n" + format_rows(rows))
     if args.kind in ("experiments", "all"):
         rows = [
-            (experiment.name, experiment.description)
+            (experiment.name, experiment.description, [])
             for experiment in experiment_catalog().values()
         ]
         sections.append("Experiments:\n" + format_rows(rows))
@@ -352,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--model",
         choices=("broadcast", "pulling"),
         help="restrict algorithms to one communication model",
+    )
+    list_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help=(
+            "show the spec-derived details per component: parameter schema "
+            "with defaults, state space, determinism classes and source"
+        ),
     )
 
     verify = subparsers.add_parser(

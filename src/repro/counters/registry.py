@@ -2,7 +2,10 @@
 
 The registry provides named factories for every *executable* algorithm in the
 library (so experiments, benchmarks and examples can construct them
-uniformly) plus the published-bounds models of the prior-work rows.
+uniformly) plus the published-bounds models of the prior-work rows.  The
+factories themselves — names, descriptions, parameter schemas, determinism
+flags — are generated from the declarative specs in :mod:`repro.semantics`;
+this module only provides the registry container and lookup/build surface.
 """
 
 from __future__ import annotations
@@ -10,12 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.algorithm import SynchronousCountingAlgorithm
 from repro.core.errors import ParameterError
 from repro.counters.baselines import PRIOR_WORK_MODELS, ComplexityModel
-from repro.counters.naive import NaiveMajorityCounter
-from repro.counters.randomized import RandomizedFollowMajorityCounter
-from repro.counters.trivial import TrivialCounter
+from repro.semantics import Parameter, algorithm_names, algorithm_semantics, validate_parameters
 
 __all__ = [
     "AlgorithmFactory",
@@ -31,6 +31,9 @@ class AlgorithmFactory:
     ``model`` names the communication model the algorithm runs in:
     ``"broadcast"`` (Section 2, :class:`SynchronousCountingAlgorithm`) or
     ``"pulling"`` (Section 5, :class:`~repro.network.pulling.PullingAlgorithm`).
+    ``parameters`` is the declared schema (empty means "unchecked": ad-hoc
+    factories registered by tests or callers keep working without declaring
+    one).
     """
 
     name: str
@@ -39,6 +42,7 @@ class AlgorithmFactory:
     deterministic: bool = True
     source: str = ""
     model: str = "broadcast"
+    parameters: tuple[Parameter, ...] = ()
 
 
 class AlgorithmRegistry:
@@ -93,9 +97,14 @@ class AlgorithmRegistry:
 
         Returns a :class:`SynchronousCountingAlgorithm` for broadcast-model
         entries and a :class:`~repro.network.pulling.PullingAlgorithm` for
-        pulling-model entries.
+        pulling-model entries.  When the factory declares a parameter
+        schema, unknown keyword arguments raise :class:`ParameterError`
+        with the schema in the message instead of a bare ``TypeError``.
         """
-        return self.factory(name).build(**kwargs)
+        factory = self.factory(name)
+        if factory.parameters:
+            validate_parameters("algorithm", name, factory.parameters, kwargs)
+        return factory.build(**kwargs)
 
     def models(self) -> list[ComplexityModel]:
         """All registered published-bounds models."""
@@ -122,136 +131,26 @@ class AlgorithmRegistry:
         ]
 
 
-def _build_corollary1_base(c: int = 2, f: int = 1) -> SynchronousCountingAlgorithm:
-    """Factory for the Corollary 1 counter (imported lazily to avoid cycles)."""
-    from repro.core.recursion import optimal_resilience_counter
-
-    return optimal_resilience_counter(f=f, c=c)
-
-
-def _build_figure2_counter(levels: int = 1, c: int = 2) -> SynchronousCountingAlgorithm:
-    """Factory for the Figure 2 recursive counter (k = 3 blocks per level)."""
-    from repro.core.recursion import figure2_counter
-
-    return figure2_counter(levels=levels, c=c)
-
-
-def _build_sampled_boosted(
-    c: int = 2,
-    k: int = 3,
-    inner_f: int = 1,
-    inner_c: int = 960,
-    sample_size: int | None = 4,
-):
-    """Factory for the Theorem 4 pulling-model counter over a Corollary 1 inner.
-
-    The defaults mirror the Corollary 4 experiment: the 12-node
-    ``A(12, 3)``-equivalent sampled counter over the ``A(4, 1)`` inner with
-    counter size 960 (the multiple required by ``k = 3``, ``F = 3``).
-    """
-    from repro.core.recursion import optimal_resilience_counter
-    from repro.sampling.pull_boosting import SampledBoostedCounter
-
-    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
-    return SampledBoostedCounter(
-        inner=inner, k=k, counter_size=c, sample_size=sample_size
-    )
-
-
-def _build_pseudo_random_boosted(
-    c: int = 2,
-    k: int = 3,
-    inner_f: int = 1,
-    inner_c: int = 960,
-    sample_size: int | None = 4,
-    link_seed: int = 0,
-):
-    """Factory for the Corollary 5 pseudo-random pulling-model counter."""
-    from repro.core.recursion import optimal_resilience_counter
-    from repro.sampling.pseudo_random import PseudoRandomBoostedCounter
-
-    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
-    return PseudoRandomBoostedCounter(
-        inner=inner,
-        k=k,
-        counter_size=c,
-        sample_size=sample_size,
-        link_seed=link_seed,
-    )
-
-
 def default_registry() -> AlgorithmRegistry:
-    """Build the default registry with all executable algorithms and models."""
+    """Build the default registry with all executable algorithms and models.
+
+    Every entry is derived from its :class:`~repro.semantics.AlgorithmSemantics`
+    spec — this function adds no component knowledge of its own.
+    """
     registry = AlgorithmRegistry()
-    registry.register(
-        AlgorithmFactory(
-            name="trivial",
-            description="0-resilient single-node counter (base case of Corollary 1)",
-            build=lambda c=2: TrivialCounter(c=c),
-            deterministic=True,
-            source="Section 4.1",
+    for name in algorithm_names():
+        spec = algorithm_semantics(name)
+        registry.register(
+            AlgorithmFactory(
+                name=spec.name,
+                description=spec.description,
+                build=spec.build,
+                deterministic=spec.scalar_deterministic,
+                source=spec.source,
+                model=spec.model,
+                parameters=spec.parameters,
+            )
         )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="naive-majority",
-            description="fault-intolerant follow-the-majority counter (negative baseline)",
-            build=lambda n=4, c=2, claimed_resilience=0: NaiveMajorityCounter(
-                n=n, c=c, claimed_resilience=claimed_resilience
-            ),
-            deterministic=True,
-            source="baseline",
-        )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="randomized-follow-majority",
-            description="randomised counter of [6, 7]: random states until a clear majority",
-            build=lambda n=4, f=1, c=2, seed=0: RandomizedFollowMajorityCounter(
-                n=n, f=f, c=c, seed=seed
-            ),
-            deterministic=False,
-            source="Table 1, [6, 7]",
-        )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="corollary1",
-            description="optimal-resilience counter built from trivial counters (Corollary 1)",
-            build=_build_corollary1_base,
-            deterministic=True,
-            source="Corollary 1",
-        )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="figure2",
-            description="recursive k=3 construction of Figure 2: A(4,1) -> A(12,3) -> A(36,7)",
-            build=_build_figure2_counter,
-            deterministic=True,
-            source="Figure 2 / Theorem 1",
-        )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="sampled-boosted",
-            description="pulling-model boosted counter with sampled voting (Theorem 4)",
-            build=_build_sampled_boosted,
-            deterministic=False,
-            source="Theorem 4 / Corollary 4",
-            model="pulling",
-        )
-    )
-    registry.register(
-        AlgorithmFactory(
-            name="pseudo-random-boosted",
-            description="pulling-model counter with sampling fixed by a link seed (Corollary 5)",
-            build=_build_pseudo_random_boosted,
-            deterministic=False,
-            source="Corollary 5",
-            model="pulling",
-        )
-    )
     for model in PRIOR_WORK_MODELS:
         registry.register_model(model)
     return registry

@@ -27,6 +27,11 @@ from repro.core.algorithm import State, SynchronousCountingAlgorithm
 from repro.core.boosting import BoostedState
 from repro.core.errors import SimulationError
 from repro.core.phase_king import INFINITY
+from repro.semantics import (
+    active_strategy_names,
+    adversary_semantics,
+    strategy_descriptions,
+)
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -370,37 +375,24 @@ class AdaptiveSplitAdversary(Adversary):
 
 
 # ---------------------------------------------------------------------- #
-# Strategy registry
+# Strategy registry (generated from the semantics catalogue)
 # ---------------------------------------------------------------------- #
 
 #: Named adversary strategies, the shared vocabulary of the ablation
 #: experiment, the campaign engine and the ``repro.campaigns`` CLI.  Every
 #: entry is constructible as ``cls(faulty, **params)``; ``"none"`` ignores the
-#: faulty set entirely.
+#: faulty set entirely.  Generated from :mod:`repro.semantics` — the classes
+#: live here, but which names exist and what they mean is declared once, in
+#: the catalogue.
 STRATEGIES: dict[str, type[Adversary]] = {
-    "crash": CrashAdversary,
-    "fixed-state": FixedStateAdversary,
-    "random-state": RandomStateAdversary,
-    "split-state": SplitStateAdversary,
-    "mimic": MimicAdversary,
-    "phase-king-skew": PhaseKingSkewAdversary,
-    "adaptive-split": AdaptiveSplitAdversary,
+    name: adversary_semantics(name).scalar_class()
+    for name in active_strategy_names()
 }
 
 #: One-line descriptions of every strategy name accepted by
-#: :func:`build_adversary` (including the fault-free ``"none"``).  Kept as
-#: explicit strings — not class docstrings — so discovery surfaces such as
-#: ``python -m repro list`` keep working under ``python -OO``.
-STRATEGY_DESCRIPTIONS: dict[str, str] = {
-    "none": "fault-free adversary (F is empty); use for 0-fault grid rows",
-    "crash": "faulty nodes appear stuck, always broadcasting the default state",
-    "fixed-state": "always broadcast one fixed attacker-chosen state (param 'state', default 0)",
-    "random-state": "independently random valid state to every receiver",
-    "split-state": "one random state to even receivers, another to odd, redrawn each round",
-    "mimic": "echo a rotating correct node's real state, inconsistently across receivers",
-    "phase-king-skew": "copy a correct inner state but skew the phase king output register",
-    "adaptive-split": "show each receiver the camp opposite its own output to keep votes split",
-}
+#: :func:`build_adversary` (including the fault-free ``"none"``), generated
+#: from the semantics catalogue rather than hand-maintained here.
+STRATEGY_DESCRIPTIONS: dict[str, str] = strategy_descriptions()
 
 
 def build_adversary(
@@ -412,7 +404,9 @@ def build_adversary(
     faulty set to be empty).  All other names come from :data:`STRATEGIES`
     and require a *non-empty* faulty set — an active strategy with no nodes
     to control would silently behave exactly like ``"none"``, which turns
-    campaign grid rows into accidental duplicates.
+    campaign grid rows into accidental duplicates.  Parameters outside the
+    strategy's declared schema raise :class:`ParameterError` with the schema
+    in the message instead of a bare ``TypeError`` from the constructor.
     """
     faulty_set = frozenset(faulty)
     if strategy == "none":
@@ -420,6 +414,7 @@ def build_adversary(
             raise SimulationError(
                 f"strategy 'none' cannot control faulty nodes {sorted(faulty_set)}"
             )
+        adversary_semantics("none").validate(params)
         return NoAdversary()
     try:
         cls = STRATEGIES[strategy]
@@ -433,6 +428,7 @@ def build_adversary(
             f"adversary strategy '{strategy}' requires a non-empty faulty set; "
             "use strategy 'none' for fault-free runs"
         )
+    adversary_semantics(strategy).validate(params)
     return cls(faulty, **params)
 
 

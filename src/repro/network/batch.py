@@ -64,6 +64,11 @@ from repro.core.errors import SimulationError
 from repro.core.phase_king import INFINITY as _INFINITY
 from repro.network.adversary import NoAdversary, build_adversary
 from repro.network.engine import derive_streams, resolve_initial_states
+from repro.semantics import (
+    active_strategy_names,
+    adversary_coverage_notes,
+    adversary_semantics,
+)
 from repro.network.trace import ExecutionTrace, RoundRecord
 from repro.obs.events import RoundObserved
 from repro.obs.observer import active as _active_observer
@@ -429,25 +434,23 @@ class AdversaryBatchKernel(ABC):
     #: Strategy name (matches :data:`repro.network.adversary.STRATEGIES`).
     strategy = "abstract"
 
-    #: Whether :meth:`forge` consumes NumPy randomness against *every*
-    #: algorithm kernel.  Strategies whose randomness depends on the state
-    #: structure refine this per algorithm via :meth:`is_deterministic_for`;
-    #: instances always carry the resolved answer in ``self.deterministic``.
-    deterministic = True
-
     def __init__(self, kernel: _KernelBase) -> None:
         self.kernel = kernel
+        #: The resolved answer for this concrete algorithm kernel: whether
+        #: :meth:`forge` consumes NumPy randomness against its encoding.
+        self.deterministic = type(self).is_deterministic_for(kernel)
 
     @classmethod
     def is_deterministic_for(cls, kernel: _KernelBase) -> bool:
         """Whether forgeries against this algorithm kernel are pure.
 
-        The default answer is the class-level :attr:`deterministic` flag;
-        strategies that only draw randomness for some state encodings (the
-        adaptive-split fabrication path) override this so the executor can
-        prove bit-identity per group instead of per strategy.
+        Read from the strategy's declared
+        :class:`~repro.semantics.DeterminismClass`, refined by the kernel's
+        state encoding (the adaptive-split fabrication path is pure for flat
+        integer counters but draws randomness for boosted states) — so the
+        executor can prove bit-identity per group instead of per strategy.
         """
-        return cls.deterministic
+        return adversary_semantics(cls.strategy).determinism.for_kernel(kernel)
 
     def begin_round(
         self,
@@ -502,7 +505,6 @@ class CrashBatchKernel(AdversaryBatchKernel):
     """Faulty nodes appear stuck on the algorithm's default state."""
 
     strategy = "crash"
-    deterministic = True
 
     def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
@@ -519,7 +521,6 @@ class FixedStateBatchKernel(AdversaryBatchKernel):
     """
 
     strategy = "fixed-state"
-    deterministic = True
 
     def __init__(self, kernel: _KernelBase, state: Any = 0) -> None:
         super().__init__(kernel)
@@ -535,7 +536,6 @@ class RandomStateBatchKernel(AdversaryBatchKernel):
     """Independently random valid state per (sender, receiver) pair."""
 
     strategy = "random-state"
-    deterministic = False
 
     def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
@@ -546,7 +546,6 @@ class SplitStateBatchKernel(AdversaryBatchKernel):
     """One fresh random state for even receivers, another for odd ones."""
 
     strategy = "split-state"
-    deterministic = False
 
     def __init__(self, kernel: _KernelBase) -> None:
         super().__init__(kernel)
@@ -570,7 +569,6 @@ class MimicBatchKernel(AdversaryBatchKernel):
     """Echo the true state of a rotating correct victim (deterministic)."""
 
     strategy = "mimic"
-    deterministic = True
 
     def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
@@ -599,7 +597,6 @@ class PhaseKingSkewBatchKernel(AdversaryBatchKernel):
     """
 
     strategy = "phase-king-skew"
-    deterministic = False
 
     def __init__(self, kernel: _KernelBase, offset: int = 1) -> None:
         super().__init__(kernel)
@@ -650,24 +647,16 @@ class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
     """
 
     strategy = "adaptive-split"
-    deterministic = False
 
     def __init__(self, kernel: _KernelBase) -> None:
         super().__init__(kernel)
         self._layout = _boosted_layout(kernel)
-        self._int_state = self.is_deterministic_for(kernel)
-        self.deterministic = self._int_state
+        self._int_state = self.deterministic
         self._camp0: np.ndarray | None = None
         self._camp1: np.ndarray | None = None
         self._outputs: np.ndarray | None = None
         self._correct_mask: np.ndarray | None = None
         self._first_pos: np.ndarray | None = None
-
-    @classmethod
-    def is_deterministic_for(cls, kernel: _KernelBase) -> bool:
-        return kernel.fields == 1 and isinstance(
-            kernel.algorithm.default_state(), int
-        )
 
     def begin_round(self, round_index, states, correct_sorted, rng):
         batch, n = states.shape[0], states.shape[1]
@@ -735,76 +724,28 @@ class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
         return fields
 
 
-#: Every registered adversary strategy has a vectorised kernel.  Coverage is
-#: total by construction — asserted against the scalar STRATEGIES registry in
-#: the test suite — and the per-strategy equivalence class (bit-identical vs
-#: statistically equivalent) is generated from the kernel classes by
-#: :func:`adversary_kernel_coverage`, never hand-maintained here.
+#: Every registered adversary strategy has a vectorised kernel.  Generated
+#: from the semantics catalogue's kernel bindings — the classes live here,
+#: but which names exist is declared once, in :mod:`repro.semantics` —
+#: so coverage is total by construction (asserted against the scalar
+#: STRATEGIES registry in the test suite).
 ADVERSARY_BATCH_KERNELS: dict[str, type[AdversaryBatchKernel]] = {
-    kernel.strategy: kernel
-    for kernel in (
-        CrashBatchKernel,
-        FixedStateBatchKernel,
-        RandomStateBatchKernel,
-        SplitStateBatchKernel,
-        MimicBatchKernel,
-        PhaseKingSkewBatchKernel,
-        AdaptiveSplitBatchKernel,
-    )
+    name: adversary_semantics(name).kernel_class()
+    for name in active_strategy_names()
 }
-
-
-class _CoverageProbe:
-    """A stand-in algorithm kernel used to classify strategy coverage.
-
-    :func:`adversary_kernel_coverage` asks each kernel class whether it is
-    deterministic against a flat integer encoding and against a boosted
-    encoding; the probe carries exactly the surface
-    :meth:`AdversaryBatchKernel.is_deterministic_for` implementations read
-    (``fields`` and ``algorithm.default_state``).
-    """
-
-    class _Algorithm:
-        def __init__(self, default: Any) -> None:
-            self._default = default
-            self.c = 2
-
-        def default_state(self) -> Any:
-            return self._default
-
-    def __init__(self, default: Any, fields: int) -> None:
-        self.algorithm = self._Algorithm(default)
-        self.fields = fields
 
 
 def adversary_kernel_coverage() -> dict[str, str]:
     """Generated coverage note: strategy name -> batch equivalence class.
 
-    Derived from the kernel classes' own :meth:`is_deterministic_for`
-    answers (probed against a flat integer and a boosted state encoding), so
+    Read from each strategy's declared
+    :class:`~repro.semantics.DeterminismClass` (cross-checked against the
+    kernels' actual RNG consumption by :func:`repro.semantics.verify`), so
     it can never go stale the way a hand-written coverage comment can.  The
     fault-free ``"none"`` entry is included because discovery surfaces list
     it next to the active strategies.
     """
-    from repro.core.boosting import BoostedState
-
-    flat = _CoverageProbe(default=0, fields=1)
-    boosted = _CoverageProbe(default=BoostedState(inner=0, a=0, d=0), fields=3)
-    notes: dict[str, str] = {"none": "bit-identical (no forgeries)"}
-    for strategy in sorted(ADVERSARY_BATCH_KERNELS):
-        cls = ADVERSARY_BATCH_KERNELS[strategy]
-        flat_ok = cls.is_deterministic_for(flat)
-        boosted_ok = cls.is_deterministic_for(boosted)
-        if flat_ok and boosted_ok:
-            notes[strategy] = "bit-identical"
-        elif flat_ok:
-            notes[strategy] = (
-                "bit-identical for flat counters, "
-                "statistically equivalent for boosted states"
-            )
-        else:
-            notes[strategy] = "statistically equivalent (NumPy RNG)"
-    return notes
+    return adversary_coverage_notes()
 
 
 def adversary_kernel_available(strategy: str | None) -> bool:

@@ -32,11 +32,18 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.network.adversary import STRATEGIES, NoAdversary, build_adversary
+from repro.network.adversary import NoAdversary, build_adversary
+from repro.semantics import (
+    adversary_semantics,
+    algorithm_names,
+    algorithm_semantics,
+    strategy_names,
+)
 
 __all__ = [
     "FUZZ_ALGORITHMS",
     "ALL_STRATEGIES",
+    "DISTRIBUTION_STRATEGIES",
     "ParityConfig",
     "ParityReport",
     "sample_configs",
@@ -46,22 +53,30 @@ __all__ = [
 ]
 
 #: Fuzzable registry entries: ``(name, params, max_faults, max_rounds)``.
-#: Every entry must advertise a batch kernel (asserted by the sweep); the
-#: round caps are sized so the slowest configurations stay test-suite cheap.
-FUZZ_ALGORITHMS: tuple[tuple[str, dict[str, Any], int, int], ...] = (
-    ("trivial", {"c": 4}, 0, 24),
-    ("naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}, 1, 40),
-    ("naive-majority", {"n": 9, "c": 4, "claimed_resilience": 2}, 2, 48),
-    ("randomized-follow-majority", {"n": 7, "f": 2, "c": 2}, 2, 90),
-    ("corollary1", {"f": 1, "c": 2}, 1, 260),
-    ("figure2", {"levels": 1, "c": 2}, 3, 160),
-    ("sampled-boosted", {"sample_size": 2}, 1, 40),
-    ("pseudo-random-boosted", {"sample_size": 3}, 1, 60),
+#: Generated from every registry algorithm's declared
+#: :class:`~repro.semantics.FuzzProfile` (in catalogue order, which the
+#: seeded sweep depends on), so registering an algorithm buys it parity
+#: coverage automatically — there is no second list to keep in sync.
+FUZZ_ALGORITHMS: tuple[tuple[str, dict[str, Any], int, int], ...] = tuple(
+    (name, dict(profile.params), profile.max_faults, profile.max_rounds)
+    for name in algorithm_names()
+    for profile in algorithm_semantics(name).fuzz
 )
 
 #: The full strategy vocabulary: the fault-free ``"none"`` plus every
 #: registered active strategy — the "all 8" of the coverage contract.
-ALL_STRATEGIES: tuple[str, ...] = ("none", *sorted(STRATEGIES))
+#: Generated from the semantics catalogue.
+ALL_STRATEGIES: tuple[str, ...] = strategy_names()
+
+#: The strategies whose batch kernels are only statistically equivalent on
+#: *some* encoding — the ones worth a Kolmogorov–Smirnov distribution check
+#: (:func:`check_distributions`).  Generated from the declared determinism
+#: classes.
+DISTRIBUTION_STRATEGIES: tuple[str, ...] = tuple(
+    name
+    for name in strategy_names()
+    if name != "none" and not adversary_semantics(name).determinism.bit_identical
+)
 
 #: The stopping-rule grid: no early stop, the boundary window 1, a small
 #: window, and a window larger than the round cap (can never fire).
@@ -110,12 +125,19 @@ class ParityReport:
 def _adversary_param_choices(
     strategy: str, rng: random.Random
 ) -> tuple[tuple[str, Any], ...]:
-    """Sometimes exercise the strategy's optional parameters."""
-    if strategy == "fixed-state" and rng.random() < 0.5:
-        return (("state", rng.randrange(4)),)
-    if strategy == "phase-king-skew" and rng.random() < 0.5:
-        return (("offset", rng.choice((1, 2, -1))),)
-    return ()
+    """Sometimes exercise the strategy's optional parameters.
+
+    The axes come from the strategy's declared
+    :attr:`~repro.semantics.AdversarySemantics.fuzz_param_choices`; each is
+    included with probability one half per sampled configuration.
+    """
+    if strategy == "none":
+        return ()
+    sampled: list[tuple[str, Any]] = []
+    for name, values in adversary_semantics(strategy).fuzz_param_choices:
+        if rng.random() < 0.5:
+            sampled.append((name, rng.choice(values)))
+    return tuple(sampled)
 
 
 def _window_value(choice: str, max_rounds: int) -> int | None:
@@ -237,7 +259,6 @@ def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
     """
     from repro.counters.registry import default_registry
     from repro.network.batch import (
-        ADVERSARY_BATCH_KERNELS,
         BATCH_RNG_NOTE,
         BatchTrial,
         build_batch_kernel,
@@ -255,7 +276,7 @@ def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
     strategy = None if config.strategy == "none" else config.strategy
     deterministic = kernel.deterministic and (
         strategy is None
-        or ADVERSARY_BATCH_KERNELS[strategy].is_deterministic_for(kernel)
+        or adversary_semantics(strategy).determinism.for_kernel(kernel)
     )
     report.mode = "bit-identical" if deterministic else "statistical"
 

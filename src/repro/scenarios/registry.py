@@ -1,14 +1,8 @@
 """Unified component registry: one namespace for algorithms and adversaries.
 
-Before this module existed the library had two disjoint discovery surfaces:
-algorithms lived in :class:`repro.counters.registry.AlgorithmRegistry` while
-adversary strategies were a bare ``name -> class`` dict
-(:data:`repro.network.adversary.STRATEGIES`).  Every entry point had to know
-both, and their error messages and listing formats differed.
-
-:class:`ComponentRegistry` subsumes both: every buildable component —
-algorithm or adversary — is a :class:`Component` with a name, a kind, a
-human-readable description and a factory, all sharing
+:class:`ComponentRegistry` is the library's single discovery surface: every
+buildable component — algorithm or adversary — is a :class:`Component` with
+a name, a kind, a human-readable description and a factory, all sharing
 
 * one namespace (names are unique across kinds, so ``describe()`` output and
   error listings never need disambiguating),
@@ -18,9 +12,11 @@ human-readable description and a factory, all sharing
   unknown component and listing the registered alternatives).
 
 :func:`default_component_registry` assembles the default registry from the
-algorithm registry and the adversary strategy vocabulary; the
-:class:`~repro.scenarios.scenario.Scenario` facade and the ``python -m
-repro`` CLI resolve every name through it.
+declarative specs in :mod:`repro.semantics` (via the algorithm registry and
+the adversary strategy vocabulary, which are generated from the same specs);
+the :class:`~repro.scenarios.scenario.Scenario` facade and the ``python -m
+repro`` CLI resolve every name through it.  Descriptions, determinism flags
+and batch coverage notes all trace back to one declaration per component.
 """
 
 from __future__ import annotations
@@ -178,33 +174,44 @@ class ComponentRegistry:
 
 
 def default_component_registry() -> ComponentRegistry:
-    """The default registry: every algorithm and every adversary strategy."""
-    from repro.counters.registry import default_registry
-    from repro.network.adversary import (
-        STRATEGY_DESCRIPTIONS,
-        build_adversary,
+    """The default registry: every algorithm and every adversary strategy.
+
+    Assembled from the declarative specs in :mod:`repro.semantics` — the
+    descriptions, determinism flags, sources and batch coverage notes all
+    come from one declaration per component.  Batch notes are blank in
+    NumPy-less environments, where no vectorised engine exists to promise
+    anything.
+    """
+    from importlib.util import find_spec
+
+    from repro.network.adversary import build_adversary
+    from repro.semantics import (
+        adversary_semantics,
+        algorithm_names,
+        algorithm_semantics,
+        strategy_names,
     )
 
-    try:
-        from repro.network.batch import adversary_kernel_coverage
-
-        coverage = adversary_kernel_coverage()
-    except ImportError:  # pragma: no cover - numpy-less environments
-        coverage = {}
+    have_numpy = find_spec("numpy") is not None
 
     registry = ComponentRegistry()
-    algorithms = default_registry()
-    for entry in algorithms.describe():
+    for name in algorithm_names():
+        spec = algorithm_semantics(name)
         batch_note = (
             "vectorised, bit-identical (int64-safe parameterisations)"
-            if entry["deterministic"]
+            if spec.batch_deterministic
             else "vectorised, statistically equivalent (NumPy RNG)"
         )
         registry.register(
             Component(
-                build=algorithms.factory(entry["name"]).build,
-                batch=batch_note if coverage else "",
-                **entry,
+                name=spec.name,
+                kind="algorithm",
+                description=spec.description,
+                build=spec.build,
+                model=spec.model,
+                deterministic=spec.scalar_deterministic,
+                source=spec.source,
+                batch=batch_note if have_numpy else "",
             )
         )
 
@@ -214,26 +221,17 @@ def default_component_registry() -> ComponentRegistry:
 
         return build
 
-    for strategy in sorted(STRATEGY_DESCRIPTIONS):
+    for strategy in sorted(strategy_names()):
+        spec = adversary_semantics(strategy)
         registry.register(
             Component(
-                name=strategy,
+                name=spec.name,
                 kind="adversary",
-                description=STRATEGY_DESCRIPTIONS[strategy],
+                description=spec.description,
                 build=_adversary_builder(strategy),
-                # adaptive-split draws randomness only when fabricating
-                # states for camp-less boosted targets, but a flag cannot
-                # carry that nuance — mark it non-deterministic and let the
-                # batch note explain the per-encoding split.
-                deterministic=strategy
-                not in (
-                    "random-state",
-                    "split-state",
-                    "phase-king-skew",
-                    "adaptive-split",
-                ),
-                source="Section 2 (Byzantine model)",
-                batch=coverage.get(strategy, ""),
+                deterministic=spec.scalar_deterministic,
+                source=spec.source,
+                batch=spec.coverage_note() if have_numpy else "",
             )
         )
     return registry

@@ -1,0 +1,62 @@
+"""Single source of truth for component semantics.
+
+Every discovery and execution surface — the algorithm registry, the scalar
+adversary factory, the batch kernel dispatch, the parity-fuzz sweep, the
+component registry behind ``python -m repro list`` and the README coverage
+matrix — derives its knowledge about components from the specs declared
+here.  See :mod:`repro.semantics.spec` for the dataclasses,
+:mod:`repro.semantics.catalog` for the declarations and
+:mod:`repro.semantics.selfcheck` for the empirical audit.
+"""
+
+from repro.semantics.catalog import (
+    ADVERSARY_SEMANTICS,
+    ALGORITHM_SEMANTICS,
+    active_strategy_names,
+    adversary_coverage_notes,
+    adversary_semantics,
+    algorithm_names,
+    algorithm_semantics,
+    strategy_descriptions,
+    strategy_names,
+)
+from repro.semantics.selfcheck import verify
+from repro.semantics.spec import (
+    BIT_IDENTICAL,
+    FLAT_ONLY,
+    STATISTICAL,
+    AdversarySemantics,
+    AlgorithmSemantics,
+    DeterminismClass,
+    FuzzProfile,
+    Parameter,
+    flat_encoding,
+    format_schema,
+    resolve_binding,
+    validate_parameters,
+)
+
+__all__ = [
+    "ADVERSARY_SEMANTICS",
+    "ALGORITHM_SEMANTICS",
+    "AdversarySemantics",
+    "AlgorithmSemantics",
+    "BIT_IDENTICAL",
+    "DeterminismClass",
+    "FLAT_ONLY",
+    "FuzzProfile",
+    "Parameter",
+    "STATISTICAL",
+    "active_strategy_names",
+    "adversary_coverage_notes",
+    "adversary_semantics",
+    "algorithm_names",
+    "algorithm_semantics",
+    "flat_encoding",
+    "format_schema",
+    "resolve_binding",
+    "strategy_descriptions",
+    "strategy_names",
+    "validate_parameters",
+    "verify",
+]

@@ -1,0 +1,449 @@
+"""The component catalogue: every algorithm and adversary, described once.
+
+This module is the single source of truth the rest of the stack derives its
+component knowledge from:
+
+* :func:`repro.counters.registry.default_registry` registers its factories
+  (names, descriptions, parameter schemas, determinism flags) from
+  :data:`ALGORITHM_SEMANTICS`;
+* :data:`repro.network.adversary.STRATEGIES` and the generated
+  ``STRATEGY_DESCRIPTIONS`` come from :data:`ADVERSARY_SEMANTICS`;
+* :data:`repro.network.batch.ADVERSARY_BATCH_KERNELS`, the per-group
+  bit-identity answers (``AdversaryBatchKernel.is_deterministic_for``) and
+  :func:`~repro.network.batch.adversary_kernel_coverage` read the declared
+  :class:`~repro.semantics.spec.DeterminismClass` instead of probing kernels;
+* :mod:`repro.network.parity` generates its sweep space (``FUZZ_ALGORITHMS``,
+  ``ALL_STRATEGIES``, the optional-parameter choices) and its equivalence
+  class expectations from the same specs;
+* :func:`repro.scenarios.registry.default_component_registry` and the CLI
+  discovery surfaces assemble their listings from here.
+
+Builder callables import the implementation modules lazily, so importing the
+catalogue pulls in neither NumPy nor the engines.  The declared facts are
+cross-checked empirically by :func:`repro.semantics.selfcheck.verify`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import ParameterError
+from repro.semantics.spec import (
+    BIT_IDENTICAL,
+    FLAT_ONLY,
+    STATISTICAL,
+    AdversarySemantics,
+    AlgorithmSemantics,
+    FuzzProfile,
+    Parameter,
+)
+
+__all__ = [
+    "ALGORITHM_SEMANTICS",
+    "ADVERSARY_SEMANTICS",
+    "algorithm_names",
+    "algorithm_semantics",
+    "adversary_semantics",
+    "active_strategy_names",
+    "strategy_names",
+    "strategy_descriptions",
+    "adversary_coverage_notes",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm builders (lazy imports keep the spec layer dependency-free)
+# ---------------------------------------------------------------------- #
+
+
+def _build_trivial(c: int = 2) -> Any:
+    from repro.counters.trivial import TrivialCounter
+
+    return TrivialCounter(c=c)
+
+
+def _build_naive_majority(n: int = 4, c: int = 2, claimed_resilience: int = 0) -> Any:
+    from repro.counters.naive import NaiveMajorityCounter
+
+    return NaiveMajorityCounter(n=n, c=c, claimed_resilience=claimed_resilience)
+
+
+def _build_randomized_follow_majority(
+    n: int = 4, f: int = 1, c: int = 2, seed: int = 0
+) -> Any:
+    from repro.counters.randomized import RandomizedFollowMajorityCounter
+
+    return RandomizedFollowMajorityCounter(n=n, f=f, c=c, seed=seed)
+
+
+def _build_corollary1(c: int = 2, f: int = 1) -> Any:
+    from repro.core.recursion import optimal_resilience_counter
+
+    return optimal_resilience_counter(f=f, c=c)
+
+
+def _build_figure2(levels: int = 1, c: int = 2) -> Any:
+    from repro.core.recursion import figure2_counter
+
+    return figure2_counter(levels=levels, c=c)
+
+
+def _build_sampled_boosted(
+    c: int = 2,
+    k: int = 3,
+    inner_f: int = 1,
+    inner_c: int = 960,
+    sample_size: int | None = 4,
+) -> Any:
+    # The defaults mirror the Corollary 4 experiment: the 12-node
+    # A(12, 3)-equivalent sampled counter over the A(4, 1) inner with
+    # counter size 960 (the multiple required by k = 3, F = 3).
+    from repro.core.recursion import optimal_resilience_counter
+    from repro.sampling.pull_boosting import SampledBoostedCounter
+
+    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
+    return SampledBoostedCounter(
+        inner=inner, k=k, counter_size=c, sample_size=sample_size
+    )
+
+
+def _build_pseudo_random_boosted(
+    c: int = 2,
+    k: int = 3,
+    inner_f: int = 1,
+    inner_c: int = 960,
+    sample_size: int | None = 4,
+    link_seed: int = 0,
+) -> Any:
+    from repro.core.recursion import optimal_resilience_counter
+    from repro.sampling.pseudo_random import PseudoRandomBoostedCounter
+
+    inner = optimal_resilience_counter(f=inner_f, c=inner_c)
+    return PseudoRandomBoostedCounter(
+        inner=inner,
+        k=k,
+        counter_size=c,
+        sample_size=sample_size,
+        link_seed=link_seed,
+    )
+
+
+#: Every executable registry algorithm, in registration (and parity-sweep)
+#: order.  The dict order is load-bearing: the parity harness derives its
+#: seeded sweep space from it, so reordering entries would change sampled
+#: configurations.
+ALGORITHM_SEMANTICS: dict[str, AlgorithmSemantics] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSemantics(
+            name="trivial",
+            description="0-resilient single-node counter (base case of Corollary 1)",
+            model="broadcast",
+            source="Section 4.1",
+            build=_build_trivial,
+            parameters=(Parameter("c", 2, "counter size"),),
+            scalar_deterministic=True,
+            batch_deterministic=True,
+            flat_state=True,
+            kernel_binding="repro.counters.kernels:TrivialBatchKernel",
+            fuzz=(FuzzProfile(params=(("c", 4),), max_faults=0, max_rounds=24),),
+        ),
+        AlgorithmSemantics(
+            name="naive-majority",
+            description="fault-intolerant follow-the-majority counter (negative baseline)",
+            model="broadcast",
+            source="baseline",
+            build=_build_naive_majority,
+            parameters=(
+                Parameter("n", 4, "number of nodes"),
+                Parameter("c", 2, "counter size"),
+                Parameter("claimed_resilience", 0, "the f the baseline pretends to tolerate"),
+            ),
+            scalar_deterministic=True,
+            batch_deterministic=True,
+            flat_state=True,
+            kernel_binding="repro.counters.kernels:NaiveMajorityBatchKernel",
+            fuzz=(
+                FuzzProfile(
+                    params=(("n", 6), ("c", 3), ("claimed_resilience", 1)),
+                    max_faults=1,
+                    max_rounds=40,
+                ),
+                FuzzProfile(
+                    params=(("n", 9), ("c", 4), ("claimed_resilience", 2)),
+                    max_faults=2,
+                    max_rounds=48,
+                ),
+            ),
+        ),
+        AlgorithmSemantics(
+            name="randomized-follow-majority",
+            description="randomised counter of [6, 7]: random states until a clear majority",
+            model="broadcast",
+            source="Table 1, [6, 7]",
+            build=_build_randomized_follow_majority,
+            parameters=(
+                Parameter("n", 4, "number of nodes"),
+                Parameter("f", 1, "tolerated faults"),
+                Parameter("c", 2, "counter size"),
+                Parameter("seed", 0, "per-node coin-flip seed offset"),
+            ),
+            scalar_deterministic=False,
+            batch_deterministic=False,
+            flat_state=True,
+            kernel_binding="repro.counters.kernels:RandomizedFollowMajorityBatchKernel",
+            rng_note="per-round coin flips until a clear majority emerges",
+            fuzz=(
+                FuzzProfile(
+                    params=(("n", 7), ("f", 2), ("c", 2)),
+                    max_faults=2,
+                    max_rounds=90,
+                ),
+            ),
+        ),
+        AlgorithmSemantics(
+            name="corollary1",
+            description="optimal-resilience counter built from trivial counters (Corollary 1)",
+            model="broadcast",
+            source="Corollary 1",
+            build=_build_corollary1,
+            parameters=(
+                Parameter("c", 2, "counter size"),
+                Parameter("f", 1, "tolerated faults"),
+            ),
+            scalar_deterministic=True,
+            batch_deterministic=True,
+            flat_state=False,
+            kernel_binding="repro.counters.kernels:BoostedBatchKernel",
+            fuzz=(
+                FuzzProfile(
+                    params=(("f", 1), ("c", 2)), max_faults=1, max_rounds=260
+                ),
+            ),
+        ),
+        AlgorithmSemantics(
+            name="figure2",
+            description="recursive k=3 construction of Figure 2: A(4,1) -> A(12,3) -> A(36,7)",
+            model="broadcast",
+            source="Figure 2 / Theorem 1",
+            build=_build_figure2,
+            parameters=(
+                Parameter("levels", 1, "recursion depth"),
+                Parameter("c", 2, "counter size"),
+            ),
+            scalar_deterministic=True,
+            batch_deterministic=True,
+            flat_state=False,
+            kernel_binding="repro.counters.kernels:BoostedBatchKernel",
+            fuzz=(
+                FuzzProfile(
+                    params=(("levels", 1), ("c", 2)), max_faults=3, max_rounds=160
+                ),
+            ),
+        ),
+        AlgorithmSemantics(
+            name="sampled-boosted",
+            description="pulling-model boosted counter with sampled voting (Theorem 4)",
+            model="pulling",
+            source="Theorem 4 / Corollary 4",
+            build=_build_sampled_boosted,
+            parameters=(
+                Parameter("c", 2, "counter size"),
+                Parameter("k", 3, "blocks per level"),
+                Parameter("inner_f", 1, "inner counter resilience"),
+                Parameter("inner_c", 960, "inner counter size"),
+                Parameter("sample_size", 4, "pulls per block per round (M)"),
+            ),
+            scalar_deterministic=False,
+            batch_deterministic=False,
+            flat_state=False,
+            kernel_binding="repro.sampling.kernels:SampledBoostedBatchKernel",
+            rng_note="fresh per-round pull samples (Theorem 4)",
+            fuzz=(
+                FuzzProfile(
+                    params=(("sample_size", 2),), max_faults=1, max_rounds=40
+                ),
+            ),
+        ),
+        AlgorithmSemantics(
+            name="pseudo-random-boosted",
+            description="pulling-model counter with sampling fixed by a link seed (Corollary 5)",
+            model="pulling",
+            source="Corollary 5",
+            build=_build_pseudo_random_boosted,
+            parameters=(
+                Parameter("c", 2, "counter size"),
+                Parameter("k", 3, "blocks per level"),
+                Parameter("inner_f", 1, "inner counter resilience"),
+                Parameter("inner_c", 960, "inner counter size"),
+                Parameter("sample_size", 4, "pulls per block per round (M)"),
+                Parameter("link_seed", 0, "seed fixing the pull plans at construction"),
+            ),
+            # Construction consumes the link seed's randomness, but the fixed
+            # plans are replayed purely per round — so the scalar component
+            # counts as randomised while the batch kernel is bit-identical.
+            scalar_deterministic=False,
+            batch_deterministic=True,
+            flat_state=False,
+            kernel_binding="repro.sampling.kernels:SampledBoostedBatchKernel",
+            rng_note="pull plans fixed at construction from link_seed (Corollary 5)",
+            fuzz=(
+                FuzzProfile(
+                    params=(("sample_size", 3),), max_faults=1, max_rounds=60
+                ),
+            ),
+        ),
+    )
+}
+
+
+#: Every adversary strategy name accepted by ``build_adversary``, including
+#: the fault-free ``"none"``.
+ADVERSARY_SEMANTICS: dict[str, AdversarySemantics] = {
+    spec.name: spec
+    for spec in (
+        AdversarySemantics(
+            name="none",
+            description="fault-free adversary (F is empty); use for 0-fault grid rows",
+            scalar_binding=None,
+            kernel_binding=None,
+            parameters=(),
+            scalar_deterministic=True,
+            determinism=BIT_IDENTICAL,
+        ),
+        AdversarySemantics(
+            name="crash",
+            description="faulty nodes appear stuck, always broadcasting the default state",
+            scalar_binding="repro.network.adversary:CrashAdversary",
+            kernel_binding="repro.network.batch:CrashBatchKernel",
+            parameters=(),
+            scalar_deterministic=True,
+            determinism=BIT_IDENTICAL,
+        ),
+        AdversarySemantics(
+            name="fixed-state",
+            description="always broadcast one fixed attacker-chosen state (param 'state', default 0)",
+            scalar_binding="repro.network.adversary:FixedStateAdversary",
+            kernel_binding="repro.network.batch:FixedStateBatchKernel",
+            parameters=(Parameter("state", 0, "the fixed (un-coerced) broadcast state"),),
+            scalar_deterministic=True,
+            determinism=BIT_IDENTICAL,
+            fuzz_param_choices=(("state", (0, 1, 2, 3)),),
+        ),
+        AdversarySemantics(
+            name="random-state",
+            description="independently random valid state to every receiver",
+            scalar_binding="repro.network.adversary:RandomStateAdversary",
+            kernel_binding="repro.network.batch:RandomStateBatchKernel",
+            parameters=(),
+            scalar_deterministic=False,
+            determinism=STATISTICAL,
+        ),
+        AdversarySemantics(
+            name="split-state",
+            description="one random state to even receivers, another to odd, redrawn each round",
+            scalar_binding="repro.network.adversary:SplitStateAdversary",
+            kernel_binding="repro.network.batch:SplitStateBatchKernel",
+            parameters=(),
+            scalar_deterministic=False,
+            determinism=STATISTICAL,
+        ),
+        AdversarySemantics(
+            name="mimic",
+            description="echo a rotating correct node's real state, inconsistently across receivers",
+            scalar_binding="repro.network.adversary:MimicAdversary",
+            kernel_binding="repro.network.batch:MimicBatchKernel",
+            parameters=(),
+            scalar_deterministic=True,
+            determinism=BIT_IDENTICAL,
+        ),
+        AdversarySemantics(
+            name="phase-king-skew",
+            description="copy a correct inner state but skew the phase king output register",
+            scalar_binding="repro.network.adversary:PhaseKingSkewAdversary",
+            kernel_binding="repro.network.batch:PhaseKingSkewBatchKernel",
+            parameters=(Parameter("offset", 1, "shift applied to the a register"),),
+            scalar_deterministic=False,
+            determinism=STATISTICAL,
+            fuzz_param_choices=(("offset", (1, 2, -1)),),
+        ),
+        AdversarySemantics(
+            name="adaptive-split",
+            description="show each receiver the camp opposite its own output to keep votes split",
+            scalar_binding="repro.network.adversary:AdaptiveSplitAdversary",
+            kernel_binding="repro.network.batch:AdaptiveSplitBatchKernel",
+            parameters=(),
+            # Draws randomness only when fabricating states for camp-less
+            # boosted targets — the flag says "randomised" while the
+            # determinism class carries the per-encoding split.
+            scalar_deterministic=False,
+            determinism=FLAT_ONLY,
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------- #
+# Accessors
+# ---------------------------------------------------------------------- #
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Registry algorithm names, in catalogue (registration/sweep) order."""
+    return tuple(ALGORITHM_SEMANTICS)
+
+
+def algorithm_semantics(name: str) -> AlgorithmSemantics:
+    """The semantics of one registry algorithm."""
+    try:
+        return ALGORITHM_SEMANTICS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHM_SEMANTICS))
+        raise ParameterError(
+            f"no semantics declared for algorithm {name!r}; "
+            f"declared algorithms: {known}"
+        ) from None
+
+
+def adversary_semantics(name: str) -> AdversarySemantics:
+    """The semantics of one adversary strategy (``"none"`` included)."""
+    try:
+        return ADVERSARY_SEMANTICS[name]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise ParameterError(
+            f"no semantics declared for adversary strategy {name!r}; "
+            f"declared strategies: {known}"
+        ) from None
+
+
+def active_strategy_names() -> tuple[str, ...]:
+    """Every strategy that controls faulty nodes, sorted (``"none"`` excluded)."""
+    return tuple(sorted(name for name in ADVERSARY_SEMANTICS if name != "none"))
+
+
+def strategy_names() -> tuple[str, ...]:
+    """The full strategy vocabulary: ``"none"`` first, then sorted actives."""
+    return ("none", *active_strategy_names())
+
+
+def strategy_descriptions() -> dict[str, str]:
+    """Strategy name -> one-line description, generated from the specs."""
+    return {
+        name: ADVERSARY_SEMANTICS[name].description for name in strategy_names()
+    }
+
+
+def adversary_coverage_notes() -> dict[str, str]:
+    """Strategy name -> batch equivalence note, generated from the specs.
+
+    The notes the discovery surfaces and the README coverage matrix show:
+    derived from each strategy's declared :class:`DeterminismClass` (and
+    cross-checked against the kernels' actual RNG consumption by
+    :func:`repro.semantics.selfcheck.verify`), so they can never go stale
+    the way a hand-written coverage table can.
+    """
+    return {
+        name: ADVERSARY_SEMANTICS[name].coverage_note()
+        for name in strategy_names()
+    }
