@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""CI entry point for the determinism-aware static analysis pass.
+
+Equivalent to ``python -m repro lint`` but importable-path friendly: it puts
+``src/`` on ``sys.path`` when run from a checkout, so the CI job needs no
+install step.  Exits non-zero on any unwaived finding (``--strict`` also
+fails on warnings) and writes the JSON findings artifact with ``--json``.
+
+Usage::
+
+    python scripts/run_lint.py --strict --json LINT_findings.json [PATH ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.lint.cli import add_lint_arguments, command_lint
+
+    parser = argparse.ArgumentParser(
+        prog="run_lint",
+        description=(
+            "Determinism-aware static analysis over the repro tree "
+            "(defaults to src/repro in this checkout)."
+        ),
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    if not args.paths:
+        args.paths = [str(SRC / "repro")] if SRC.is_dir() else []
+    return command_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,10 @@ repro``.  Subcommands:
 ``list``       discover algorithms, adversaries and experiments with
                one-line descriptions (the unified component registry)
 ``verify``     exhaustively model-check a registry algorithm
-               (Section 2 definition of a synchronous counter)
+               (Section 2 definition of a synchronous counter), then run
+               the static-analysis pass over the installed tree
+``lint``       determinism-aware static analysis (:mod:`repro.lint`):
+               prove the invariants the parity harness only samples
 ========== ==================================================================
 
 All help and description strings are explicit literals, so the CLI works
@@ -40,6 +43,7 @@ from repro.campaigns.results import CampaignStore, RunResult, summarize_results
 from repro.campaigns.spec import ENGINES, FAULT_PATTERNS
 from repro.core.errors import ParameterError
 from repro.experiments.catalog import experiment_catalog
+from repro.lint.cli import register_lint_command
 from repro.obs.cli import add_observability_arguments, observation_from_args
 from repro.scenarios import Scenario, default_component_registry
 
@@ -246,9 +250,28 @@ def _command_verify(args: argparse.Namespace) -> int:
             f"VERIFIED: synchronous {report.c}-counter, exact worst-case "
             f"stabilisation time {report.stabilization_time} rounds"
         )
-        return 0
+        return _verify_lint_step(args)
     print(f"NOT VERIFIED: {len(report.failing_patterns())} fault pattern(s) fail")
+    _verify_lint_step(args)
     return 1
+
+
+def _verify_lint_step(args: argparse.Namespace) -> int:
+    """The static half of ``repro verify``: lint the installed tree.
+
+    The model checker proves the *dynamic* counter contract for one small
+    instance; the lint pass proves the *static* determinism invariants for
+    every line, so the one-shot health check covers both.
+    """
+    if getattr(args, "skip_lint", False):
+        return 0
+    from repro.lint import run_lint
+
+    lint_report = run_lint()
+    for finding in lint_report.unwaived():
+        print(finding.format())
+    print(lint_report.summary())
+    return lint_report.exit_code()
 
 
 # ---------------------------------------------------------------------- #
@@ -434,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=200_000,
         help="safety cap on the configuration-space size per fault pattern",
     )
+    verify.add_argument(
+        "--skip-lint",
+        action="store_true",
+        help="skip the static-analysis pass that follows the model check",
+    )
+
+    register_lint_command(subparsers)
 
     return parser
 

@@ -135,7 +135,7 @@ class PhaseKingConsensus:
             raise SimulationError(
                 f"{len(faulty_set)} faulty nodes exceed the resilience f={self.f}"
             )
-        for node in faulty_set:
+        for node in sorted(faulty_set):
             if not 0 <= node < self.n:
                 raise SimulationError(f"faulty node {node} outside [0, {self.n})")
         generator = ensure_rng(rng)
@@ -162,7 +162,8 @@ class PhaseKingConsensus:
         return ConsensusResult(
             decisions=decisions,
             agreed=agreed,
-            decision=next(iter(distinct)) if agreed else None,
+            # min() of the singleton set: order-independent element pick.
+            decision=min(distinct) if agreed else None,
             rounds=self.rounds,
             history=history,
         )

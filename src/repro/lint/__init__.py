@@ -1,0 +1,49 @@
+"""Determinism-aware static analysis for the reproduction tree.
+
+The dynamic correctness machinery — the parity-fuzz harness, the semantics
+``verify()`` audit — *samples* the invariants the bit-identity guarantees
+rest on.  This package *proves* the cheap half of them on every line, at CI
+time, with an AST pass:
+
+* no wall-clock or entropy source feeds a simulation (``DET001``);
+* RNG streams are only ever constructed at the sanctioned derivation sites,
+  everywhere else generators arrive as parameters (``DET002``);
+* no hot-path module iterates an unordered ``set``/``frozenset`` raw
+  (``DET003``);
+* batch kernel classes never write module-level state (``DET004``);
+* every ``"module:attr"`` binding declared in :mod:`repro.semantics.catalog`
+  statically resolves — and the kernel-purity scope is *derived* from the
+  catalogue, so a newly declared component is covered automatically
+  (``CAT001``);
+* registry/factory modules honour the :class:`~repro.core.errors.ParameterError`
+  contract instead of raising bare ``TypeError``/``KeyError`` (``ERR001``);
+* derived modules never duplicate catalogue metadata strings (``META001``).
+
+Violations are waived per line with a mandatory-justification pragma::
+
+    time.time()  # repro-lint: allow[DET001] -- ts is a sink, never an input
+
+(see :mod:`repro.lint.waivers`; a justification-less waiver is itself a
+finding, ``WVR001``, and an unused waiver is a warning, ``WVR002``).
+
+Entry points: ``python -m repro lint`` (:mod:`repro.lint.cli`),
+``scripts/run_lint.py`` for CI, and :func:`run_lint` for programmatic use.
+"""
+
+from repro.lint.findings import Finding, Report
+from repro.lint.rules import RULES, Rule, iter_rules, rule_table
+from repro.lint.runner import lint_paths, run_lint
+from repro.lint.waivers import Waiver, parse_waivers
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Report",
+    "Rule",
+    "Waiver",
+    "iter_rules",
+    "lint_paths",
+    "parse_waivers",
+    "rule_table",
+    "run_lint",
+]

@@ -1,0 +1,217 @@
+"""Per-file and per-run context the lint rules operate on.
+
+A :class:`ModuleUnit` is one parsed source file: AST, source lines, waiver
+pragmas, the dotted module name (when the file sits inside a package) and an
+import map resolving local names to the fully qualified modules/attributes
+they were imported as.  A :class:`LintContext` is the whole run: every unit,
+plus the catalogue-derived knowledge (declared ``"module:attr"`` bindings,
+component descriptions, the kernel-class scope) that makes the kernel and
+metadata rules *derive* their scope from :mod:`repro.semantics.catalog`
+instead of hand-listing modules — a newly declared component is covered
+automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.lint.waivers import Waiver, parse_waivers
+
+__all__ = [
+    "LintContext",
+    "ModuleUnit",
+    "build_import_map",
+    "module_name_for",
+    "parse_unit",
+]
+
+
+def module_name_for(path: Path) -> str | None:
+    """The dotted module name of ``path``, or ``None`` outside any package.
+
+    Walks up while the containing directories are packages (``__init__.py``
+    present), so ``src/repro/network/batch.py`` resolves to
+    ``repro.network.batch`` and a scratch file in a bare directory resolves
+    to ``None`` (rules then treat it as fully in scope).
+    """
+    path = path.resolve()
+    parts: list[str] = [path.stem]
+    parent = path.parent
+    package_found = False
+    while (parent / "__init__.py").exists():
+        package_found = True
+        parts.append(parent.name)
+        parent = parent.parent
+    if not package_found:
+        return None
+    if parts[0] == "__init__":
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def build_import_map(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the qualified names they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import time``
+    maps ``time -> time.time``; ``from numpy import random as npr`` maps
+    ``npr -> numpy.random``.  Relative imports are skipped — the banned
+    call surfaces (``time``, ``random``, ``numpy.random``, ``os``, ``uuid``,
+    ``secrets``) are all absolute stdlib/numpy modules.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file with everything the rules need."""
+
+    path: Path
+    module: str | None
+    source: str
+    tree: ast.Module
+    waivers: list[Waiver]
+    import_map: dict[str, str]
+
+    @property
+    def display_path(self) -> str:
+        """The path findings are reported under (relative when possible)."""
+        try:
+            return str(self.path.relative_to(Path.cwd()))
+        except ValueError:
+            return str(self.path)
+
+    def resolve_call_target(self, func: ast.expr) -> str | None:
+        """The qualified dotted name a call's ``func`` refers to, if any.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        (via the import map); calls whose root is a local object — for
+        example ``rng.random()`` on a generator that arrived as a parameter
+        — resolve to ``None``, which is exactly the shape the determinism
+        rules must allow.
+        """
+        parts: list[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        qualified_root = self.import_map.get(node.id)
+        if qualified_root is None:
+            return None
+        return ".".join([qualified_root, *reversed(parts)])
+
+    def first_line_containing(self, needle: str) -> int:
+        """1-based first source line containing ``needle`` (1 if absent)."""
+        for lineno, text in enumerate(self.source.splitlines(), start=1):
+            if needle in text:
+                return lineno
+        return 1
+
+
+def parse_unit(path: Path) -> ModuleUnit:
+    """Parse one file into a :class:`ModuleUnit` (raises ``SyntaxError``)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleUnit(
+        path=path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        waivers=parse_waivers(source),
+        import_map=build_import_map(tree),
+    )
+
+
+@dataclass
+class LintContext:
+    """The whole lint run: every unit plus the catalogue-derived scopes."""
+
+    units: Sequence[ModuleUnit]
+    #: Injected catalogue facts (tests use these); ``None`` means "import
+    #: :mod:`repro.semantics.catalog` lazily when a rule first asks".
+    bindings_override: Sequence[str] | None = None
+    descriptions_override: Sequence[str] | None = None
+    _by_module: dict[str, ModuleUnit] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self._by_module = {
+            unit.module: unit for unit in self.units if unit.module is not None
+        }
+
+    def unit_for(self, module: str) -> ModuleUnit | None:
+        """The scanned unit of a dotted module name, if it was scanned."""
+        return self._by_module.get(module)
+
+    def scans_catalog(self) -> bool:
+        """Whether the run covers the semantics catalogue (project rules run)."""
+        return (
+            self.bindings_override is not None
+            or "repro.semantics.catalog" in self._by_module
+        )
+
+    # ------------------------------------------------------------------ #
+    # Catalogue-derived knowledge
+    # ------------------------------------------------------------------ #
+
+    def declared_bindings(self) -> tuple[str, ...]:
+        """Every ``"module:attr"`` binding the catalogue declares."""
+        if self.bindings_override is not None:
+            return tuple(self.bindings_override)
+        from repro.semantics.catalog import ADVERSARY_SEMANTICS, ALGORITHM_SEMANTICS
+
+        bindings: list[str] = []
+        for algorithm in ALGORITHM_SEMANTICS.values():
+            bindings.append(algorithm.kernel_binding)
+        for adversary in ADVERSARY_SEMANTICS.values():
+            for binding in (adversary.scalar_binding, adversary.kernel_binding):
+                if binding is not None:
+                    bindings.append(binding)
+        return tuple(bindings)
+
+    def declared_descriptions(self) -> tuple[str, ...]:
+        """Every component description string the catalogue declares."""
+        if self.descriptions_override is not None:
+            return tuple(self.descriptions_override)
+        from repro.semantics.catalog import ADVERSARY_SEMANTICS, ALGORITHM_SEMANTICS
+
+        return tuple(
+            spec.description
+            for mapping in (ALGORITHM_SEMANTICS, ADVERSARY_SEMANTICS)
+            for spec in mapping.values()
+        )
+
+    def kernel_scope(self) -> Mapping[str, frozenset[str]]:
+        """Module -> class names bound as kernels/adversaries by the catalogue.
+
+        This is how the kernel-purity rule's scope is *derived*: declare a
+        new component in :mod:`repro.semantics.catalog` and its classes are
+        automatically covered, wherever they live.
+        """
+        scope: dict[str, set[str]] = {}
+        for binding in self.declared_bindings():
+            module, _, attribute = binding.partition(":")
+            if module and attribute:
+                scope.setdefault(module, set()).add(attribute)
+        return {module: frozenset(names) for module, names in scope.items()}
+
+    def iter_units(self) -> Iterator[ModuleUnit]:
+        """All scanned units, in scan (sorted-path) order."""
+        return iter(self.units)

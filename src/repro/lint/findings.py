@@ -1,0 +1,128 @@
+"""Findings and reports: the data the lint pass produces.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`Report` is the outcome of a whole run — every finding (waived ones
+included, so the JSON artifact is an honest audit trail), the scanned file
+count and the wall time.  Severities are ``"error"`` (fails the run) and
+``"warning"`` (fails only under ``--strict``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["ERROR", "WARNING", "Finding", "Report", "sort_findings"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = ERROR
+    waived: bool = False
+    justification: str = ""
+
+    def waive(self, justification: str) -> "Finding":
+        """A copy of this finding marked as waived."""
+        return replace(self, waived=True, justification=justification)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dictionary (stable key order via sort_keys at dump)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "severity": self.severity,
+            "waived": self.waived,
+            "justification": self.justification,
+        }
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: RULE message`` rendering."""
+        suffix = f" (waived: {self.justification})" if self.waived else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.message}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class Report:
+    """The outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+    elapsed: float = 0.0
+    roots: tuple[str, ...] = field(default_factory=tuple)
+
+    def unwaived(self, severity: str | None = None) -> tuple[Finding, ...]:
+        """Findings not silenced by a waiver, optionally by severity."""
+        return tuple(
+            finding
+            for finding in self.findings
+            if not finding.waived
+            and (severity is None or finding.severity == severity)
+        )
+
+    def waived(self) -> tuple[Finding, ...]:
+        """Findings silenced by a justified waiver pragma."""
+        return tuple(finding for finding in self.findings if finding.waived)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean: no unwaived errors (nor warnings under strict)."""
+        if self.unwaived(ERROR):
+            return 1
+        if strict and self.unwaived(WARNING):
+            return 1
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dictionary for the ``--json`` artifact."""
+        return {
+            "files_scanned": self.files_scanned,
+            "elapsed_seconds": round(self.elapsed, 4),
+            "roots": list(self.roots),
+            "counts": {
+                "errors": len(self.unwaived(ERROR)),
+                "warnings": len(self.unwaived(WARNING)),
+                "waived": len(self.waived()),
+            },
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the JSON artifact to ``path``."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def summary(self) -> str:
+        """The one-line human summary printed after the findings."""
+        errors = len(self.unwaived(ERROR))
+        warnings = len(self.unwaived(WARNING))
+        return (
+            f"lint: {self.files_scanned} files, {errors} error(s), "
+            f"{warnings} warning(s), {len(self.waived())} waived "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> tuple[Finding, ...]:
+    """Stable path/line/column/rule ordering for deterministic reports."""
+    return tuple(
+        sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))
+    )

@@ -1,0 +1,89 @@
+"""The pragma waiver system: per-line, per-rule, justification mandatory.
+
+Syntax (one pragma per physical line)::
+
+    offending_call()  # repro-lint: allow[DET001] -- why this one is sound
+    # repro-lint: allow[DET002, DET003] -- standalone pragma waives the NEXT line
+    next_line_with_the_finding()
+
+* the rule list is explicit — there is deliberately no ``allow[*]``;
+* the ``-- justification`` part is mandatory: a waiver without one does not
+  waive anything and is itself reported as ``WVR001``;
+* a standalone pragma (comment-only line) applies to the next source line,
+  an inline pragma to its own line;
+* a justified waiver that silences no finding is reported as the warning
+  ``WVR002`` so dead waivers cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Waiver", "parse_waivers", "WAIVER_RE"]
+
+#: Matches the ``repro-lint`` allow-pragma comment form (the justification
+#: after ``--`` is optional at parse time; its absence becomes a WVR001
+#: finding, not a parse error).
+WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<justification>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver pragma."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    standalone: bool
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def target_line(self) -> int:
+        """The source line whose findings this pragma silences."""
+        return self.line + 1 if self.standalone else self.line
+
+    def covers(self, rule: str) -> bool:
+        """Whether this pragma names ``rule`` (and carries a justification)."""
+        return bool(self.justification) and rule in self.rules
+
+
+def parse_waivers(source: str) -> list[Waiver]:
+    """Extract every waiver pragma from ``source``.
+
+    Works on the token stream, not raw lines, so pragma-shaped text inside
+    string literals and docstrings (for example this package's own
+    documentation) never parses as a waiver.
+    """
+    waivers: list[Waiver] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return waivers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        justification = (match.group("justification") or "").strip()
+        waivers.append(
+            Waiver(
+                line=token.start[0],
+                rules=rules,
+                justification=justification,
+                standalone=token.start[1] == 0
+                or token.line[: token.start[1]].strip() == "",
+            )
+        )
+    return waivers

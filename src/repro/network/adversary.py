@@ -73,7 +73,7 @@ class Adversary(ABC):
 
     def validate(self, algorithm: SynchronousCountingAlgorithm) -> None:
         """Check the fault set against the algorithm's node count and resilience."""
-        for node in self._faulty:
+        for node in sorted(self._faulty):
             if not 0 <= node < algorithm.n:
                 raise SimulationError(
                     f"faulty node {node} is outside the node range [0, {algorithm.n})"
@@ -170,7 +170,7 @@ class FixedStateAdversary(Adversary):
 
 
 class RandomStateAdversary(Adversary):
-    """Faulty nodes send an independently random valid state to every receiver.
+    """Faulty nodes draw a fresh uniformly random state per receiver.
 
     This is the canonical "arbitrary behaviour" adversary: per-receiver
     inconsistency plus uniformly random content.

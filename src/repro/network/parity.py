@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.network.adversary import NoAdversary, build_adversary
+from repro.util.rng import ensure_rng
 from repro.semantics import (
     adversary_semantics,
     algorithm_names,
@@ -164,7 +165,7 @@ def sample_configs(
     the whole registry); algorithms, fault counts, faulty sets, stopping
     windows and optional adversary parameters are drawn from ``seed``.
     """
-    rng = random.Random(seed)
+    rng = ensure_rng(seed)
     configs: list[ParityConfig] = []
     for index in range(count):
         if index < len(ALL_STRATEGIES):
@@ -383,7 +384,7 @@ def check_distributions(
     algorithm = default_registry().build("corollary1", f=1, c=2)
     kernel = build_batch_kernel(algorithm)
     assert kernel is not None
-    rng = random.Random(seed)
+    rng = ensure_rng(seed)
     trial_list = [
         BatchTrial(
             sim_seed=rng.getrandbits(32),

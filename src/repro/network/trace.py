@@ -44,7 +44,8 @@ class RoundRecord:
         """The common output value if all non-faulty nodes agree, else ``None``."""
         values = set(self.outputs.values())
         if len(values) == 1:
-            return next(iter(values))
+            # min() of the singleton set: order-independent element pick.
+            return min(values)
         return None
 
 

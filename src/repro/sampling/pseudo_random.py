@@ -61,7 +61,7 @@ class PseudoRandomBoostedCounter(SampledBoostedCounter):
         self._link_seed = link_seed
         self._fixed_plans: dict[int, list[int]] = {}
         for node in range(self.n):
-            node_rng = derive_rng(random.Random(link_seed), "links", node)
+            node_rng = derive_rng(link_seed, "links", node)
             self._fixed_plans[node] = self._sample_plan(node, node_rng)
 
     @property

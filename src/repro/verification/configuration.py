@@ -38,7 +38,7 @@ class ConfigurationSpace:
     ) -> None:
         self._algorithm = algorithm
         self._faulty = frozenset(faulty)
-        for node in self._faulty:
+        for node in sorted(self._faulty):
             if not 0 <= node < algorithm.n:
                 raise VerificationError(
                     f"faulty node {node} outside [0, {algorithm.n})"

@@ -1,0 +1,55 @@
+"""Shared helpers for the static-analysis tests.
+
+The rule tests operate on small fixture snippets written to ``tmp_path`` —
+files outside any package, which the linter deliberately treats as fully in
+scope for every rule (that is what makes ``repro lint scratch.py`` useful).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Report, run_lint
+
+
+@pytest.fixture()
+def lint_source(tmp_path):
+    """Write a snippet to a scratch file and lint it.
+
+    Returns a callable: ``lint_source(source, rules=["DET001"])`` → Report.
+    Keyword arguments are forwarded to :func:`repro.lint.run_lint`.
+    """
+
+    def _lint(source: str, *, filename: str = "scratch.py", **kwargs) -> Report:
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint([path], **kwargs)
+
+    return _lint
+
+
+@pytest.fixture()
+def fake_package(tmp_path):
+    """Create a throwaway package and return a module-writer callable.
+
+    ``fake_package("fakepkg.mod", source)`` materialises the package chain
+    (``__init__.py`` files included) so the file resolves to a dotted module
+    name, and returns the package root to pass to ``run_lint``.
+    """
+
+    def _write(module: str, source: str) -> Path:
+        parts = module.split(".")
+        directory = tmp_path
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            (directory / "__init__.py").touch()
+        (directory / f"{parts[-1]}.py").write_text(
+            textwrap.dedent(source), encoding="utf-8"
+        )
+        return tmp_path / parts[0]
+
+    return _write

@@ -1,0 +1,133 @@
+"""The waiver pragma system: justified exceptions, policed hygiene."""
+
+from __future__ import annotations
+
+from repro.lint import parse_waivers
+from repro.lint.waivers import WAIVER_RE
+
+
+class TestParsing:
+    def test_inline_pragma_targets_its_own_line(self):
+        (waiver,) = parse_waivers(
+            "x = call()  # repro-lint: allow[DET001] -- because reasons\n"
+        )
+        assert waiver.rules == ("DET001",)
+        assert waiver.justification == "because reasons"
+        assert not waiver.standalone
+        assert waiver.target_line == 1
+
+    def test_standalone_pragma_targets_the_next_line(self):
+        source = (
+            "# repro-lint: allow[DET001, DET002] -- two rules, one line\n"
+            "x = call()\n"
+        )
+        (waiver,) = parse_waivers(source)
+        assert waiver.rules == ("DET001", "DET002")
+        assert waiver.standalone
+        assert waiver.target_line == 2
+
+    def test_justification_is_required_for_coverage(self):
+        (waiver,) = parse_waivers("x = 1  # repro-lint: allow[DET001]\n")
+        assert waiver.justification == ""
+        assert not waiver.covers("DET001")
+
+    def test_pragma_text_inside_docstring_is_not_a_waiver(self):
+        source = (
+            '"""Docs showing the syntax:\n'
+            "    # repro-lint: allow[DET001] -- example only\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        assert parse_waivers(source) == []
+        # ...while the raw regex would have matched — the token pass is load-bearing.
+        assert WAIVER_RE.search("# repro-lint: allow[DET001] -- example only")
+
+    def test_ordinary_comments_do_not_match(self):
+        assert parse_waivers("x = 1  # repro-lint is great\n") == []
+
+
+class TestApplication:
+    SOURCE = """
+    import time
+
+    def stamp():
+        return time.time()  # repro-lint: allow[DET001] -- fixture sink
+    """
+
+    def test_justified_waiver_silences_the_finding(self, lint_source):
+        report = lint_source(self.SOURCE)
+        assert report.unwaived() == ()
+        (waived,) = report.waived()
+        assert waived.rule == "DET001"
+        assert waived.justification == "fixture sink"
+        assert report.exit_code(strict=True) == 0
+
+    def test_standalone_waiver_silences_the_next_line(self, lint_source):
+        report = lint_source(
+            """
+            import time
+
+            def stamp():
+                # repro-lint: allow[DET001] -- fixture sink
+                return time.time()
+            """
+        )
+        assert report.unwaived() == ()
+        assert len(report.waived()) == 1
+
+    def test_waiver_for_the_wrong_rule_does_not_silence(self, lint_source):
+        report = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[DET002] -- wrong rule
+            """
+        )
+        rules = sorted(f.rule for f in report.unwaived())
+        # The DET001 finding survives and the DET002 pragma is now unused.
+        assert rules == ["DET001", "WVR002"]
+
+    def test_unjustified_waiver_is_wvr001_and_does_not_silence(self, lint_source):
+        report = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[DET001]
+            """
+        )
+        rules = sorted(f.rule for f in report.unwaived())
+        assert rules == ["DET001", "WVR001"]
+        assert report.exit_code() == 1
+
+    def test_unknown_rule_in_waiver_is_wvr001(self, lint_source):
+        report = lint_source(
+            "x = 1  # repro-lint: allow[NOPE999] -- not a rule\n"
+        )
+        (finding,) = report.unwaived()
+        assert finding.rule == "WVR001"
+        assert "unknown rule(s) NOPE999" in finding.message
+
+    def test_unused_waiver_is_a_warning_only_under_strict(self, lint_source):
+        report = lint_source(
+            "x = 1  # repro-lint: allow[DET001] -- nothing here to waive\n"
+        )
+        (finding,) = report.unwaived()
+        assert finding.rule == "WVR002"
+        assert finding.severity == "warning"
+        assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_rule_subset_runs_do_not_police_unused_waivers(self, lint_source):
+        # Under --rules DET002 the DET001 waiver is legitimately unused.
+        report = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[DET001] -- fixture sink
+            """,
+            rules=["DET002"],
+        )
+        assert report.unwaived() == ()

@@ -21,7 +21,6 @@ Four families of checks:
 from __future__ import annotations
 
 import dataclasses
-import inspect
 
 import pytest
 
@@ -213,43 +212,20 @@ class TestDerivedSweep:
 
 
 class TestNoDuplicatedMetadata:
-    """The old hand-maintained copies are gone from the derived modules."""
+    """Derived modules carry no literal copies of catalogue metadata.
 
-    def test_adversary_module_carries_no_descriptions(self) -> None:
-        import repro.network.adversary as module
+    The PR 7 hand-written source greps are subsumed by the ``META001`` lint
+    rule, which matches *every* declared description against every string
+    constant in the catalogue-bound and derived modules (and whose scope
+    grows automatically with the catalogue).  This test pins the rule to the
+    real tree; the rule's own unit tests live in ``tests/lint``.
+    """
 
-        source = inspect.getsource(module)
-        # Distinctive fragments of the catalogue's description strings.
-        assert "use for 0-fault grid rows" not in source
-        assert "always broadcasting the default state" not in source
+    def test_meta001_finds_no_duplication_in_the_shipped_tree(self) -> None:
+        from repro.lint import run_lint
 
-    def test_batch_module_probes_no_kernels_for_coverage(self) -> None:
-        import repro.network.batch as module
-
-        source = inspect.getsource(module)
-        assert "_CoverageProbe" not in source
-        assert "bit-identical for flat counters" not in source
-
-    def test_parity_module_hardcodes_no_strategy_lists(self) -> None:
-        import repro.network.parity as module
-
-        source = inspect.getsource(module)
-        assert 'if strategy == "fixed-state"' not in source
-        assert '("none", "crash"' not in source
-
-    def test_scenario_registry_hardcodes_no_component_facts(self) -> None:
-        import repro.scenarios.registry as module
-
-        source = inspect.getsource(module)
-        assert '"random-state"' not in source
-        assert "base case of Corollary 1" not in source
-
-    def test_counters_registry_hardcodes_no_component_facts(self) -> None:
-        import repro.counters.registry as module
-
-        source = inspect.getsource(module)
-        assert "base case of Corollary 1" not in source
-        assert "negative baseline" not in source
+        report = run_lint(rules=["META001"])
+        assert [f.format() for f in report.unwaived()] == []
 
 
 # ---------------------------------------------------------------------- #
