@@ -28,10 +28,12 @@ REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.network.parity import (  # noqa: E402
+    ALL_SCHEDULES,
     ALL_STRATEGIES,
     DISTRIBUTION_STRATEGIES,
     check_distributions,
     run_parity_fuzz,
+    run_schedule_fuzz,
 )
 
 
@@ -49,6 +51,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="cap the per-configuration round budget (quick mode)",
+    )
+    parser.add_argument(
+        "--schedule-samples",
+        type=int,
+        default=6,
+        help="fault-schedule configurations to fuzz (0 disables)",
     )
     parser.add_argument(
         "--distribution-trials",
@@ -102,6 +110,27 @@ def main(argv: list[str] | None = None) -> int:
     missing = set(ALL_STRATEGIES) - covered
     if missing:
         failures.append(f"sweep did not cover strategies: {sorted(missing)}")
+    perturbed = sum(1 for report in reports if report.config.perturbed)
+    if not perturbed:
+        failures.append("sweep drew no loss/delay-perturbed configurations")
+
+    schedule_reports: list[tuple[str, bool]] = []
+    if args.schedule_samples > 0:
+        schedules_covered: set[str] = set()
+        for config, schedule_failures in run_schedule_fuzz(
+            count=args.schedule_samples, seed=args.seed
+        ):
+            schedules_covered.add(config.schedule)
+            verdict = "ok" if not schedule_failures else "FAIL"
+            print(f"[     schedule] {verdict}  {config.label()}")
+            schedule_reports.append((config.label(), not schedule_failures))
+            for failure in schedule_failures:
+                failures.append(f"{config.label()}: {failure}")
+        missing_schedules = set(ALL_SCHEDULES) - schedules_covered
+        if args.schedule_samples >= len(ALL_SCHEDULES) and missing_schedules:
+            failures.append(
+                f"schedule fuzz did not cover: {sorted(missing_schedules)}"
+            )
 
     distributions: dict[str, float] = {}
     if args.distribution_trials > 0:
@@ -121,8 +150,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"parity fuzz: {len(reports)} configurations "
         f"({bit_identical} bit-identical, {len(reports) - bit_identical} "
-        f"statistical), {len(covered)}/{len(ALL_STRATEGIES)} strategies, "
-        f"{len(failures)} failure(s)"
+        f"statistical, {perturbed} perturbed), "
+        f"{len(covered)}/{len(ALL_STRATEGIES)} strategies, "
+        f"{len(schedule_reports)} schedule run(s), {len(failures)} failure(s)"
     )
 
     if args.out:
@@ -131,6 +161,10 @@ def main(argv: list[str] | None = None) -> int:
             "samples": args.samples,
             "seed": args.seed,
             "strategies_covered": sorted(covered),
+            "perturbed_configurations": perturbed,
+            "schedule_reports": [
+                {"config": label, "ok": ok} for label, ok in schedule_reports
+            ],
             "distributions": distributions,
             "failures": failures,
             "reports": [

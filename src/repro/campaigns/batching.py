@@ -113,6 +113,10 @@ def group_runs(
             len(spec.faulty),
             spec.max_rounds,
             spec.stop_after_agreement,
+            spec.loss,
+            spec.delay,
+            spec.fault_schedule,
+            spec.fault_schedule_params,
         )
         groups.setdefault(key, []).append(index)
     return groups, scalar
@@ -254,6 +258,22 @@ class BatchExecutor:
         reason: str | None = None
         algorithm = None
         kernel = None
+        if spec.fault_schedule is not None:
+            # The schedule runtime (churn, per-window cohorts, recovery
+            # markers) exists only in the scalar round loop; there is no
+            # batch schedule path, so the fallback is always named.
+            reason = (
+                f"fault schedule {spec.fault_schedule!r} runs on the scalar "
+                "engine (no batch schedule path)"
+            )
+            label = _group_label(spec)
+            if self.engine == "batch":
+                raise ParameterError(
+                    f"engine='batch' requested but group {label} cannot "
+                    f"batch: {reason}; use engine='auto' to fall back to the "
+                    "scalar engine"
+                )
+            return None, label, reason
         try:
             algorithm = spec.algorithm.build()
         except Exception as exc:  # noqa: BLE001 - surfaced per-run by the fallback
@@ -326,6 +346,11 @@ class BatchExecutor:
         """
         from repro.network.batch import ADVERSARY_BATCH_KERNELS
 
+        if spec.loss > 0.0 or spec.delay > 0:
+            # Message-plane perturbations draw per-link randomness every
+            # round; the batch and scalar streams are only statistically
+            # equivalent, never bit-identical.
+            return False
         if not kernel.deterministic:
             return False
         if spec.adversary is None or not spec.faulty:
@@ -356,6 +381,8 @@ class BatchExecutor:
             stop_after_agreement=spec.stop_after_agreement,
             batch_size=self.batch_size,
             observer=resolve_observer(self.observer),
+            loss=spec.loss,
+            delay=spec.delay,
         )
         return [
             reduce_summary(member, algorithm, summary)

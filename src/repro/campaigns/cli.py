@@ -65,6 +65,7 @@ __all__ = [
     "dispatch",
     "parse_algorithm",
     "parse_num_faults",
+    "parse_fault_schedule",
 ]
 
 
@@ -107,12 +108,43 @@ def parse_num_faults(argument: str) -> int | None:
         ) from None
 
 
+def parse_fault_schedule(argument: str) -> tuple[str, tuple[tuple[str, Any], ...]]:
+    """Parse ``name`` or ``name:key=value,key=value`` into a schedule reference.
+
+    Same grammar as :func:`parse_algorithm`; the name is resolved (and the
+    parameters validated) by :class:`~repro.campaigns.spec.CampaignSpec`.
+    """
+    name, _, params_text = argument.partition(":")
+    name = name.strip()
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty fault-schedule name in {argument!r}")
+    params: dict[str, Any] = {}
+    if params_text.strip():
+        for pair in params_text.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise argparse.ArgumentTypeError(
+                    f"malformed fault-schedule parameter {pair!r} in "
+                    f"{argument!r} (expected key=value)"
+                )
+            params[key.strip()] = _parse_scalar(value.strip())
+    return name, tuple(sorted(params.items()))
+
+
 def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """Build a CampaignSpec from ``define`` flags."""
+    schedule_name: str | None = None
+    schedule_params: tuple[tuple[str, Any], ...] = ()
+    if getattr(args, "fault_schedule", None) is not None:
+        schedule_name, schedule_params = args.fault_schedule
+    # A scheduled campaign owns its faulty set, so the baseline defaults to
+    # the fault-free 'none' rows (an explicit --adversary still wins and is
+    # then rejected by CampaignSpec with a descriptive error).
+    default_adversaries = ["none"] if schedule_name is not None else ["random-state"]
     return CampaignSpec(
         name=args.name,
         algorithms=tuple(args.algorithm),
-        adversaries=tuple(args.adversary or ["random-state"]),
+        adversaries=tuple(args.adversary or default_adversaries),
         num_faults=tuple(args.num_faults or [None]),
         runs_per_setting=args.runs,
         seed=args.seed,
@@ -122,6 +154,10 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         fault_pattern=args.fault_pattern,
         model=args.model,
         engine=args.engine,
+        loss=getattr(args, "loss", 0.0),
+        delay=getattr(args, "delay", 0),
+        fault_schedule=schedule_name,
+        fault_schedule_params=schedule_params,
     )
 
 
@@ -191,6 +227,35 @@ def register_commands(subparsers) -> None:
     define.add_argument("--min-tail", type=int, default=2)
     define.add_argument(
         "--fault-pattern", choices=FAULT_PATTERNS, default="random"
+    )
+    define.add_argument(
+        "--fault-schedule",
+        type=parse_fault_schedule,
+        metavar="NAME[:k=v,...]",
+        help=(
+            "named fault schedule with parameters, e.g. "
+            "'churn:start=5,down=6' (see `repro list fault-schedules`); "
+            "scheduled campaigns run fault-free baselines (adversary 'none') "
+            "and the schedule drives the faulty set per round"
+        ),
+    )
+    define.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help=(
+            "per-link message loss probability in [0, 1) — a lost link "
+            "re-delivers the sender's previous broadcast (broadcast model only)"
+        ),
+    )
+    define.add_argument(
+        "--delay",
+        type=int,
+        default=0,
+        help=(
+            "maximum per-link message delay in rounds; each link delivers a "
+            "uniformly random 0..DELAY-old broadcast (broadcast model only)"
+        ),
     )
     define.add_argument("--out", required=True, help="path of the definition file")
 

@@ -6,12 +6,15 @@ pins its own faulty set and simulator seed, the per-run results are
 bit-identical regardless of executor, process count or completion order —
 parallelism changes throughput, never results.
 
-The parallel executor distributes chunks of specs over a
-:mod:`multiprocessing` pool and streams results back as they complete
-(``imap_unordered``), so the runner can persist and report progress
+The parallel executor distributes chunks of specs over a process pool
+(:class:`concurrent.futures.ProcessPoolExecutor`) and streams results back
+as they complete, so the runner can persist and report progress
 incrementally.  Failures are *accounted*, not raised: a run that throws is
 returned as a :class:`~repro.campaigns.results.RunResult` with its ``error``
-field set.
+field set.  A worker process dying outright (OOM kill, segfault) breaks the
+pool; the executor detects :class:`~concurrent.futures.process.BrokenProcessPool`,
+retries the unfinished runs once on the serial path, and records the event
+as a named fallback — a dead worker costs throughput, never results.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ import copy
 import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -28,7 +33,7 @@ from repro.campaigns.spec import AlgorithmSpec, RunSpec
 from repro.network.adversary import Adversary
 from repro.network.pulling import PullSimulationConfig, run_pull_simulation
 from repro.network.simulator import SimulationConfig, run_simulation
-from repro.obs.events import RunFinished, RunStarted
+from repro.obs.events import FallbackTaken, RunFinished, RunStarted
 from repro.obs.observer import Observer, active, default_observer
 from repro.util.rng import derive_rng
 
@@ -72,6 +77,10 @@ def execute_run(spec: RunSpec, observer: Observer | None = None) -> RunResult:
         adversary = spec.resolve_adversary()
         if isinstance(spec.adversary, Adversary):
             adversary = copy.deepcopy(adversary)
+        # Loss/delay knobs and fault schedules (validated against the
+        # algorithm and the baseline adversary inside the broadcast model;
+        # RunSpec itself rejects perturbed pulling runs).
+        perturbations = spec.resolve_perturbations()
         metadata = {"run_id": spec.run_id, **dict(spec.tags)}
         if spec.model == "pulling":
             pull_config = PullSimulationConfig(
@@ -89,6 +98,7 @@ def execute_run(spec: RunSpec, observer: Observer | None = None) -> RunResult:
                 stop_after_agreement=spec.stop_after_agreement,
                 seed=spec.sim_seed,
                 metadata=metadata,
+                perturbations=perturbations,
             )
             trace = run_simulation(
                 algorithm, adversary=adversary, config=config, observer=observer
@@ -116,21 +126,23 @@ def execute_run(spec: RunSpec, observer: Observer | None = None) -> RunResult:
         )
 
 
-def _execute_indexed(
-    item: tuple[int, RunSpec]
-) -> tuple[int, RunResult, float]:
-    """Pool work function: carry the submission index through the shuffle.
+def _execute_chunk(
+    items: list[tuple[int, RunSpec]]
+) -> list[tuple[int, RunResult, float]]:
+    """Pool work function: run one chunk, carrying submission indices through.
 
     Results are reassembled by position, not ``run_id``, so executors behave
-    identically even when a caller-supplied spec list repeats an id.  The
+    identically even when a caller-supplied spec list repeats an id.  Each
     run's wall time is measured in the worker and serialised back with the
     result — the parent merges it into its metrics at receive time, so no
     registry is ever shared across processes.
     """
-    index, spec = item
-    started = time.perf_counter()
-    result = execute_run(spec)
-    return index, result, time.perf_counter() - started
+    out: list[tuple[int, RunResult, float]] = []
+    for index, spec in items:
+        started = time.perf_counter()
+        result = execute_run(spec)
+        out.append((index, result, time.perf_counter() - started))
+    return out
 
 
 @dataclass
@@ -258,7 +270,7 @@ class SerialExecutor:
 
 
 class ParallelExecutor:
-    """Distribute specs over a :mod:`multiprocessing` pool in chunks.
+    """Distribute specs over a process pool in chunks.
 
     Parameters
     ----------
@@ -276,6 +288,16 @@ class ParallelExecutor:
         it — they measure locally (per-run wall time travels back with each
         result) and the parent records events and metrics at receive time,
         so there is no shared mutable state across processes.
+
+    A worker dying outright (OOM kill, segfault, ``os._exit``) breaks the
+    whole pool — :class:`~concurrent.futures.process.BrokenProcessPool` —
+    and takes every in-flight chunk's results with it.  The executor treats
+    that as a degradation, not a loss: the runs without a result are retried
+    once on the serial path in-process, the event is recorded in
+    :attr:`ExecutorStats.fallback_reasons` and (when observed) emitted as a
+    :class:`~repro.obs.events.FallbackTaken` event.  A run that crashes the
+    worker deterministically therefore surfaces as the *serial* retry
+    crashing the parent — loudly — rather than hanging or vanishing.
     """
 
     def __init__(
@@ -325,22 +347,62 @@ class ParallelExecutor:
             self.stats = serial.stats
             return results
 
-        context = self._mp_context or multiprocessing.get_context()
         collected: list[RunResult | None] = [None] * len(spec_list)
-        with context.Pool(processes=processes) as pool:
-            for index, result, seconds in pool.imap_unordered(
-                _execute_indexed, list(enumerate(spec_list)), chunksize=chunksize
-            ):
-                self.stats.record(result)
-                if obs is not None:
-                    # Worker-side measurements are merged here, at the join
-                    # point — run_started is not emitted for pooled runs
-                    # because the parent only learns of a run when it is
-                    # already done.
-                    _emit_run_finished(obs, result, seconds)
-                if on_result is not None:
-                    on_result(result)
-                collected[index] = result
+
+        def finish(index: int, result: RunResult, seconds: float) -> None:
+            self.stats.record(result)
+            if obs is not None:
+                # Worker-side measurements are merged here, at the join
+                # point — run_started is not emitted for pooled runs
+                # because the parent only learns of a run when it is
+                # already done.
+                _emit_run_finished(obs, result, seconds)
+            if on_result is not None:
+                on_result(result)
+            collected[index] = result
+
+        indexed = list(enumerate(spec_list))
+        chunks = [
+            indexed[start : start + chunksize]
+            for start in range(0, len(indexed), chunksize)
+        ]
+        pool_broken = False
+        with ProcessPoolExecutor(
+            max_workers=processes, mp_context=self._mp_context
+        ) as pool:
+            futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                try:
+                    batch = future.result()
+                except BrokenProcessPool:
+                    # A dead worker poisons the whole pool: this chunk and
+                    # every still-pending one resolve to the same error.
+                    # Keep draining — chunks that completed before the death
+                    # still carry results — and recover below.
+                    pool_broken = True
+                    continue
+                for index, result, seconds in batch:
+                    finish(index, result, seconds)
+
+        if pool_broken:
+            missing = [
+                index for index, result in enumerate(collected) if result is None
+            ]
+            reason = (
+                "worker process died (BrokenProcessPool); retrying the "
+                f"{len(missing)} affected run(s) on the serial executor"
+            )
+            self.stats.record_fallback("parallel-executor", len(missing), reason)
+            if obs is not None:
+                obs.emit(
+                    FallbackTaken(
+                        label="parallel-executor", runs=len(missing), reason=reason
+                    )
+                )
+            for index in missing:
+                started = time.perf_counter()
+                result = execute_run(spec_list[index], observer=obs)
+                finish(index, result, time.perf_counter() - started)
         return [result for result in collected if result is not None]
 
 

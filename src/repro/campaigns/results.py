@@ -26,6 +26,7 @@ from repro.analysis.metrics import (
     pull_statistics,
     trial_metrics,
 )
+from repro.network.stabilization import recovery_round
 from repro.network.trace import ExecutionTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,6 +75,15 @@ class RunResult:
         Fraction of rounds after the first agreement in which agreement
         broke — the empirical per-round failure probability of a sampled
         counter.  ``None`` for broadcast runs.
+    last_perturbation_round / recovered / recovery_round / re_stabilization_time:
+        Fault-injection recovery metrics
+        (:func:`repro.network.stabilization.recovery_round`): the round of
+        the last fault-schedule transition, whether the correct nodes
+        re-stabilised after it, the absolute round they did, and the
+        re-stabilisation time measured *from* the perturbation.  All
+        ``None`` for runs without an injected perturbation (loss/delay are
+        continuous noise, not discrete perturbations, so they do not set
+        these).
     rng:
         ``None`` for runs whose randomness came from the scalar engine's
         ``random.Random`` streams (including every deterministic batch
@@ -107,6 +117,10 @@ class RunResult:
     mean_pulls: float | None = None
     max_bits: int | None = None
     post_agreement_failure_rate: float | None = None
+    last_perturbation_round: int | None = None
+    recovered: bool | None = None
+    recovery_round: int | None = None
+    re_stabilization_time: int | None = None
     rng: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
@@ -144,6 +158,10 @@ class RunResult:
             mean_pulls=data.get("mean_pulls"),
             max_bits=data.get("max_bits"),
             post_agreement_failure_rate=data.get("post_agreement_failure_rate"),
+            last_perturbation_round=data.get("last_perturbation_round"),
+            recovered=data.get("recovered"),
+            recovery_round=data.get("recovery_round"),
+            re_stabilization_time=data.get("re_stabilization_time"),
             rng=data.get("rng"),
         )
 
@@ -176,6 +194,16 @@ def reduce_trace(
     metrics = trial_metrics(
         trace, bound=algorithm.stabilization_bound(), min_tail=spec.min_tail
     )
+    last_perturbation: int | None = None
+    recovered: bool | None = None
+    recovered_round: int | None = None
+    re_stabilization: int | None = None
+    if trace.metadata.get("last_perturbation_round") is not None:
+        recovery = recovery_round(trace, min_tail=spec.min_tail)
+        last_perturbation = recovery.last_perturbation_round
+        recovered = recovery.recovered
+        recovered_round = recovery.recovery_round
+        re_stabilization = recovery.re_stabilization_time
     correct = algorithm.n - len(trace.faulty)
     model = trace.metadata.get("model", "broadcast")
     max_pulls: int | None = None
@@ -222,6 +250,10 @@ def reduce_trace(
         mean_pulls=mean_pulls,
         max_bits=max_bits,
         post_agreement_failure_rate=failure_rate,
+        last_perturbation_round=last_perturbation,
+        recovered=recovered,
+        recovery_round=recovered_round,
+        re_stabilization_time=re_stabilization,
         rng=trace.metadata.get("rng"),
     )
 
@@ -232,12 +264,16 @@ class CampaignStore:
     One :class:`RunResult` per line.  Appends are flushed immediately so an
     interrupted campaign loses at most the in-flight run; on resume,
     :meth:`completed_ids` tells the runner which runs to skip.  Malformed
-    lines (for example a partial line from a hard kill) are ignored — the
-    corresponding runs simply execute again.
+    lines (for example a partial line from a hard kill) are skipped — the
+    corresponding runs simply execute again — but never silently:
+    :attr:`corrupt_lines` counts them so the runner can warn on resume.
     """
 
     def __init__(self, path: str | os.PathLike[str]) -> None:
         self._path = Path(path)
+        #: Number of unparseable lines encountered by the most recent full
+        #: read of the store (0 before any read).
+        self.corrupt_lines = 0
 
     @property
     def path(self) -> Path:
@@ -263,17 +299,26 @@ class CampaignStore:
 
     def __iter__(self) -> Iterator[RunResult]:
         if not self._path.exists():
+            self.corrupt_lines = 0
             return
+        corrupt = 0
         with self._path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                    yield RunResult.from_dict(data)
-                except (ValueError, KeyError, TypeError):
-                    continue
+            try:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                        result = RunResult.from_dict(data)
+                    except (ValueError, KeyError, TypeError):
+                        corrupt += 1
+                        continue
+                    yield result
+            finally:
+                # Publish the count even when the consumer stops early, so a
+                # partial read never reports a stale total from a prior pass.
+                self.corrupt_lines = corrupt
 
     def load(self) -> list[RunResult]:
         """All parseable results, in file order."""
@@ -346,6 +391,24 @@ def summarize_results(
                 round(sum(r.messages_sent for r in ok) / len(ok), 1) if ok else 0
             ),
         )
+        perturbed = [r for r in ok if r.last_perturbation_round is not None]
+        if perturbed:
+            # Fault-injection groups: how many runs re-stabilised after the
+            # last perturbation, and how long re-convergence took.
+            recovered = [r for r in perturbed if r.recovered]
+            times = [
+                r.re_stabilization_time
+                for r in recovered
+                if r.re_stabilization_time is not None
+            ]
+            row.update(
+                perturbed=len(perturbed),
+                recovered=len(recovered),
+                mean_recovery=(
+                    round(sum(times) / len(times), 1) if times else "-"
+                ),
+                max_recovery=max(times) if times else "-",
+            )
         pulls = [r.max_pulls for r in ok if r.max_pulls is not None]
         if pulls:
             # Pulling-model groups: the Theorem 4 / Corollary 4 quantities.

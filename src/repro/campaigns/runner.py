@@ -11,6 +11,7 @@ appends each result to the store the moment it completes, and returns a
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -120,6 +121,7 @@ def run_campaign(
         executor.observer = observer
 
     recovered: dict[str, RunResult] = {}
+    corrupt_lines = 0
     if store is not None:
         run_ids = {run.run_id for run in runs}
         recovered = {
@@ -127,12 +129,22 @@ def run_campaign(
             for run_id, result in store.latest_by_id().items()
             if run_id in run_ids and result.error is None
         }
+        corrupt_lines = store.corrupt_lines
+        if corrupt_lines:
+            warnings.warn(
+                f"campaign store {store.path} contained {corrupt_lines} "
+                "unparseable line(s); the affected runs will execute again",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     pending = [run for run in runs if run.run_id not in recovered]
 
     obs = active(observer)
     if obs is not None:
         metrics = obs.metrics
         metrics.counter("campaign.runs_total").inc(len(runs))
+        if corrupt_lines:
+            metrics.counter("campaign.store_corrupt_lines").inc(corrupt_lines)
         obs.emit(
             CampaignStarted(
                 name=name,

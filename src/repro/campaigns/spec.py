@@ -66,6 +66,22 @@ def _as_items(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None) -> t
     return tuple(sorted((str(key), value) for key, value in items))
 
 
+def _validate_perturbation_knobs(
+    owner: str, model: str, loss: float, delay: int, fault_schedule: str | None
+) -> None:
+    """Shared range/model validation for the perturbation fields."""
+    if not 0.0 <= loss < 1.0:
+        raise ParameterError(f"{owner}: loss must be in [0, 1), got {loss}")
+    if delay < 0:
+        raise ParameterError(f"{owner}: delay must be non-negative, got {delay}")
+    perturbed = loss > 0.0 or delay > 0 or fault_schedule is not None
+    if perturbed and model == "pulling":
+        raise ParameterError(
+            f"{owner}: perturbations (loss/delay/fault schedules) apply to "
+            "the broadcast model only"
+        )
+
+
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """A named, parameterised algorithm from the registry.
@@ -147,6 +163,15 @@ class RunSpec:
     min_tail: int = 2
     tags: tuple[tuple[str, Any], ...] = ()
     model: str = "broadcast"
+    #: Message-plane perturbations: per-link loss probability and maximum
+    #: delivery delay in rounds (broadcast model only; 0/0 = off).
+    loss: float = 0.0
+    delay: int = 0
+    #: Named fault schedule (a :func:`repro.semantics.fault_schedule_names`
+    #: preset) with its builder parameters.  A schedule owns the run's
+    #: faulty set over time, so scheduled runs keep ``adversary=None``.
+    fault_schedule: str | None = None
+    fault_schedule_params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.model not in MODELS:
@@ -154,6 +179,33 @@ class RunSpec:
                 f"run {self.run_id!r} names unknown model {self.model!r}; "
                 f"expected one of {MODELS}"
             )
+        _validate_perturbation_knobs(
+            self.run_id, self.model, self.loss, self.delay, self.fault_schedule
+        )
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether the run carries any perturbation (loss, delay, schedule)."""
+        return self.loss > 0.0 or self.delay > 0 or self.fault_schedule is not None
+
+    def resolve_perturbations(self) -> Any:
+        """The run's :class:`repro.faults.schedule.Perturbations`, or ``None``.
+
+        Builds the named fault schedule through its declared semantics
+        (parameters validated against the schema), so executing a scheduled
+        spec fails loudly on a typo instead of silently running unperturbed.
+        """
+        if not self.perturbed:
+            return None
+        from repro.faults.schedule import Perturbations
+        from repro.semantics import fault_schedule_semantics
+
+        schedule = None
+        if self.fault_schedule is not None:
+            schedule = fault_schedule_semantics(self.fault_schedule).build(
+                **dict(self.fault_schedule_params)
+            )
+        return Perturbations(loss=self.loss, delay=self.delay, schedule=schedule)
 
     def resolve_algorithm(self) -> SynchronousCountingAlgorithm | Any:
         """Return the algorithm instance this run executes.
@@ -218,10 +270,38 @@ class CampaignSpec:
     metadata: tuple[tuple[str, Any], ...] = ()
     model: str = "broadcast"
     engine: str = "auto"
+    loss: float = 0.0
+    delay: int = 0
+    fault_schedule: str | None = None
+    fault_schedule_params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ParameterError("campaign name must be non-empty")
+        _validate_perturbation_knobs(
+            f"campaign {self.name!r}",
+            self.model,
+            self.loss,
+            self.delay,
+            self.fault_schedule,
+        )
+        if self.fault_schedule is not None:
+            from repro.semantics import fault_schedule_semantics
+
+            # Unknown names and bad builder parameters fail at definition
+            # time; per-algorithm feasibility (fault counts vs resilience)
+            # is checked against each algorithm during expand().
+            fault_schedule_semantics(self.fault_schedule).validate(
+                dict(self.fault_schedule_params)
+            )
+            if tuple(self.adversaries) != ("none",):
+                raise ParameterError(
+                    f"campaign {self.name!r} pairs fault schedule "
+                    f"{self.fault_schedule!r} with adversaries "
+                    f"{list(self.adversaries)}; a schedule owns the faulty "
+                    "set over time, so scheduled campaigns must list "
+                    "adversaries=('none',)"
+                )
         if self.model not in MODELS:
             raise ParameterError(
                 f"unknown model {self.model!r}; expected one of {MODELS}"
@@ -263,6 +343,15 @@ class CampaignSpec:
         runs: dict[str, RunSpec] = {}
         for algorithm_spec in self.algorithms:
             algorithm = algorithm_spec.build()
+            if self.fault_schedule is not None:
+                from repro.semantics import fault_schedule_semantics
+
+                # Eager feasibility check: the schedule's fault counts must
+                # fit this algorithm's resilience, or expansion fails with
+                # the offending window named instead of every run erroring.
+                fault_schedule_semantics(self.fault_schedule).build(
+                    **dict(self.fault_schedule_params)
+                ).validate(algorithm)
             is_pulling = isinstance(algorithm, PullingAlgorithm)
             if is_pulling != (self.model == "pulling"):
                 raise ParameterError(
@@ -333,6 +422,10 @@ class CampaignSpec:
             min_tail=self.min_tail,
             tags=(("campaign", self.name), ("repetition", repetition)),
             model=self.model,
+            loss=self.loss,
+            delay=self.delay,
+            fault_schedule=self.fault_schedule,
+            fault_schedule_params=self.fault_schedule_params,
         )
 
     # ------------------------------------------------------------------ #
@@ -355,6 +448,10 @@ class CampaignSpec:
             "metadata": dict(self.metadata),
             "model": self.model,
             "engine": self.engine,
+            "loss": self.loss,
+            "delay": self.delay,
+            "fault_schedule": self.fault_schedule,
+            "fault_schedule_params": dict(self.fault_schedule_params),
         }
 
     @classmethod
@@ -376,4 +473,8 @@ class CampaignSpec:
             metadata=_as_items(data.get("metadata")),
             model=data.get("model", "broadcast"),
             engine=data.get("engine", "auto"),
+            loss=float(data.get("loss", 0.0)),
+            delay=int(data.get("delay", 0)),
+            fault_schedule=data.get("fault_schedule"),
+            fault_schedule_params=_as_items(data.get("fault_schedule_params")),
         )

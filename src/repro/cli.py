@@ -13,8 +13,9 @@ repro``.  Subcommands:
 ``experiment`` regenerate a paper artefact: ``table1``, ``table2``,
                ``figure1``, ``figure2``, ``scaling``, ``pulling``,
                ``ablation``
-``list``       discover algorithms, adversaries and experiments with
-               one-line descriptions (the unified component registry)
+``list``       discover algorithms, adversaries, fault schedules and
+               experiments with one-line descriptions (the unified
+               component registry)
 ``verify``     exhaustively model-check a registry algorithm
                (Section 2 definition of a synchronous counter), then run
                the static-analysis pass over the installed tree
@@ -36,6 +37,7 @@ from repro._version import __version__
 from repro.campaigns.cli import (
     dispatch,
     parse_algorithm,
+    parse_fault_schedule,
     parse_num_faults,
     register_commands,
 )
@@ -73,6 +75,13 @@ def _command_run(args: argparse.Namespace) -> int:
         .fault_pattern(args.fault_pattern)
         .engine(args.engine)
     )
+    if args.loss:
+        scenario = scenario.loss(args.loss)
+    if args.delay:
+        scenario = scenario.delay(args.delay)
+    if args.fault_schedule:
+        schedule_name, schedule_params = args.fault_schedule
+        scenario = scenario.fault_schedule(schedule_name, **dict(schedule_params))
     if args.name:
         scenario = scenario.named(args.name)
 
@@ -158,6 +167,24 @@ def _adversary_detail(name: str) -> list[str]:
     return lines
 
 
+def _fault_schedule_detail(name: str) -> list[str]:
+    """The ``list --verbose`` detail lines of one fault schedule, from its spec."""
+    from repro.semantics import fault_schedule_semantics, format_schema
+
+    spec = fault_schedule_semantics(name)
+    scalar = "deterministic" if spec.scalar_deterministic else "randomised"
+    engine = (
+        "batch-covered"
+        if spec.batch_covered
+        else "scalar engine only (named fallback under engine='auto')"
+    )
+    return [
+        f"params: {format_schema(spec.parameters)}",
+        f"semantics: scalar {scalar}; {engine}",
+        f"source: {spec.source}",
+    ]
+
+
 def _command_list(args: argparse.Namespace) -> int:
     """List algorithms, adversaries and experiments with descriptions."""
     registry = default_component_registry()
@@ -198,6 +225,18 @@ def _command_list(args: argparse.Namespace) -> int:
             for entry in registry.describe(kind="adversary")
         ]
         sections.append("Adversaries:\n" + format_rows(rows))
+    if args.kind in ("fault-schedules", "all"):
+        from repro.semantics import fault_schedule_descriptions
+
+        rows = [
+            (
+                name,
+                description,
+                _fault_schedule_detail(name) if verbose else [],
+            )
+            for name, description in fault_schedule_descriptions().items()
+        ]
+        sections.append("Fault schedules:\n" + format_rows(rows))
     if args.kind in ("experiments", "all"):
         rows = [
             (experiment.name, experiment.description, [])
@@ -334,6 +373,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--min-tail", type=int, default=2)
     run.add_argument("--fault-pattern", choices=FAULT_PATTERNS, default="random")
     run.add_argument(
+        "--fault-schedule",
+        type=parse_fault_schedule,
+        metavar="NAME[:k=v,...]",
+        help=(
+            "named fault schedule with parameters, e.g. "
+            "'churn:start=5,down=6' (see `repro list fault-schedules`); "
+            "the schedule owns the faulty set, so the scenario runs "
+            "fault-free baselines and measures re-stabilisation"
+        ),
+    )
+    run.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help=(
+            "per-link message loss probability in [0, 1) — a lost link "
+            "re-delivers the sender's previous broadcast (broadcast model only)"
+        ),
+    )
+    run.add_argument(
+        "--delay",
+        type=int,
+        default=0,
+        help=(
+            "maximum per-link message delay in rounds; each link delivers a "
+            "uniformly random 0..DELAY-old broadcast (broadcast model only)"
+        ),
+    )
+    run.add_argument(
         "--engine",
         choices=list(ENGINES),
         default="auto",
@@ -400,17 +468,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser(
         "list",
-        help="list algorithms, adversaries and experiments with descriptions",
+        help=(
+            "list algorithms, adversaries, fault schedules and experiments "
+            "with descriptions"
+        ),
         description=(
-            "Discovery: every registered algorithm and adversary strategy "
-            "(the unified component registry) plus the experiment catalogue."
+            "Discovery: every registered algorithm, adversary strategy and "
+            "fault-schedule preset (the unified component registry and "
+            "semantics catalogue) plus the experiment catalogue."
         ),
     )
     list_parser.set_defaults(handler=_command_list)
     list_parser.add_argument(
         "kind",
         nargs="?",
-        choices=("algorithms", "adversaries", "experiments", "all"),
+        choices=("algorithms", "adversaries", "fault-schedules", "experiments", "all"),
         default="all",
         help="restrict the listing to one kind (default: all)",
     )

@@ -1,0 +1,43 @@
+"""Dynamic fault injection: schedules, churn and message-plane perturbations.
+
+Every adversary strategy in :mod:`repro.network.adversary` fixes its faulty
+set before round 0 — which exercises Byzantine *tolerance* but never the
+*self-stabilisation* the paper is actually about (convergence from arbitrary
+configurations reached mid-run).  This package closes that gap:
+
+* :class:`FaultWindow` / :class:`FaultSchedule` — declarative, seeded plans
+  composing the existing strategies over time-varying faulty sets, including
+  churn: nodes crash, return under adversarial control, and rejoin as
+  correct with *arbitrary* states (the self-stabilisation workload).
+* :class:`Perturbations` — the full perturbation surface of one run: an
+  optional schedule plus per-link message loss probability and bounded
+  delay, applied identically (up to RNG streams) by the scalar and batch
+  engines.
+* :mod:`repro.faults.runtime` — the scalar execution machinery: the
+  per-round schedule state machine and the loss/delay message plane.
+
+Schedule presets (churn, rolling, late-adversary) are declared once in
+:mod:`repro.semantics` and surfaced by the registries, the CLI and the
+parity harness like any other component.
+"""
+
+from repro.faults.runtime import PerturbationRuntime, run_perturbed_round
+from repro.faults.schedule import (
+    FaultSchedule,
+    FaultWindow,
+    Perturbations,
+    build_churn_schedule,
+    build_late_adversary_schedule,
+    build_rolling_schedule,
+)
+
+__all__ = [
+    "FaultWindow",
+    "FaultSchedule",
+    "Perturbations",
+    "PerturbationRuntime",
+    "run_perturbed_round",
+    "build_churn_schedule",
+    "build_rolling_schedule",
+    "build_late_adversary_schedule",
+]

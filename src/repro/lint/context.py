@@ -175,7 +175,11 @@ class LintContext:
         """Every ``"module:attr"`` binding the catalogue declares."""
         if self.bindings_override is not None:
             return tuple(self.bindings_override)
-        from repro.semantics.catalog import ADVERSARY_SEMANTICS, ALGORITHM_SEMANTICS
+        from repro.semantics.catalog import (
+            ADVERSARY_SEMANTICS,
+            ALGORITHM_SEMANTICS,
+            FAULT_SCHEDULE_SEMANTICS,
+        )
 
         bindings: list[str] = []
         for algorithm in ALGORITHM_SEMANTICS.values():
@@ -184,17 +188,27 @@ class LintContext:
             for binding in (adversary.scalar_binding, adversary.kernel_binding):
                 if binding is not None:
                     bindings.append(binding)
+        for schedule in FAULT_SCHEDULE_SEMANTICS.values():
+            bindings.append(schedule.builder_binding)
         return tuple(bindings)
 
     def declared_descriptions(self) -> tuple[str, ...]:
         """Every component description string the catalogue declares."""
         if self.descriptions_override is not None:
             return tuple(self.descriptions_override)
-        from repro.semantics.catalog import ADVERSARY_SEMANTICS, ALGORITHM_SEMANTICS
+        from repro.semantics.catalog import (
+            ADVERSARY_SEMANTICS,
+            ALGORITHM_SEMANTICS,
+            FAULT_SCHEDULE_SEMANTICS,
+        )
 
         return tuple(
             spec.description
-            for mapping in (ALGORITHM_SEMANTICS, ADVERSARY_SEMANTICS)
+            for mapping in (
+                ALGORITHM_SEMANTICS,
+                ADVERSARY_SEMANTICS,
+                FAULT_SCHEDULE_SEMANTICS,
+            )
             for spec in mapping.values()
         )
 

@@ -390,6 +390,7 @@ class UnorderedIterationRule(Rule):
         "repro.core",
         "repro.consensus",
         "repro.counters",
+        "repro.faults",
         "repro.network",
         "repro.sampling",
         "repro.verification",

@@ -49,6 +49,14 @@ Correctness contract
   are identical but the sampled values are not.  Such traces carry an
   explicit ``rng`` note in their metadata (:data:`BATCH_RNG_NOTE`) so
   downstream consumers can tell the streams apart.
+* **Message-plane perturbations are statistically equivalent.**  The
+  ``loss`` / ``delay`` knobs replay the scalar staleness model of
+  :func:`repro.faults.runtime.run_perturbed_round` — per-link draws from
+  the same distributions, self-links and Byzantine links untouched — as
+  masked array ops over a short history of state snapshots.  Perturbed
+  runs always consume NumPy randomness, so they always carry the ``rng``
+  note.  Fault *schedules* have no batch path: the campaign layer routes
+  scheduled runs to the scalar engine with a named fallback reason.
 """
 
 from __future__ import annotations
@@ -79,6 +87,7 @@ __all__ = [
     "BatchTrial",
     "BatchRunSummary",
     "BatchMessages",
+    "PerturbedBatchMessages",
     "BatchPullNetwork",
     "BatchKernel",
     "PullBatchKernel",
@@ -368,6 +377,83 @@ class BatchMessages:
         )
         shared = masked.min(axis=1)
         return np.minimum(shared[:, None], self.forged[:, :, :, field].min(axis=2))
+
+
+class PerturbedBatchMessages(BatchMessages):
+    """Broadcast round view under message-plane loss/delay perturbations.
+
+    With per-link staleness active the ``receiver x sender`` matrix is no
+    longer one broadcast row per sender: each link independently delivers
+    the sender's start-of-round state from up to ``delay`` (plus one on a
+    lost message) rounds ago.  The view therefore carries the fully
+    materialised ``(B, receiver, sender, fields)`` delivered tensor.
+    Forgeries still patch the faulty columns per receiver — Byzantine links
+    are forged, never perturbed — and the shared-tally fast paths of the
+    fault-free view degrade to per-receiver reductions over the delivered
+    matrix (``O(B·n²)``, the honest cost of per-link perturbation).
+    """
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        faulty_idx: np.ndarray | None,
+        forged: np.ndarray | None,
+        delivered: np.ndarray,
+    ) -> None:
+        super().__init__(states, faulty_idx, forged)
+        self.delivered = delivered
+
+    def received(self, field: int) -> np.ndarray:
+        matrix = self.delivered[:, :, :, field]
+        if self.forged is None:
+            return matrix
+        matrix = matrix.copy()
+        assert self.faulty_idx is not None
+        np.put_along_axis(
+            matrix, self.faulty_idx[:, None, :], self.forged[:, :, :, field], axis=2
+        )
+        return matrix
+
+    def field_counts(self, field: int, size: int) -> np.ndarray:
+        batch, n = self.batch, self.n
+        matrix = self.received(field)
+        cell_offsets = (np.arange(batch * n, dtype=np.int64) * size).reshape(
+            batch, n, 1
+        )
+        return np.bincount(
+            (matrix + cell_offsets).ravel(), minlength=batch * n * size
+        ).reshape(batch, n, size)
+
+    def field_min(self, field: int) -> np.ndarray:
+        return self.received(field).min(axis=2)
+
+
+def _delayed_deliveries(
+    history: list[np.ndarray], loss: float, delay: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-link delivered sender states under loss/delay: ``(B, n, n, fields)``.
+
+    Mirrors the scalar staleness model of
+    :func:`repro.faults.runtime.run_perturbed_round`: each ``(receiver,
+    sender)`` link independently delivers the sender's start-of-round state
+    from ``Uniform{0..delay}`` rounds ago, one round staler again with
+    probability ``loss``; self-links always deliver the current state, and
+    early rounds clamp to the oldest recorded snapshot.  ``history[0]`` is
+    the current round's start-of-round states.
+    """
+    batch, n = history[0].shape[0], history[0].shape[1]
+    staleness = np.zeros((batch, n, n), dtype=np.int64)
+    if delay > 0:
+        staleness += rng.integers(0, delay + 1, size=(batch, n, n), dtype=np.int64)
+    if loss > 0.0:
+        staleness += rng.random(size=(batch, n, n)) < loss
+    diagonal = np.arange(n)
+    staleness[:, diagonal, diagonal] = 0
+    np.minimum(staleness, len(history) - 1, out=staleness)
+    stack = np.stack(history, axis=0)
+    bidx = np.arange(batch)[:, None, None]
+    sidx = np.arange(n)[None, None, :]
+    return stack[staleness, bidx, sidx]
 
 
 class BatchPullNetwork:
@@ -815,6 +901,8 @@ def run_batch_trials(
     max_rounds: int = 1000,
     stop_after_agreement: int | None = None,
     batch_size: int = 256,
+    loss: float = 0.0,
+    delay: int = 0,
     observer: Any = None,
 ) -> list[ExecutionTrace]:
     """Run many trials of one configuration as a vectorised batch.
@@ -828,6 +916,12 @@ def run_batch_trials(
     bit-identical; randomised ones are statistically equivalent and stamp
     :data:`BATCH_RNG_NOTE` into the trace metadata.
 
+    ``loss`` / ``delay`` engage the message-plane perturbations of
+    :class:`repro.faults.schedule.Perturbations` (broadcast model only):
+    per-link staleness drawn from the same distributions the scalar
+    perturbed round uses.  Perturbed runs always consume NumPy randomness,
+    so they are statistically — never bit — equivalent to scalar runs.
+
     ``batch_size`` bounds the number of trials vectorised together (memory —
     and, for randomised kernels, the chunking of the NumPy streams).
     ``observer`` attaches :mod:`repro.obs` instrumentation (step timers,
@@ -835,7 +929,9 @@ def run_batch_trials(
     read, so results are unchanged by one.
     """
     traces: list[ExecutionTrace] = []
-    for chunk in _chunked(trials, batch_size, max_rounds, stop_after_agreement):
+    for chunk in _chunked(
+        trials, batch_size, max_rounds, stop_after_agreement, loss, delay
+    ):
         chunk_traces, _ = _run_chunk(
             algorithm,
             kernel,
@@ -844,6 +940,8 @@ def run_batch_trials(
             dict(adversary_params or {}),
             max_rounds,
             stop_after_agreement,
+            loss=loss,
+            delay=delay,
             record_outputs=True,
             observer=observer,
         )
@@ -862,6 +960,8 @@ def run_batch_summaries(
     max_rounds: int = 1000,
     stop_after_agreement: int | None = None,
     batch_size: int = 256,
+    loss: float = 0.0,
+    delay: int = 0,
     observer: Any = None,
 ) -> list[BatchRunSummary]:
     """Like :func:`run_batch_trials`, but skip the per-round trace rebuild.
@@ -872,7 +972,9 @@ def run_batch_summaries(
     outputs are never materialised as Python dictionaries.
     """
     summaries: list[BatchRunSummary] = []
-    for chunk in _chunked(trials, batch_size, max_rounds, stop_after_agreement):
+    for chunk in _chunked(
+        trials, batch_size, max_rounds, stop_after_agreement, loss, delay
+    ):
         _, chunk_summaries = _run_chunk(
             algorithm,
             kernel,
@@ -881,6 +983,8 @@ def run_batch_summaries(
             dict(adversary_params or {}),
             max_rounds,
             stop_after_agreement,
+            loss=loss,
+            delay=delay,
             record_outputs=False,
             observer=observer,
         )
@@ -893,6 +997,8 @@ def _chunked(
     batch_size: int,
     max_rounds: int,
     stop_after_agreement: int | None,
+    loss: float = 0.0,
+    delay: int = 0,
 ) -> list[Sequence[BatchTrial]]:
     """Validate the shared parameters and slice the trials into chunks."""
     if max_rounds < 1:
@@ -903,6 +1009,10 @@ def _chunked(
         )
     if batch_size < 1:
         raise SimulationError(f"batch_size must be positive, got {batch_size}")
+    if not 0.0 <= loss < 1.0:
+        raise SimulationError(f"loss must be in [0, 1), got {loss}")
+    if delay < 0:
+        raise SimulationError(f"delay must be non-negative, got {delay}")
     fault_counts = {len(trial.faulty) for trial in trials}
     if len(fault_counts) > 1:
         raise SimulationError(
@@ -924,6 +1034,8 @@ def _run_chunk(
     max_rounds: int,
     window: int | None,
     record_outputs: bool,
+    loss: float = 0.0,
+    delay: int = 0,
     observer: Any = None,
 ) -> tuple[list[ExecutionTrace] | None, list[BatchRunSummary]]:
     """Vectorised execution of one chunk of trials."""
@@ -932,6 +1044,12 @@ def _run_chunk(
     c = algorithm.c
     fields = kernel.fields
     pulling = kernel.model == "pulling"
+    perturbed = loss > 0.0 or delay > 0
+    if perturbed and pulling:
+        raise SimulationError(
+            "message-plane perturbations (loss/delay) apply to the broadcast "
+            "model only; pulling algorithms have no batch perturbation path"
+        )
     num_faults = len(trials[0].faulty)
 
     # ------------------------------------------------------------------ #
@@ -963,7 +1081,7 @@ def _run_chunk(
         if pulling
         else ("initial-states", "adversary")
     )
-    randomized = not (
+    randomized = perturbed or not (
         kernel.deterministic
         and (adversary_kernel is None or adversary_kernel.deterministic)
     )
@@ -1002,6 +1120,9 @@ def _run_chunk(
             metadata["adversary"] = adversary.describe()
             metadata["seed"] = trial.sim_seed
             metadata["max_rounds"] = max_rounds
+            if perturbed:
+                # Same shape as the scalar Perturbations.describe() stamp.
+                metadata["perturbations"] = {"loss": loss, "delay": delay}
             if randomized:
                 metadata["rng"] = BATCH_RNG_NOTE
             traces.append(
@@ -1032,6 +1153,9 @@ def _run_chunk(
     active = np.arange(batch)
     prev = np.full(batch, _DISAGREE, dtype=np.int64)
     streak = np.zeros(batch, dtype=np.int64)
+    #: Past start-of-round state snapshots (newest first), compacted with
+    #: the live arrays; only maintained when loss/delay is active.
+    history: list[np.ndarray] | None = [] if perturbed else None
     #: Per round: (trial indices, agreed values, outputs, pulls per node).
     recorded: list[
         tuple[np.ndarray, np.ndarray, np.ndarray | None, int | None]
@@ -1077,7 +1201,16 @@ def _run_chunk(
                     correct_sorted,
                     rng,
                 )
-            view = BatchMessages(states, faulty_idx, forged)
+            view: BatchMessages
+            if history is not None:
+                # history[0] is this round's start-of-round states; the
+                # staleness draws never reach past delay + 1 snapshots.
+                history.insert(0, states)
+                del history[delay + 2 :]
+                delivered = _delayed_deliveries(history, loss, delay, rng)
+                view = PerturbedBatchMessages(states, faulty_idx, forged, delivered)
+            else:
+                view = BatchMessages(states, faulty_idx, forged)
             assert isinstance(kernel, BatchKernel)
             states = kernel.step(view, round_index, rng)
 
@@ -1140,6 +1273,8 @@ def _run_chunk(
             faulty_idx = faulty_idx[keep]
         if faulty_lookup is not None:
             faulty_lookup = faulty_lookup[keep]
+        if history is not None:
+            history = [snapshot[keep] for snapshot in history]
 
     if obs is not None:
         chunk_seconds = time.perf_counter() - chunk_started

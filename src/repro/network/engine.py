@@ -39,7 +39,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.errors import SimulationError
 from repro.network.trace import ExecutionTrace, RoundRecord
-from repro.obs.events import RoundObserved
+from repro.obs.events import FaultInjected, NodeRecovered, RoundObserved
 from repro.obs.observer import Observer, active
 from repro.util.rng import derive_rng, ensure_rng
 
@@ -47,6 +47,7 @@ __all__ = [
     "StoppingRule",
     "MaxRounds",
     "AgreementWindow",
+    "NotBefore",
     "FirstOf",
     "ModelAdapter",
     "resolve_initial_states",
@@ -138,6 +139,33 @@ class AgreementWindow(StoppingRule):
 
     def stop_metadata(self) -> dict[str, Any]:
         return {"stopped_early": True, "agreement_streak": self._streak}
+
+
+class NotBefore(StoppingRule):
+    """Gate a rule: rounds before ``round_index`` are never forwarded to it.
+
+    Used for perturbed runs — an agreement window must not end the run while
+    a fault schedule still has pending windows, or the later injections (and
+    the recovery they force) would silently never execute.  The inner rule
+    only starts observing from the gate round, so its streak counts
+    post-perturbation rounds exclusively.
+    """
+
+    def __init__(self, rule: StoppingRule, round_index: int) -> None:
+        if round_index < 0:
+            raise SimulationError(
+                f"NotBefore round must be non-negative, got {round_index}"
+            )
+        self.rule = rule
+        self.round_index = round_index
+
+    def reset(self) -> None:
+        self.rule.reset()
+
+    def observe(self, record: RoundRecord) -> StoppingRule | None:
+        if record.round_index < self.round_index:
+            return None
+        return self.rule.observe(record)
 
 
 class FirstOf(StoppingRule):
@@ -374,6 +402,7 @@ def run_engine(
     started = time.perf_counter() if obs is not None else 0.0
     output = algorithm.output
     round_index = 0
+    last_perturbation: int | None = None
     while True:
         states, round_metadata = model.step(states, round_index)
         outputs = {node: output(node, state) for node, state in states.items()}
@@ -384,6 +413,32 @@ def run_engine(
             metadata=round_metadata if round_metadata is not None else {},
         )
         trace.append(record)
+
+        if round_metadata is not None:
+            # Fault-schedule markers (stamped by the perturbation runtime):
+            # track the anchor of the recovery metrics and surface the
+            # injection/recovery as typed events.
+            injected = round_metadata.get("fault_injected")
+            recovered = round_metadata.get("nodes_recovered")
+            if injected is not None or recovered is not None:
+                last_perturbation = round_index
+                if obs is not None:
+                    if injected is not None:
+                        obs.emit(
+                            FaultInjected(
+                                round_index=round_index,
+                                strategy=injected["strategy"],
+                                nodes=tuple(injected["nodes"]),
+                            )
+                        )
+                    if recovered is not None:
+                        obs.emit(
+                            NodeRecovered(
+                                round_index=round_index,
+                                nodes=tuple(recovered["nodes"]),
+                            )
+                        )
+                    obs.metrics.counter("engine.fault_transitions").inc()
 
         if stride and round_index % stride == 0:
             obs.emit(
@@ -398,6 +453,8 @@ def run_engine(
         fired = rule.observe(record)
         if fired is not None:
             trace.metadata.update(fired.stop_metadata())
+            if last_perturbation is not None:
+                trace.metadata["last_perturbation_round"] = last_perturbation
             if obs is not None:
                 rounds = round_index + 1
                 metrics = obs.metrics

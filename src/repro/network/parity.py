@@ -38,6 +38,8 @@ from repro.semantics import (
     adversary_semantics,
     algorithm_names,
     algorithm_semantics,
+    fault_schedule_names,
+    fault_schedule_semantics,
     strategy_names,
 )
 
@@ -45,12 +47,18 @@ __all__ = [
     "FUZZ_ALGORITHMS",
     "ALL_STRATEGIES",
     "DISTRIBUTION_STRATEGIES",
+    "PERTURBATION_CHOICES",
+    "ALL_SCHEDULES",
     "ParityConfig",
     "ParityReport",
+    "ScheduleConfig",
     "sample_configs",
     "check_parity",
     "check_distributions",
     "run_parity_fuzz",
+    "sample_schedule_configs",
+    "check_schedule",
+    "run_schedule_fuzz",
 ]
 
 #: Fuzzable registry entries: ``(name, params, max_faults, max_rounds)``.
@@ -83,6 +91,22 @@ DISTRIBUTION_STRATEGIES: tuple[str, ...] = tuple(
 #: window, and a window larger than the round cap (can never fire).
 WINDOW_CHOICES: tuple[str, ...] = ("none", "one", "small", "beyond")
 
+#: The message-plane perturbation axis: ``(loss, delay)`` pairs sampled for
+#: broadcast-model configurations.  Unperturbed entries dominate so most of
+#: the sweep still exercises the bit-identical contract; any non-zero knob
+#: demotes the configuration to the statistical equivalence class.
+PERTURBATION_CHOICES: tuple[tuple[float, int], ...] = (
+    (0.0, 0),
+    (0.0, 0),
+    (0.1, 0),
+    (0.0, 1),
+    (0.15, 2),
+)
+
+#: Every declared fault-schedule preset (generated from the semantics
+#: catalogue, like the strategy and algorithm axes).
+ALL_SCHEDULES: tuple[str, ...] = fault_schedule_names()
+
 
 @dataclass(frozen=True)
 class ParityConfig:
@@ -95,6 +119,10 @@ class ParityConfig:
     trials: tuple[tuple[int, tuple[int, ...]], ...]  # (sim_seed, faulty)
     max_rounds: int
     stop_after_agreement: int | None
+    #: Message-plane perturbation knobs (broadcast configurations only; any
+    #: non-zero value forces the statistical equivalence class).
+    loss: float = 0.0
+    delay: int = 0
 
     def label(self) -> str:
         """Compact identity for failure messages and reports."""
@@ -103,10 +131,18 @@ class ParityConfig:
         if self.adversary_params:
             adv += "(" + ",".join(f"{k}={v}" for k, v in self.adversary_params) + ")"
         faults = len(self.trials[0][1]) if self.trials else 0
-        return (
+        text = (
             f"{self.algorithm}({inner}) x {adv} f={faults} "
             f"rounds={self.max_rounds} window={self.stop_after_agreement}"
         )
+        if self.loss > 0.0 or self.delay > 0:
+            text += f" loss={self.loss} delay={self.delay}"
+        return text
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether the message-plane knobs are engaged."""
+        return self.loss > 0.0 or self.delay > 0
 
 
 @dataclass
@@ -163,7 +199,9 @@ def sample_configs(
     The first samples cycle deterministically through every strategy in
     :data:`ALL_STRATEGIES` (so any sweep of at least 8 configurations covers
     the whole registry); algorithms, fault counts, faulty sets, stopping
-    windows and optional adversary parameters are drawn from ``seed``.
+    windows, optional adversary parameters and (for broadcast algorithms)
+    the message-plane :data:`PERTURBATION_CHOICES` axis are drawn from
+    ``seed``.
     """
     rng = ensure_rng(seed)
     configs: list[ParityConfig] = []
@@ -187,6 +225,10 @@ def sample_configs(
             )
             for _ in range(trials_per_config)
         )
+        if algorithm_semantics(name).model == "pulling":
+            loss, delay = 0.0, 0  # perturbations apply to broadcast only
+        else:
+            loss, delay = rng.choice(PERTURBATION_CHOICES)
         configs.append(
             ParityConfig(
                 algorithm=name,
@@ -196,6 +238,8 @@ def sample_configs(
                 trials=trials,
                 max_rounds=max_rounds,
                 stop_after_agreement=_window_value(rng.choice(WINDOW_CHOICES), max_rounds),
+                loss=loss,
+                delay=delay,
             )
         )
     return configs
@@ -230,6 +274,11 @@ def _scalar_trace(
             ),
             observer=observer,
         )
+    perturbations = None
+    if config.perturbed:
+        from repro.faults.schedule import Perturbations
+
+        perturbations = Perturbations(loss=config.loss, delay=config.delay)
     return run_simulation(
         algorithm,
         adversary=adversary,
@@ -237,6 +286,7 @@ def _scalar_trace(
             max_rounds=config.max_rounds,
             stop_after_agreement=config.stop_after_agreement,
             seed=sim_seed,
+            perturbations=perturbations,
         ),
         observer=observer,
     )
@@ -275,9 +325,13 @@ def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
         return report
 
     strategy = None if config.strategy == "none" else config.strategy
-    deterministic = kernel.deterministic and (
-        strategy is None
-        or adversary_semantics(strategy).determinism.for_kernel(kernel)
+    deterministic = (
+        not config.perturbed  # loss/delay draw per-link randomness each round
+        and kernel.deterministic
+        and (
+            strategy is None
+            or adversary_semantics(strategy).determinism.for_kernel(kernel)
+        )
     )
     report.mode = "bit-identical" if deterministic else "statistical"
 
@@ -291,6 +345,8 @@ def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
         max_rounds=config.max_rounds,
         stop_after_agreement=config.stop_after_agreement,
         observer=observer,
+        loss=config.loss,
+        delay=config.delay,
     )
     batch_traces = run_batch_trials(algorithm, kernel, trials, **kwargs)
     summaries = run_batch_summaries(algorithm, kernel, trials, **kwargs)
@@ -300,6 +356,13 @@ def check_parity(config: ParityConfig, observer: Any = None) -> ParityReport:
             algorithm, config, trial.sim_seed, trial.faulty, observer=observer
         )
         where = f"seed={trial.sim_seed} faulty={list(trial.faulty)}"
+        if config.perturbed:
+            # Both engines must stamp the identical perturbation record.
+            expected = {"loss": config.loss, "delay": config.delay}
+            if batch.metadata.get("perturbations") != expected:
+                report.failures.append(f"{where}: batch perturbation stamp wrong")
+            if scalar.metadata.get("perturbations") != expected:
+                report.failures.append(f"{where}: scalar perturbation stamp wrong")
         if deterministic:
             if batch != scalar:
                 report.failures.append(f"{where}: trace diverged from scalar")
@@ -367,6 +430,8 @@ def check_distributions(
     seed: int = 0,
     max_rounds: int = 150,
     tolerance: float = 0.3,
+    loss: float = 0.0,
+    delay: int = 0,
 ) -> tuple[float, int]:
     """KS closeness of scalar vs batch stabilisation times for one strategy.
 
@@ -375,7 +440,9 @@ def check_distributions(
     fixed seeds per engine and returns ``(ks_statistic, trials)``.  Fixed
     seeds make the statistic deterministic; ``tolerance`` is the caller's
     acceptance bound (the expected KS distance of two same-distribution
-    60-sample draws is ≈ 0.25 at the 0.5% level).
+    60-sample draws is ≈ 0.25 at the 0.5% level).  ``loss``/``delay``
+    engage the message-plane perturbations on both engines, extending the
+    distributional check to the perturbed axes.
     """
     from repro.counters.registry import default_registry
     from repro.network.batch import BatchTrial, build_batch_kernel, run_batch_trials
@@ -400,6 +467,8 @@ def check_distributions(
         trials=tuple((t.sim_seed, t.faulty) for t in trial_list),
         max_rounds=max_rounds,
         stop_after_agreement=None,
+        loss=loss,
+        delay=delay,
     )
 
     def times(traces):
@@ -418,6 +487,8 @@ def check_distributions(
             trial_list,
             adversary_strategy=strategy,
             max_rounds=max_rounds,
+            loss=loss,
+            delay=delay,
         )
     )
     scalar_times = times(
@@ -448,4 +519,183 @@ def run_parity_fuzz(
             trials_per_config=trials_per_config,
             max_rounds_cap=max_rounds_cap,
         )
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Fault-schedule fuzz (scalar determinism + named-fallback contract)
+# ---------------------------------------------------------------------- #
+
+#: The scheduled sweeps run against one small broadcast counter; the
+#: schedule axis varies, the algorithm stays fixed and cheap.
+_SCHEDULE_ALGORITHM: tuple[str, dict[str, Any]] = (
+    "naive-majority",
+    {"n": 6, "c": 3, "claimed_resilience": 1},
+)
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """One sampled fault-schedule grid point.
+
+    Fault schedules have no batch path, so their contract is different from
+    :class:`ParityConfig`: fixed seeds must replay fixed schedules on the
+    scalar engine, recovery metrics must be internally consistent, and the
+    campaign layer must degrade scheduled groups to the scalar engine with a
+    *named* fallback reason (never silently) while ``engine="batch"`` must
+    refuse them outright.
+    """
+
+    schedule: str
+    params: tuple[tuple[str, Any], ...]
+    sim_seed: int
+    max_rounds: int
+    stop_after_agreement: int | None
+
+    def label(self) -> str:
+        """Compact identity for failure messages and reports."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"{self.schedule}({inner}) seed={self.sim_seed} "
+            f"rounds={self.max_rounds} window={self.stop_after_agreement}"
+        )
+
+
+def sample_schedule_configs(count: int, seed: int = 0) -> list[ScheduleConfig]:
+    """Draw a reproducible sweep over the declared fault-schedule presets.
+
+    The first samples cycle through every preset in :data:`ALL_SCHEDULES`;
+    parameters come from each preset's declared ``fuzz_param_choices`` (the
+    same mechanism as the adversary axes), so declaring a new preset buys it
+    sweep coverage automatically.
+    """
+    rng = ensure_rng(seed)
+    configs: list[ScheduleConfig] = []
+    for index in range(count):
+        if index < len(ALL_SCHEDULES):
+            name = ALL_SCHEDULES[index]
+        else:
+            name = rng.choice(ALL_SCHEDULES)
+        spec = fault_schedule_semantics(name)
+        params: list[tuple[str, Any]] = []
+        for param_name, values in spec.fuzz_param_choices:
+            if rng.random() < 0.5:
+                params.append((param_name, rng.choice(values)))
+        schedule = spec.build(**dict(params))
+        horizon = schedule.last_change_round() or 0
+        configs.append(
+            ScheduleConfig(
+                schedule=name,
+                params=tuple(sorted(params)),
+                sim_seed=rng.getrandbits(32),
+                # Leave ample post-perturbation room for re-stabilisation.
+                max_rounds=horizon + 60,
+                stop_after_agreement=rng.choice((None, 8)),
+            )
+        )
+    return configs
+
+
+def check_schedule(config: ScheduleConfig) -> list[str]:
+    """Verify one scheduled configuration's contract; return failures.
+
+    Checks three things: (1) fixed-seed determinism — two scalar executions
+    replay bit-identically, including the drawn faulty sets and rejoin
+    states; (2) recovery-metric consistency — the trace carries the
+    perturbation anchor and :func:`repro.network.stabilization.recovery_round`
+    agrees with it; (3) the campaign contract — ``engine="auto"`` degrades
+    the scheduled group to the scalar engine with a fallback reason naming
+    the schedule, and ``engine="batch"`` raises instead of silently falling
+    back.
+    """
+    from repro.campaigns.batching import BatchExecutor
+    from repro.campaigns.spec import AlgorithmSpec, RunSpec
+    from repro.core.errors import ParameterError
+    from repro.counters.registry import default_registry
+    from repro.faults.schedule import Perturbations
+    from repro.network.simulator import SimulationConfig, run_simulation
+    from repro.network.stabilization import recovery_round
+
+    failures: list[str] = []
+    name, algorithm_params = _SCHEDULE_ALGORITHM
+    algorithm = default_registry().build(name, **algorithm_params)
+    schedule = fault_schedule_semantics(config.schedule).build(**dict(config.params))
+
+    def execute():
+        return run_simulation(
+            algorithm,
+            config=SimulationConfig(
+                max_rounds=config.max_rounds,
+                stop_after_agreement=config.stop_after_agreement,
+                seed=config.sim_seed,
+                perturbations=Perturbations(schedule=schedule),
+            ),
+        )
+
+    first, second = execute(), execute()
+    if first != second:
+        failures.append("fixed-seed replay diverged (schedule not deterministic)")
+
+    anchor = first.metadata.get("last_perturbation_round")
+    horizon = schedule.last_change_round()
+    if horizon is not None and horizon <= config.max_rounds:
+        if anchor is None:
+            failures.append("trace missing last_perturbation_round anchor")
+        elif not 0 <= anchor < first.num_rounds:
+            failures.append(f"anchor {anchor} outside the recorded rounds")
+    if first.metadata.get("perturbations", {}).get("schedule", {}).get(
+        "name"
+    ) != config.schedule:
+        failures.append("perturbation stamp does not name the schedule")
+    recovery = recovery_round(first, min_tail=2)
+    if recovery.last_perturbation_round != anchor:
+        failures.append("recovery analysis disagrees with the trace anchor")
+    if recovery.recovered:
+        if recovery.recovery_round is None or recovery.recovery_round < (anchor or 0):
+            failures.append("recovery round precedes the perturbation")
+        elif (
+            recovery.re_stabilization_time
+            != recovery.recovery_round - (anchor or 0)
+        ):
+            failures.append("re_stabilization_time is not recovery - anchor")
+
+    spec = RunSpec(
+        run_id=f"schedule-fuzz/{config.label()}",
+        algorithm=AlgorithmSpec.create(name, algorithm_params),
+        sim_seed=config.sim_seed,
+        max_rounds=config.max_rounds,
+        stop_after_agreement=config.stop_after_agreement,
+        fault_schedule=config.schedule,
+        fault_schedule_params=config.params,
+    )
+    executor = BatchExecutor(engine="auto")
+    results = executor.run([spec])
+    if len(results) != 1 or results[0].error is not None:
+        failures.append(f"auto executor lost the scheduled run: {results!r}")
+    reasons = [
+        reason
+        for reason in executor.stats.fallback_reasons
+        if config.schedule in reason
+    ]
+    if not reasons:
+        failures.append(
+            "auto engine fell back without naming the schedule: "
+            f"{executor.stats.fallback_reasons!r}"
+        )
+    try:
+        BatchExecutor(engine="batch").run([spec])
+    except ParameterError:
+        pass
+    else:
+        failures.append("engine='batch' accepted a scheduled group silently")
+    return failures
+
+
+def run_schedule_fuzz(
+    count: int = 6, seed: int = 0
+) -> list[tuple[ScheduleConfig, list[str]]]:
+    """The scheduled sweep: sample ``count`` configurations, check each."""
+    return [
+        (config, check_schedule(config))
+        for config in sample_schedule_configs(count, seed)
     ]

@@ -21,6 +21,7 @@ from repro.network.adversary import Adversary, NoAdversary
 from repro.network.engine import (
     AgreementWindow,
     ModelAdapter,
+    NotBefore,
     derive_streams,
     run_engine,
 )
@@ -52,6 +53,10 @@ class SimulationConfig:
     metadata:
         Caller-provided entries merged into the trace metadata
         (simulator-owned keys win on collision).
+    perturbations:
+        Optional :class:`~repro.faults.schedule.Perturbations` — a fault
+        schedule and/or message loss/delay knobs.  Inactive perturbations
+        (all knobs at their defaults) behave exactly like ``None``.
     """
 
     max_rounds: int = 1000
@@ -59,6 +64,7 @@ class SimulationConfig:
     record_states: bool = False
     seed: int | None = 0
     metadata: dict = field(default_factory=dict)
+    perturbations: Any = None
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -122,15 +128,42 @@ class BroadcastModel(ModelAdapter):
     """The Section 2 broadcast model as a kernel adapter.
 
     Derives two RNG streams from the master seed — ``initial-states`` then
-    ``adversary`` — and executes rounds through :func:`run_round`.
+    ``adversary`` — and executes rounds through :func:`run_round`.  With
+    active perturbations a third ``"faults"`` stream is derived *after* the
+    first two, feeding schedule draws and the loss/delay plane — unperturbed
+    runs derive exactly the historical streams, so their fixed-seed traces
+    stay bit-identical.
     """
 
     model = "broadcast"
+
+    def __init__(
+        self, algorithm: Any, adversary: Any, perturbations: Any = None
+    ) -> None:
+        super().__init__(algorithm, adversary)
+        self.perturbations = (
+            perturbations
+            if perturbations is not None and perturbations.active
+            else None
+        )
+        self._runtime = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.perturbations is not None:
+            self.perturbations.validate(self.algorithm, self.adversary)
 
     def bind(self, master_rng: random.Random) -> None:
         self._init_rng, self._adversary_rng = derive_streams(
             master_rng, "initial-states", "adversary"
         )
+        if self.perturbations is not None:
+            from repro.faults.runtime import PerturbationRuntime
+
+            (faults_rng,) = derive_streams(master_rng, "faults")
+            self._runtime = PerturbationRuntime(
+                self.algorithm, self.adversary, self.perturbations, faults_rng
+            )
 
     @property
     def init_rng(self) -> random.Random:
@@ -139,10 +172,18 @@ class BroadcastModel(ModelAdapter):
     def step(
         self, states: Mapping[int, State], round_index: int
     ) -> tuple[dict[int, State], dict[str, Any] | None]:
+        if self._runtime is not None:
+            return self._runtime.step(states, round_index, self._adversary_rng)
         return (
             run_round(self.algorithm, states, self.adversary, round_index, self._adversary_rng),
             None,
         )
+
+    def trace_metadata(self) -> dict[str, Any]:
+        metadata = super().trace_metadata()
+        if self.perturbations is not None:
+            metadata["perturbations"] = self.perturbations.describe()
+        return metadata
 
 
 def run_simulation(
@@ -185,8 +226,17 @@ def run_simulation(
         if config.stop_after_agreement is not None
         else None
     )
+    if stopping is not None and config.perturbations is not None:
+        schedule = getattr(config.perturbations, "schedule", None)
+        horizon = schedule.last_change_round() if schedule is not None else None
+        if horizon is not None:
+            # Never let the agreement window end the run while the schedule
+            # still has pending windows: the later injections — and the
+            # re-stabilisation they force — must execute, and the window's
+            # streak must count post-perturbation rounds only.
+            stopping = NotBefore(stopping, horizon)
     return run_engine(
-        BroadcastModel(algorithm, adversary),
+        BroadcastModel(algorithm, adversary, config.perturbations),
         max_rounds=config.max_rounds,
         stopping=stopping,
         record_states=config.record_states,

@@ -22,8 +22,11 @@ from repro.network.trace import ExecutionTrace
 
 __all__ = [
     "StabilizationResult",
+    "RecoveryResult",
     "stabilization_round",
     "stabilization_from_values",
+    "recovery_round",
+    "recovery_from_values",
     "is_counting_suffix",
     "agreement_round",
 ]
@@ -129,5 +132,111 @@ def stabilization_from_values(
         stabilized=stabilized,
         round=suffix_start if stabilized else None,
         tail_length=tail_length,
+        total_rounds=total,
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Re-stabilisation analysis of a trace with injected perturbations.
+
+    Self-stabilisation promises convergence from *any* configuration, so a
+    run perturbed mid-flight (fault-schedule churn, late adversaries) must
+    re-converge once the perturbation ends.  This result measures how fast,
+    counting from the last round in which a perturbation was injected.
+
+    Attributes
+    ----------
+    recovered:
+        True when the trace ends in a correct counting suffix (of length at
+        least ``min_tail``) that starts at or after the last perturbation.
+    recovery_round:
+        Absolute round index from which counting is correct until the end of
+        the trace (``None`` when the run never re-stabilised).
+    re_stabilization_time:
+        ``recovery_round - last_perturbation_round`` — the number of rounds
+        convergence took, the headline robustness metric.  ``0`` means the
+        very first post-perturbation outputs were already counting.
+    last_perturbation_round:
+        The round the measurement is anchored to (``None`` when the run was
+        never perturbed, in which case the other fields are ``None`` too).
+    total_rounds:
+        Total number of recorded rounds.
+    """
+
+    recovered: bool
+    recovery_round: int | None
+    re_stabilization_time: int | None
+    last_perturbation_round: int | None
+    total_rounds: int
+
+
+def recovery_round(trace: ExecutionTrace, min_tail: int = 2) -> RecoveryResult:
+    """Recovery analysis of a trace, anchored to its recorded perturbations.
+
+    Reads ``last_perturbation_round`` from the trace metadata (stamped by the
+    engine when a fault schedule injects or recovers nodes); traces without
+    one report ``recovered=False`` with every metric ``None``.
+    """
+    return recovery_from_values(
+        trace.agreed_values(),
+        trace.c,
+        min_tail=min_tail,
+        last_perturbation_round=trace.metadata.get("last_perturbation_round"),
+    )
+
+
+def recovery_from_values(
+    values: Sequence[int | None],
+    c: int,
+    min_tail: int = 2,
+    last_perturbation_round: int | None = None,
+) -> RecoveryResult:
+    """The recovery analysis on a bare per-round agreed-value sequence.
+
+    The sequence is sliced from ``last_perturbation_round`` on — the first
+    round whose outputs reflect the perturbed configuration — and the
+    standard stabilisation analysis runs on the slice, so the usual
+    ``min_tail`` confirmation window applies.  A perturbation round outside
+    the recorded range (or no perturbation at all) yields a non-recovery
+    with ``None`` metrics rather than an error.
+    """
+    if min_tail < 1:
+        raise SimulationError(f"min_tail must be at least 1, got {min_tail}")
+    total = len(values)
+    if last_perturbation_round is None or last_perturbation_round < 0:
+        return RecoveryResult(
+            recovered=False,
+            recovery_round=None,
+            re_stabilization_time=None,
+            last_perturbation_round=None,
+            total_rounds=total,
+        )
+    if last_perturbation_round >= total:
+        return RecoveryResult(
+            recovered=False,
+            recovery_round=None,
+            re_stabilization_time=None,
+            last_perturbation_round=last_perturbation_round,
+            total_rounds=total,
+        )
+    tail = stabilization_from_values(
+        values[last_perturbation_round:], c, min_tail=min_tail
+    )
+    if not tail.stabilized:
+        return RecoveryResult(
+            recovered=False,
+            recovery_round=None,
+            re_stabilization_time=None,
+            last_perturbation_round=last_perturbation_round,
+            total_rounds=total,
+        )
+    assert tail.round is not None
+    recovery = last_perturbation_round + tail.round
+    return RecoveryResult(
+        recovered=True,
+        recovery_round=recovery,
+        re_stabilization_time=tail.round,
+        last_perturbation_round=last_perturbation_round,
         total_rounds=total,
     )

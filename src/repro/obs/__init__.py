@@ -30,7 +30,9 @@ from repro.obs.events import (
     Event,
     EventSink,
     FallbackTaken,
+    FaultInjected,
     JsonlSink,
+    NodeRecovered,
     ProgressSink,
     RingBufferSink,
     RoundObserved,
@@ -74,6 +76,8 @@ __all__ = [
     "RunFinished",
     "BatchGroupScheduled",
     "RoundObserved",
+    "FaultInjected",
+    "NodeRecovered",
     "FallbackTaken",
     "CampaignFinished",
     "EventSink",

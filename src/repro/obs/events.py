@@ -38,6 +38,8 @@ __all__ = [
     "RunFinished",
     "BatchGroupScheduled",
     "RoundObserved",
+    "FaultInjected",
+    "NodeRecovered",
     "FallbackTaken",
     "CampaignFinished",
     "EVENT_KINDS",
@@ -147,6 +149,45 @@ class RoundObserved(Event):
 
 
 @dataclass(frozen=True)
+class FaultInjected(Event):
+    """A fault schedule turned ``nodes`` Byzantine at the start of a round.
+
+    Emitted by the scalar engine when a :class:`~repro.faults.FaultSchedule`
+    window opens; ``strategy`` names the adversary strategy controlling the
+    nodes for the window's duration.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    round_index: int
+    strategy: str
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        # JSONL round-trips deliver lists; normalise so read-back events
+        # compare equal to the originals.
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+
+@dataclass(frozen=True)
+class NodeRecovered(Event):
+    """Formerly faulty ``nodes`` rejoined as correct with arbitrary states.
+
+    The rejoin state is drawn uniformly at random — the self-stabilisation
+    workload — so the rounds after this event are exactly the re-convergence
+    the recovery metrics measure.
+    """
+
+    kind: ClassVar[str] = "node_recovered"
+
+    round_index: int
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+
+@dataclass(frozen=True)
 class FallbackTaken(Event):
     """A batch group fell back to the scalar engine, and why."""
 
@@ -180,6 +221,8 @@ EVENT_KINDS: dict[str, type[Event]] = {
         RunFinished,
         BatchGroupScheduled,
         RoundObserved,
+        FaultInjected,
+        NodeRecovered,
         FallbackTaken,
         CampaignFinished,
     )

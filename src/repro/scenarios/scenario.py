@@ -99,6 +99,10 @@ class Scenario:
     _metadata: tuple[tuple[str, Any], ...] = ()
     _model: str | None = None
     _engine: str = "auto"
+    _loss: float = 0.0
+    _delay: int = 0
+    _fault_schedule: str | None = None
+    _fault_schedule_params: tuple[tuple[str, Any], ...] = ()
 
     # ------------------------------------------------------------------ #
     # Components
@@ -197,6 +201,51 @@ class Scenario:
             )
         return dataclasses.replace(self, _fault_pattern=pattern)
 
+    def loss(self, probability: float) -> "Scenario":
+        """Per-link, per-round message loss probability (broadcast model only).
+
+        A lost link delivers the sender's *previous* broadcast instead of
+        dropping to silence — the synchronous abstraction guarantees some
+        value arrives every round — so loss manifests as stale state.
+        """
+        probability = float(probability)
+        if not 0.0 <= probability < 1.0:
+            raise ParameterError(
+                f"loss must be a probability in [0, 1), got {probability}"
+            )
+        return dataclasses.replace(self, _loss=probability)
+
+    def delay(self, rounds: int) -> "Scenario":
+        """Maximum per-link message delay in rounds (broadcast model only).
+
+        Each link independently delivers a uniformly random ``0..rounds``-old
+        broadcast of its sender every round.
+        """
+        rounds = int(rounds)
+        if rounds < 0:
+            raise ParameterError(f"delay must be non-negative, got {rounds}")
+        return dataclasses.replace(self, _delay=rounds)
+
+    def fault_schedule(self, name: str, **params: Any) -> "Scenario":
+        """Attach a declarative fault schedule (churn, rolling, late onset).
+
+        The name is resolved eagerly against the fault-schedule semantics
+        registry and the parameters are validated by building the schedule,
+        so typos fail here, not at execution time.  A scheduled scenario owns
+        its faulty set: the compiled campaign uses adversary ``"none"`` /
+        zero baseline faults, and the schedule's windows drive who is faulty
+        (and how) per round.  Schedules run on the scalar engine; under
+        ``engine="auto"`` the affected groups fall back with a named reason.
+        """
+        from repro.semantics import fault_schedule_semantics
+
+        fault_schedule_semantics(name).build(**params)
+        return dataclasses.replace(
+            self,
+            _fault_schedule=name,
+            _fault_schedule_params=tuple(sorted(params.items())),
+        )
+
     def engine(self, engine: str) -> "Scenario":
         """Execution engine: ``"auto"`` (default), ``"batch"`` or ``"scalar"``.
 
@@ -234,10 +283,16 @@ class Scenario:
             raise ParameterError(
                 "scenario has no algorithm; start with Scenario.counter(name, ...)"
             )
+        if self._fault_schedule is not None:
+            # A schedule owns the faulty set over time, so the compiled
+            # campaign pins the baseline to the fault-free 'none' rows.
+            default_adversaries: tuple[str, ...] = ("none",)
+        else:
+            default_adversaries = ("random-state",)
         return CampaignSpec(
             name=self._name or "+".join(spec.name for spec in self._algorithms),
             algorithms=self._algorithms,
-            adversaries=self._adversaries or ("random-state",),
+            adversaries=self._adversaries or default_adversaries,
             num_faults=self._num_faults or (None,),
             runs_per_setting=self._runs,
             seed=self._seed,
@@ -248,6 +303,10 @@ class Scenario:
             metadata=self._metadata,
             model=self._model or "broadcast",
             engine=self._engine,
+            loss=self._loss,
+            delay=self._delay,
+            fault_schedule=self._fault_schedule,
+            fault_schedule_params=self._fault_schedule_params,
         )
 
     def expand(self) -> list[RunSpec]:

@@ -12,11 +12,15 @@ here.  See :mod:`repro.semantics.spec` for the dataclasses,
 from repro.semantics.catalog import (
     ADVERSARY_SEMANTICS,
     ALGORITHM_SEMANTICS,
+    FAULT_SCHEDULE_SEMANTICS,
     active_strategy_names,
     adversary_coverage_notes,
     adversary_semantics,
     algorithm_names,
     algorithm_semantics,
+    fault_schedule_descriptions,
+    fault_schedule_names,
+    fault_schedule_semantics,
     strategy_descriptions,
     strategy_names,
 )
@@ -28,6 +32,7 @@ from repro.semantics.spec import (
     AdversarySemantics,
     AlgorithmSemantics,
     DeterminismClass,
+    FaultScheduleSemantics,
     FuzzProfile,
     Parameter,
     flat_encoding,
@@ -43,7 +48,9 @@ __all__ = [
     "AlgorithmSemantics",
     "BIT_IDENTICAL",
     "DeterminismClass",
+    "FAULT_SCHEDULE_SEMANTICS",
     "FLAT_ONLY",
+    "FaultScheduleSemantics",
     "FuzzProfile",
     "Parameter",
     "STATISTICAL",
@@ -52,6 +59,9 @@ __all__ = [
     "adversary_semantics",
     "algorithm_names",
     "algorithm_semantics",
+    "fault_schedule_descriptions",
+    "fault_schedule_names",
+    "fault_schedule_semantics",
     "flat_encoding",
     "format_schema",
     "resolve_binding",

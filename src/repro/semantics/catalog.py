@@ -34,6 +34,7 @@ from repro.semantics.spec import (
     STATISTICAL,
     AdversarySemantics,
     AlgorithmSemantics,
+    FaultScheduleSemantics,
     FuzzProfile,
     Parameter,
 )
@@ -41,6 +42,7 @@ from repro.semantics.spec import (
 __all__ = [
     "ALGORITHM_SEMANTICS",
     "ADVERSARY_SEMANTICS",
+    "FAULT_SCHEDULE_SEMANTICS",
     "algorithm_names",
     "algorithm_semantics",
     "adversary_semantics",
@@ -48,6 +50,9 @@ __all__ = [
     "strategy_names",
     "strategy_descriptions",
     "adversary_coverage_notes",
+    "fault_schedule_names",
+    "fault_schedule_semantics",
+    "fault_schedule_descriptions",
 ]
 
 
@@ -383,6 +388,54 @@ ADVERSARY_SEMANTICS: dict[str, AdversarySemantics] = {
 }
 
 
+#: Every fault-schedule preset accepted by the scenario builder and the
+#: campaign CLI's ``--fault-schedule``.  Schedules replace the per-run
+#: adversary with a time-varying plan; none of them is vectorised, so the
+#: batching layer degrades them to the scalar engine via a named fallback.
+FAULT_SCHEDULE_SEMANTICS: dict[str, FaultScheduleSemantics] = {
+    spec.name: spec
+    for spec in (
+        FaultScheduleSemantics(
+            name="churn",
+            description="nodes crash, return adversarial, then rejoin correct with arbitrary states",
+            builder_binding="repro.faults.schedule:build_churn_schedule",
+            parameters=(
+                Parameter("start", 5, "round the cohort crashes"),
+                Parameter("down", 6, "rounds of silence (crash phase)"),
+                Parameter("adversarial", 6, "rounds of active Byzantine behaviour"),
+                Parameter("num_faults", None, "cohort size (None -> algorithm f)"),
+            ),
+            fuzz_param_choices=(("start", (2, 5, 9)), ("down", (3, 6))),
+        ),
+        FaultScheduleSemantics(
+            name="rolling",
+            description="a fresh faulty set every period; previous cohort rejoins with random states",
+            builder_binding="repro.faults.schedule:build_rolling_schedule",
+            parameters=(
+                Parameter("start", 0, "round the first rotation begins"),
+                Parameter("period", 12, "rounds per rotation"),
+                Parameter("rotations", 3, "number of rotations"),
+                Parameter("strategy", "random-state", "strategy controlling each rotation"),
+                Parameter("num_faults", None, "faults per rotation (None -> algorithm f)"),
+            ),
+            fuzz_param_choices=(("period", (8, 12)), ("rotations", (2, 3))),
+        ),
+        FaultScheduleSemantics(
+            name="late-adversary",
+            description="adversary wakes only after stabilisation, then releases its nodes",
+            builder_binding="repro.faults.schedule:build_late_adversary_schedule",
+            parameters=(
+                Parameter("start", 30, "round the adversary wakes"),
+                Parameter("duration", 10, "adversarial rounds (None -> until the end)"),
+                Parameter("strategy", "random-state", "strategy controlling the window"),
+                Parameter("num_faults", None, "nodes corrupted (None -> algorithm f)"),
+            ),
+            fuzz_param_choices=(("start", (20, 30)), ("duration", (6, 10))),
+        ),
+    )
+}
+
+
 # ---------------------------------------------------------------------- #
 # Accessors
 # ---------------------------------------------------------------------- #
@@ -431,6 +484,31 @@ def strategy_descriptions() -> dict[str, str]:
     """Strategy name -> one-line description, generated from the specs."""
     return {
         name: ADVERSARY_SEMANTICS[name].description for name in strategy_names()
+    }
+
+
+def fault_schedule_names() -> tuple[str, ...]:
+    """Fault-schedule preset names, in catalogue order."""
+    return tuple(FAULT_SCHEDULE_SEMANTICS)
+
+
+def fault_schedule_semantics(name: str) -> FaultScheduleSemantics:
+    """The semantics of one fault-schedule preset."""
+    try:
+        return FAULT_SCHEDULE_SEMANTICS[name]
+    except KeyError:
+        known = ", ".join(fault_schedule_names())
+        raise ParameterError(
+            f"no semantics declared for fault schedule {name!r}; "
+            f"declared schedules: {known}"
+        ) from None
+
+
+def fault_schedule_descriptions() -> dict[str, str]:
+    """Preset name -> one-line description, generated from the specs."""
+    return {
+        name: FAULT_SCHEDULE_SEMANTICS[name].description
+        for name in fault_schedule_names()
     }
 
 

@@ -28,8 +28,16 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.core.errors import ParameterError
-from repro.semantics.catalog import ADVERSARY_SEMANTICS, ALGORITHM_SEMANTICS
-from repro.semantics.spec import AdversarySemantics, AlgorithmSemantics
+from repro.semantics.catalog import (
+    ADVERSARY_SEMANTICS,
+    ALGORITHM_SEMANTICS,
+    FAULT_SCHEDULE_SEMANTICS,
+)
+from repro.semantics.spec import (
+    AdversarySemantics,
+    AlgorithmSemantics,
+    FaultScheduleSemantics,
+)
 from repro.util.rng import ensure_rng
 
 __all__ = ["verify"]
@@ -254,21 +262,81 @@ def _check_adversaries(
                 )
 
 
+def _check_schedules(
+    adversaries: Mapping[str, AdversarySemantics],
+    schedules: Mapping[str, FaultScheduleSemantics],
+    problems: list[str],
+) -> None:
+    for name, spec in schedules.items():
+        if name != spec.name:
+            problems.append(
+                f"fault schedule {name!r}: catalogue key != spec name {spec.name!r}"
+            )
+            continue
+        try:
+            schedule = spec.build()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the audit
+            problems.append(
+                f"fault schedule {name!r}: declared defaults do not build: {exc}"
+            )
+            continue
+        for window in schedule.windows:
+            if window.strategy not in adversaries:
+                problems.append(
+                    f"fault schedule {name!r}: window at round {window.start} "
+                    f"uses undeclared strategy {window.strategy!r}"
+                )
+                continue
+            try:
+                adversaries[window.strategy].validate(dict(window.params))
+            except ParameterError as exc:
+                problems.append(
+                    f"fault schedule {name!r}: window at round {window.start}: {exc}"
+                )
+        schema = {p.name for p in spec.parameters}
+        for axis, choices in spec.fuzz_param_choices:
+            if axis not in schema:
+                problems.append(
+                    f"fault schedule {name!r}: fuzz axis {axis!r} is outside "
+                    "the declared parameter schema"
+                )
+                continue
+            for choice in choices:
+                try:
+                    spec.build(**{axis: choice})
+                except Exception as exc:  # noqa: BLE001
+                    problems.append(
+                        f"fault schedule {name!r}: fuzz choice {axis}={choice!r} "
+                        f"does not build: {exc}"
+                    )
+        if spec.batch_covered:
+            problems.append(
+                f"fault schedule {name!r}: declared batch_covered=True but the "
+                "batch engine has no schedule execution path — schedules must "
+                "degrade to the scalar engine via a named fallback"
+            )
+
+
 def verify(
     algorithms: Mapping[str, AlgorithmSemantics] | None = None,
     adversaries: Mapping[str, AdversarySemantics] | None = None,
+    schedules: Mapping[str, FaultScheduleSemantics] | None = None,
 ) -> list[str]:
     """Cross-check the declared semantics against the implementations.
 
     Returns a list of human-readable problems; an empty list means every
-    declaration held up.  ``algorithms`` / ``adversaries`` default to the
-    real catalogue — tests pass tampered mappings to assert that
-    mis-declarations are caught.
+    declaration held up.  ``algorithms`` / ``adversaries`` / ``schedules``
+    default to the real catalogue — tests pass tampered mappings to assert
+    that mis-declarations are caught.
     """
     algorithms = dict(ALGORITHM_SEMANTICS if algorithms is None else algorithms)
     adversaries = dict(ADVERSARY_SEMANTICS if adversaries is None else adversaries)
+    schedules = dict(
+        FAULT_SCHEDULE_SEMANTICS if schedules is None else schedules
+    )
     problems: list[str] = []
     _check_algorithms(algorithms, problems)
+    _check_schedules(adversaries, schedules, problems)
     for probe_name, _ in (_FLAT_PROBE, _BOOSTED_PROBE):
         if probe_name not in algorithms:
             problems.append(

@@ -39,6 +39,7 @@ __all__ = [
     "FuzzProfile",
     "AlgorithmSemantics",
     "AdversarySemantics",
+    "FaultScheduleSemantics",
     "flat_encoding",
     "format_schema",
     "resolve_binding",
@@ -291,3 +292,62 @@ class AdversarySemantics:
     def validate(self, params: Mapping[str, Any]) -> None:
         """Reject parameters outside the schema (:class:`ParameterError`)."""
         validate_parameters("adversary strategy", self.name, self.parameters, params)
+
+
+@dataclass(frozen=True)
+class FaultScheduleSemantics:
+    """The single declarative description of one fault-schedule preset.
+
+    Fault schedules compose the registered adversary strategies over
+    time-varying faulty sets (churn, rotation, late wake-up); a preset is a
+    parameterised builder returning a
+    :class:`~repro.faults.schedule.FaultSchedule`.  Like every other
+    component, which presets exist, what parameters they take and how the
+    parity harness sweeps them is declared here once and derived everywhere
+    else (registries, CLI discovery, the fuzz sweep).
+
+    Attributes
+    ----------
+    name / description / source:
+        The preset name, the one-line listing text and the paper reference.
+    builder_binding:
+        Lazy ``"module:attribute"`` binding of the builder callable
+        (statically checked by the CAT001 lint rule like every binding).
+    parameters:
+        The builder's full parameter schema with defaults.
+    scalar_deterministic:
+        Always ``True`` in the current presets: schedule randomness (drawn
+        faulty sets, rejoin states) comes from the run's dedicated
+        ``"faults"`` stream, so fixed seeds replay fixed schedules.
+    batch_covered:
+        Whether the vectorised engine executes the preset.  ``False`` means
+        campaign batching must degrade to the scalar engine via a *named*
+        fallback reason — never silently.
+    fuzz_param_choices:
+        Optional-parameter axes for the parity sweep, as ``(name, choices)``
+        pairs (same shape as the adversary axes).
+    """
+
+    name: str
+    description: str
+    builder_binding: str
+    parameters: tuple[Parameter, ...]
+    scalar_deterministic: bool = True
+    batch_covered: bool = False
+    source: str = "Section 2 (self-stabilisation)"
+    fuzz_param_choices: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+
+    def builder(self) -> Callable[..., Any]:
+        """Resolve the builder callable (imports :mod:`repro.faults`)."""
+        return resolve_binding(self.builder_binding)
+
+    def build(self, **params: Any) -> Any:
+        """Validate ``params`` against the schema and build the schedule."""
+        self.validate(params)
+        merged = {p.name: p.default for p in self.parameters}
+        merged.update(params)
+        return self.builder()(**merged)
+
+    def validate(self, params: Mapping[str, Any]) -> None:
+        """Reject parameters outside the schema (:class:`ParameterError`)."""
+        validate_parameters("fault schedule", self.name, self.parameters, params)

@@ -187,6 +187,93 @@ class TestForcedBatchEngine:
             BatchExecutor(engine="warp")
 
 
+def perturbed_campaign(**overrides) -> CampaignSpec:
+    settings = dict(
+        name="perturbed",
+        algorithms=(
+            AlgorithmSpec.create(
+                "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+            ),
+        ),
+        adversaries=("none",),
+        runs_per_setting=4,
+        seed=29,
+        max_rounds=60,
+        stop_after_agreement=5,
+    )
+    settings.update(overrides)
+    return CampaignSpec(**settings)
+
+
+class TestPerturbedGroups:
+    def test_loss_delay_groups_fall_back_under_auto_and_vectorise_when_forced(self):
+        runs = perturbed_campaign(loss=0.1, delay=1).expand()
+        # Perturbed executions consume NumPy randomness, so they are never
+        # bit-identical to the scalar engine: auto keeps the scalar path and
+        # names the reason, the forced batch engine vectorises and stamps
+        # the rng stream family.
+        auto = BatchExecutor(engine="auto")
+        auto_results = auto.run(runs)
+        assert auto.stats.batched == 0
+        assert auto.stats.fallback == len(runs)
+        assert any(
+            "statistically equivalent" in reason
+            for reason in auto.stats.fallback_reasons
+        )
+        assert all(result.error is None for result in auto_results)
+
+        from repro.network.batch import BATCH_RNG_NOTE
+
+        forced = BatchExecutor(engine="batch")
+        forced_results = forced.run(runs)
+        assert forced.stats.batched == len(runs)
+        assert all(result.error is None for result in forced_results)
+        assert all(result.rng == BATCH_RNG_NOTE for result in forced_results)
+
+    def test_perturbation_knobs_split_batch_groups(self):
+        from repro.campaigns.batching import group_runs
+
+        clean = perturbed_campaign().expand()
+        lossy = perturbed_campaign(loss=0.1).expand()
+        groups, scalar = group_runs(
+            [dataclasses.replace(run, run_id=f"{run.run_id}/{i}") for i, run in
+             enumerate(clean + lossy)]
+        )
+        assert not scalar
+        # Same algorithm and adversary, different knobs: two groups, never
+        # one merged batch mixing perturbed and unperturbed trials.
+        assert len(groups) == 2
+
+    def test_fault_schedules_fall_back_by_name_in_auto_mode(self):
+        runs = perturbed_campaign(
+            fault_schedule="churn", fault_schedule_params=(("start", 3),)
+        ).expand()
+        executor = BatchExecutor(engine="auto")
+        results = executor.run(runs)
+        assert executor.stats.batched == 0
+        assert executor.stats.fallback == len(runs)
+        assert len(executor.stats.fallback_reasons) == 1
+        reason = executor.stats.fallback_reasons[0]
+        assert "fault schedule 'churn'" in reason
+        assert "scalar engine" in reason
+        # The scalar path delivers full results including recovery metrics.
+        assert all(result.error is None for result in results)
+        assert all(result.last_perturbation_round is not None for result in results)
+
+    def test_fault_schedules_refuse_the_forced_batch_engine(self):
+        runs = perturbed_campaign(fault_schedule="churn").expand()
+        with pytest.raises(ParameterError, match="fault schedule 'churn'"):
+            BatchExecutor(engine="batch").run(runs)
+
+    def test_scheduled_results_match_the_serial_executor_bit_for_bit(self):
+        runs = perturbed_campaign(
+            fault_schedule="late-adversary", fault_schedule_params=(("start", 8),)
+        ).expand()
+        auto = BatchExecutor(engine="auto").run(runs)
+        serial = SerialExecutor().run(runs)
+        assert as_dicts(auto) == as_dicts(serial)
+
+
 class TestStoppingBoundaries:
     @pytest.mark.parametrize("window", [1, 500])
     def test_boundary_windows_are_bit_identical_across_engines(self, window):

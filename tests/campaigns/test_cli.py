@@ -62,6 +62,108 @@ class TestDefine:
             )
 
 
+class TestParseFaultSchedule:
+    def test_name_and_params(self):
+        from repro.campaigns.cli import parse_fault_schedule
+
+        assert parse_fault_schedule("churn") == ("churn", ())
+        assert parse_fault_schedule("churn:start=5,down=6") == (
+            "churn",
+            (("down", 6), ("start", 5)),
+        )
+
+    def test_malformed_rejected(self):
+        import argparse
+
+        from repro.campaigns.cli import parse_fault_schedule
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_fault_schedule("churn:start")
+
+
+class TestFaultInjectionFlags:
+    def test_define_records_perturbation_axes(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "churny.campaign.json")
+        code = main(
+            [
+                "define",
+                "--name",
+                "churny",
+                "--algorithm",
+                "naive-majority:n=6,c=3,claimed_resilience=1",
+                "--fault-schedule",
+                "churn:start=4,down=3",
+                "--loss",
+                "0.05",
+                "--delay",
+                "1",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "50",
+                "--out",
+                spec_path,
+            ]
+        )
+        assert code == 0
+        data = json.loads(open(spec_path, encoding="utf-8").read())
+        assert data["fault_schedule"] == "churn"
+        assert data["fault_schedule_params"] == {"down": 3, "start": 4}
+        assert data["loss"] == 0.05
+        assert data["delay"] == 1
+        # Scheduled campaigns default to the fault-free baseline adversary.
+        assert data["adversaries"] == ["none"]
+
+    def test_run_executes_scheduled_campaign(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "churny.campaign.json")
+        store_path = str(tmp_path / "churny.jsonl")
+        assert (
+            main(
+                [
+                    "define",
+                    "--name",
+                    "churny",
+                    "--algorithm",
+                    "naive-majority:n=6,c=3,claimed_resilience=1",
+                    "--fault-schedule",
+                    "churn:start=3,down=2,adversarial=2",
+                    "--runs",
+                    "2",
+                    "--max-rounds",
+                    "40",
+                    "--stop-after-agreement",
+                    "4",
+                    "--out",
+                    spec_path,
+                ]
+            )
+            == 0
+        )
+        assert main(["run", spec_path, "--store", store_path, "--quiet"]) == 0
+        from repro.campaigns.results import CampaignStore
+
+        results = CampaignStore(store_path).load()
+        assert len(results) == 2
+        assert all(result.last_perturbation_round == 7 for result in results)
+
+    def test_unknown_schedule_is_rejected_at_define_time(self, tmp_path, capsys):
+        code = main(
+            [
+                "define",
+                "--name",
+                "bad",
+                "--algorithm",
+                "trivial:c=3",
+                "--fault-schedule",
+                "meteor-strike",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code != 0
+        assert "meteor-strike" in capsys.readouterr().err
+
+
 class TestRunAndResume:
     def test_run_persists_store_and_resume_skips(self, tmp_path, capsys):
         spec_path = define_small_campaign(tmp_path)

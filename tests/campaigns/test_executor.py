@@ -3,6 +3,8 @@ bit-identity guarantee the campaign engine is built around."""
 
 from __future__ import annotations
 
+import os
+
 from repro.campaigns.executor import (
     ParallelExecutor,
     SerialExecutor,
@@ -11,6 +13,25 @@ from repro.campaigns.executor import (
 from repro.campaigns.results import CampaignStore, RunResult, summarize_results
 from repro.campaigns.runner import run_campaign
 from repro.campaigns.spec import AlgorithmSpec, CampaignSpec, RunSpec
+from repro.counters.trivial import TrivialCounter
+
+
+class ParentOnlyCounter(TrivialCounter):
+    """Kills any process that is not the one it was constructed in.
+
+    Module level so it pickles into pool workers: the first transition in a
+    worker is an ``os._exit`` (the hard death the pool cannot intercept),
+    while the serial retry in the constructing process runs normally.
+    """
+
+    def __init__(self, c: int = 3) -> None:
+        super().__init__(c=c)
+        self._home_pid = os.getpid()
+
+    def transition(self, node, messages):
+        if os.getpid() != self._home_pid:
+            os._exit(1)
+        return super().transition(node, messages)
 
 
 def fixed_campaign(runs_per_setting: int = 25) -> CampaignSpec:
@@ -223,6 +244,46 @@ class TestSerialVsParallel:
         assert results[0].error is None and results[1].error is not None
 
 
+class TestWorkerDeath:
+    def specs(self, count: int = 6) -> list[RunSpec]:
+        algorithm = ParentOnlyCounter(c=3)
+        return [
+            RunSpec(
+                run_id=f"killer-{index}",
+                algorithm=algorithm,
+                sim_seed=index,
+                max_rounds=10,
+            )
+            for index in range(count)
+        ]
+
+    def test_dead_worker_degrades_to_serial_not_lost_results(self):
+        executor = ParallelExecutor(processes=2, chunksize=2)
+        results = executor.run(self.specs())
+        # Every run still produced a result, via the serial retry.
+        assert [result.run_id for result in results] == [
+            f"killer-{index}" for index in range(6)
+        ]
+        assert all(result.error is None for result in results)
+        assert all(result.rounds_simulated == 10 for result in results)
+        reasons = executor.stats.fallback_reasons
+        assert reasons and "BrokenProcessPool" in reasons[0]
+
+    def test_degradation_is_observable(self):
+        from repro.obs import Observer
+        from repro.obs.events import FallbackTaken
+
+        observer = Observer.recording()
+        executor = ParallelExecutor(processes=2, chunksize=2, observer=observer)
+        results = executor.run(self.specs())
+        assert all(result.error is None for result in results)
+        events = observer.buffer.of_kind(FallbackTaken)
+        assert len(events) == 1
+        assert events[0].label == "parallel-executor"
+        assert events[0].runs == len(results)
+        assert "BrokenProcessPool" in events[0].reason
+
+
 class TestCampaignStore:
     def test_round_trip(self, tmp_path):
         store = CampaignStore(tmp_path / "results.jsonl")
@@ -275,6 +336,53 @@ class TestCampaignStore:
         assert store.latest_by_id()["x"].error is None
         assert store.completed_ids() == {"x"}
 
+    def test_corrupt_lines_are_counted_not_just_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = CampaignStore(path)
+        result = execute_run(
+            RunSpec(run_id="ok", algorithm=AlgorithmSpec.create("trivial", {"c": 3}))
+        )
+        store.append(result)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"truncated": \n')
+            handle.write("not json at all\n")
+        assert store.corrupt_lines == 0  # nothing read yet
+        assert store.load() == [result]
+        assert store.corrupt_lines == 2
+        # A clean read resets the count: it reflects the most recent pass.
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write("")
+        store.append(result)
+        store.load()
+        assert store.corrupt_lines == 0
+
+    def test_missing_file_counts_zero_corrupt_lines(self, tmp_path):
+        store = CampaignStore(tmp_path / "never-written.jsonl")
+        assert store.load() == []
+        assert store.corrupt_lines == 0
+
+    def test_resume_over_corruption_warns_and_re_executes(self, tmp_path):
+        import warnings
+
+        campaign = fixed_campaign(runs_per_setting=1)
+        runs = campaign.expand()
+        store = CampaignStore(tmp_path / "campaign.jsonl")
+        for spec in runs:
+            store.append(execute_run(spec))
+        # Corrupt the final record: that run must execute again, loudly.
+        lines = store.path.read_text(encoding="utf-8").splitlines()
+        store.path.write_text(
+            "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]) + "\n",
+            encoding="utf-8",
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = run_campaign(campaign, store=store)
+        assert report.skipped == len(runs) - 1
+        assert report.executed == 1
+        messages = [str(item.message) for item in caught]
+        assert any("unparseable line" in message for message in messages)
+
 
 class TestRunCampaign:
     def test_persists_and_resumes(self, tmp_path):
@@ -320,6 +428,74 @@ class TestRunCampaign:
         )
         assert len(seen) == report.executed
         assert seen[-1] == (report.executed, report.executed)
+
+
+class TestRecoveryMetrics:
+    def scheduled_campaign(self, **overrides) -> CampaignSpec:
+        settings = dict(
+            name="churny",
+            algorithms=(
+                AlgorithmSpec.create(
+                    "naive-majority", {"n": 6, "c": 3, "claimed_resilience": 1}
+                ),
+            ),
+            adversaries=("none",),
+            runs_per_setting=4,
+            seed=41,
+            max_rounds=60,
+            stop_after_agreement=4,
+            fault_schedule="churn",
+            fault_schedule_params=(("start", 4), ("down", 3), ("adversarial", 3)),
+        )
+        settings.update(overrides)
+        return CampaignSpec(**settings)
+
+    def test_results_carry_recovery_metrics(self):
+        report = run_campaign(self.scheduled_campaign())
+        assert report.executed == 4
+        for result in report.results:
+            assert result.error is None
+            assert result.last_perturbation_round == 10
+            if result.recovered:
+                assert result.recovery_round is not None
+                assert (
+                    result.re_stabilization_time
+                    == result.recovery_round - result.last_perturbation_round
+                )
+            else:
+                assert result.recovery_round is None
+                assert result.re_stabilization_time is None
+
+    def test_unperturbed_results_have_no_recovery_metrics(self):
+        report = run_campaign(fixed_campaign(runs_per_setting=1))
+        for result in report.results:
+            assert result.last_perturbation_round is None
+            assert result.recovered is None
+            assert result.recovery_round is None
+
+    def test_recovery_metrics_survive_the_store_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path / "churny.jsonl")
+        report = run_campaign(self.scheduled_campaign(), store=store)
+        loaded = {result.run_id: result for result in store.load()}
+        for result in report.results:
+            persisted = loaded[result.run_id]
+            assert persisted.last_perturbation_round == result.last_perturbation_round
+            assert persisted.recovered == result.recovered
+            assert persisted.recovery_round == result.recovery_round
+            assert persisted.re_stabilization_time == result.re_stabilization_time
+
+    def test_summary_gains_recovery_columns_only_when_perturbed(self):
+        scheduled = run_campaign(self.scheduled_campaign())
+        table = summarize_results(scheduled.results)
+        (row,) = table.rows
+        assert row["perturbed"] == 4
+        assert 0 <= row["recovered"] <= 4
+        if row["recovered"]:
+            assert row["mean_recovery"] != "-"
+            assert row["max_recovery"] != "-"
+        plain = summarize_results(run_campaign(fixed_campaign(1)).results)
+        for plain_row in plain.rows:
+            assert "perturbed" not in plain_row
 
 
 class TestSummarize:

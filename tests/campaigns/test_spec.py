@@ -156,11 +156,71 @@ class TestCampaignSpec:
             {"max_rounds": 0},
             {"fault_pattern": "clustered"},
             {"model": "gossip"},
+            {"loss": -0.1},
+            {"loss": 1.0},
+            {"delay": -1},
+            {"fault_schedule": "no-such-schedule", "adversaries": ("none",)},
+            {"fault_schedule": "churn", "fault_schedule_params": (("onset", 5),),
+             "adversaries": ("none",)},
         ],
     )
     def test_validation(self, overrides):
         with pytest.raises(ParameterError):
             small_campaign(**overrides)
+
+
+class TestPerturbationAxes:
+    def test_loss_and_delay_propagate_to_every_run(self):
+        runs = small_campaign(loss=0.1, delay=2).expand()
+        assert runs
+        for run in runs:
+            assert run.loss == 0.1 and run.delay == 2
+            assert run.perturbed
+            perturbations = run.resolve_perturbations()
+            assert perturbations.loss == 0.1
+            assert perturbations.delay == 2
+            assert perturbations.schedule is None
+
+    def test_unperturbed_runs_resolve_no_perturbations(self):
+        for run in small_campaign().expand():
+            assert not run.perturbed
+            assert run.resolve_perturbations() is None
+
+    def test_fault_schedule_requires_fault_free_baseline(self):
+        with pytest.raises(ParameterError, match="'none'"):
+            small_campaign(fault_schedule="churn")
+
+    def test_fault_schedule_expands_and_resolves(self):
+        runs = small_campaign(
+            adversaries=("none",),
+            fault_schedule="churn",
+            fault_schedule_params=(("start", 3), ("down", 2)),
+        ).expand()
+        assert runs
+        for run in runs:
+            assert run.fault_schedule == "churn"
+            assert run.faulty == ()
+            perturbations = run.resolve_perturbations()
+            assert perturbations.schedule.name == "churn"
+            assert perturbations.schedule.windows[0].start == 3
+
+    def test_perturbations_rejected_for_pulling_model(self):
+        with pytest.raises(ParameterError, match="broadcast"):
+            pulling_campaign(loss=0.1)
+        with pytest.raises(ParameterError, match="broadcast"):
+            pulling_campaign(adversaries=("none",), fault_schedule="churn")
+
+    def test_dict_round_trip_keeps_perturbation_axes(self):
+        spec = small_campaign(
+            adversaries=("none",),
+            loss=0.05,
+            delay=1,
+            fault_schedule="late-adversary",
+            fault_schedule_params=(("start", 12),),
+        )
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()
 
 
 def pulling_campaign(**overrides) -> CampaignSpec:

@@ -50,6 +50,22 @@ class TestList:
         assert "sampled-boosted" in out
         assert "naive-majority" not in out
 
+    def test_lists_fault_schedules_with_details(self, capsys):
+        assert main(["list", "fault-schedules"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault schedules:" in out
+        for name in ("churn", "rolling", "late-adversary"):
+            assert name in out
+        assert main(["list", "fault-schedules", "--verbose"]) == 0
+        verbose = capsys.readouterr().out
+        assert "scalar engine only" in verbose
+        assert "start" in verbose and "down" in verbose
+
+    def test_fault_schedules_included_in_all(self, capsys):
+        assert main(["list", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault schedules:" in out and "Algorithms:" in out
+
 
 class TestRun:
     ARGS = [
@@ -120,6 +136,63 @@ class TestRun:
         assert main(["run", "trivial", "--adversary", "bogus", "--quiet"]) == 2
         err = capsys.readouterr().err
         assert "unknown adversary 'bogus'" in err
+
+    def test_run_with_fault_schedule_reports_recovery(self, tmp_path, capsys):
+        store = str(tmp_path / "churn.jsonl")
+        code = main(
+            [
+                "run",
+                "naive-majority:n=6,c=3,claimed_resilience=1",
+                "--fault-schedule",
+                "churn:start=3,down=2,adversarial=2",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "40",
+                "--stop-after-agreement",
+                "4",
+                "--quiet",
+                "--store",
+                store,
+            ]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in open(store, encoding="utf-8") if line.strip()]
+        assert len(rows) == 2
+        assert all(row["last_perturbation_round"] == 7 for row in rows)
+        assert all("recovered" in row for row in rows)
+
+    def test_run_with_loss_and_delay(self, capsys):
+        code = main(
+            [
+                "run",
+                "naive-majority:n=6,c=3,claimed_resilience=1",
+                "--loss",
+                "0.1",
+                "--delay",
+                "1",
+                "--runs",
+                "2",
+                "--max-rounds",
+                "40",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "2 runs (2 executed" in capsys.readouterr().out
+
+    def test_fault_schedule_rejected_for_pulling_algorithms(self, capsys):
+        code = main(
+            [
+                "run",
+                "sampled-boosted:sample_size=2",
+                "--fault-schedule",
+                "churn",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "broadcast" in capsys.readouterr().err
 
 
 class TestCampaignMount:

@@ -18,12 +18,15 @@ from repro.network.batch import (
     adversary_kernel_coverage,
 )
 from repro.network.parity import (
+    ALL_SCHEDULES,
     ALL_STRATEGIES,
     FUZZ_ALGORITHMS,
     check_distributions,
     check_parity,
     run_parity_fuzz,
+    run_schedule_fuzz,
     sample_configs,
+    sample_schedule_configs,
 )
 
 
@@ -135,6 +138,69 @@ class TestTargetedParity:
         report = check_parity(config)
         assert report.mode == "bit-identical"
         assert report.ok, report.failures
+
+
+class TestPerturbationAxes:
+    def test_sweep_draws_loss_delay_configurations(self):
+        configs = sample_configs(24, seed=7)
+        perturbed = [config for config in configs if config.perturbed]
+        assert perturbed, "sweep must exercise the loss/delay axis"
+        assert {(config.loss, config.delay) for config in perturbed} != {(0.0, 0)}
+
+    def test_pulling_algorithms_are_never_perturbed(self):
+        from repro.semantics import algorithm_semantics
+
+        for config in sample_configs(48, seed=5):
+            if algorithm_semantics(config.algorithm).model == "pulling":
+                assert not config.perturbed, config.label()
+
+    def test_perturbed_configs_demote_to_statistical_mode(self):
+        from repro.network.parity import ParityConfig
+
+        config = ParityConfig(
+            algorithm="naive-majority",
+            params=(("c", 3), ("claimed_resilience", 1), ("n", 6)),
+            strategy="crash",
+            adversary_params=(),
+            trials=((11, (1,)), (12, (4,))),
+            max_rounds=40,
+            stop_after_agreement=None,
+            loss=0.1,
+            delay=1,
+        )
+        report = check_parity(config)
+        # crash is bit-identical unperturbed; the loss/delay plane consumes
+        # NumPy randomness, so the same pairing is statistical here.
+        assert report.mode == "statistical"
+        assert report.ok, report.failures
+
+
+class TestScheduleFuzz:
+    def test_sampling_cycles_every_declared_preset_first(self):
+        configs = sample_schedule_configs(len(ALL_SCHEDULES), seed=0)
+        assert [config.schedule for config in configs] == list(ALL_SCHEDULES)
+        assert configs == sample_schedule_configs(len(ALL_SCHEDULES), seed=0)
+
+    def test_max_rounds_always_clears_the_schedule_horizon(self):
+        from repro.semantics import fault_schedule_semantics
+
+        for config in sample_schedule_configs(12, seed=1):
+            schedule = fault_schedule_semantics(config.schedule).build(
+                **dict(config.params)
+            )
+            horizon = schedule.last_change_round()
+            if horizon is not None:
+                assert config.max_rounds > horizon
+
+    def test_seeded_schedule_sweep_holds_everywhere(self):
+        results = run_schedule_fuzz(count=len(ALL_SCHEDULES) + 1, seed=7)
+        failures = [
+            f"{config.label()}: {failure}"
+            for config, config_failures in results
+            for failure in config_failures
+        ]
+        assert not failures, "\n".join(failures)
+        assert {config.schedule for config, _ in results} == set(ALL_SCHEDULES)
 
 
 @pytest.mark.parametrize(

@@ -8,6 +8,8 @@ from repro.core.errors import SimulationError
 from repro.network.stabilization import (
     agreement_round,
     is_counting_suffix,
+    recovery_from_values,
+    recovery_round,
     stabilization_round,
 )
 from repro.network.trace import ExecutionTrace, RoundRecord
@@ -109,3 +111,70 @@ class TestStabilizationRound:
         trace = trace_from_agreed([0, 1, 2, None, 1, 2])
         result = stabilization_round(trace)
         assert result.round == 4
+
+
+class TestRecovery:
+    def test_measured_from_the_perturbation_not_the_start(self):
+        # Stable prefix, jolt at round 4, re-converged from round 6.
+        values = [0, 1, 2, 0, None, None, 1, 2, 0, 1]
+        result = recovery_from_values(values, c=3, last_perturbation_round=4)
+        assert result.recovered
+        assert result.recovery_round == 6
+        assert result.re_stabilization_time == 2
+        assert result.last_perturbation_round == 4
+
+    def test_instant_recovery_is_time_zero(self):
+        values = [None, None, 2, 0, 1, 2]
+        result = recovery_from_values(values, c=3, last_perturbation_round=2)
+        assert result.recovered
+        assert result.re_stabilization_time == 0
+
+    def test_never_recovers(self):
+        values = [0, 1, 2, None, 0, None, 1, None]
+        result = recovery_from_values(values, c=3, last_perturbation_round=3)
+        assert not result.recovered
+        assert result.recovery_round is None
+        assert result.re_stabilization_time is None
+        assert result.last_perturbation_round == 3
+
+    def test_min_tail_boundaries(self):
+        # Exactly min_tail counting rounds after the jolt: recovered at the
+        # boundary, not recovered one notch stricter.
+        values = [0, 1, None, 1, 2]
+        at_boundary = recovery_from_values(
+            values, c=3, min_tail=2, last_perturbation_round=2
+        )
+        too_strict = recovery_from_values(
+            values, c=3, min_tail=3, last_perturbation_round=2
+        )
+        assert at_boundary.recovered
+        assert at_boundary.recovery_round == 3
+        assert not too_strict.recovered
+
+    def test_anchor_outside_the_trace_is_a_non_recovery(self):
+        values = [0, 1, 2]
+        beyond = recovery_from_values(values, c=3, last_perturbation_round=7)
+        assert not beyond.recovered
+        assert beyond.last_perturbation_round == 7
+        assert beyond.recovery_round is None
+
+    def test_unperturbed_traces_report_none_metrics(self):
+        result = recovery_from_values([0, 1, 2], c=3, last_perturbation_round=None)
+        assert not result.recovered
+        assert result.last_perturbation_round is None
+        trace = trace_from_agreed([0, 1, 2, 0])
+        from_trace = recovery_round(trace)
+        assert not from_trace.recovered
+        assert from_trace.last_perturbation_round is None
+
+    def test_trace_anchor_is_read_from_metadata(self):
+        trace = trace_from_agreed([0, None, None, 0, 1, 2])
+        trace.metadata["last_perturbation_round"] = 3
+        result = recovery_round(trace)
+        assert result.recovered
+        assert result.recovery_round == 3
+        assert result.re_stabilization_time == 0
+
+    def test_invalid_min_tail(self):
+        with pytest.raises(SimulationError):
+            recovery_from_values([0, 1], c=3, min_tail=0, last_perturbation_round=0)

@@ -11,7 +11,9 @@ from repro.obs import (
     CampaignFinished,
     CampaignStarted,
     FallbackTaken,
+    FaultInjected,
     JsonlSink,
+    NodeRecovered,
     ProgressSink,
     RingBufferSink,
     RoundObserved,
@@ -33,6 +35,8 @@ SAMPLES = [
     BatchGroupScheduled(label="naive x crash", runs=8, engine="batch", deterministic=True),
     RoundObserved(source="engine", round_index=3, agreed_value=1),
     RoundObserved(source="batch", round_index=5, live_trials=40, agreed_trials=12),
+    FaultInjected(round_index=5, strategy="crash", nodes=(1, 3)),
+    NodeRecovered(round_index=11, nodes=(1, 3)),
     FallbackTaken(label="odd group", runs=2, reason="no batch kernel"),
     CampaignFinished(name="demo", executed=7, skipped=3, failed=0, elapsed_seconds=1.25),
 ]

@@ -76,6 +76,39 @@ class TestBuilder:
         scenario = Scenario.counter("trivial").stop_after_agreement(0)
         assert scenario.to_campaign_spec().stop_after_agreement is None
 
+    def test_loss_and_delay_knobs(self):
+        spec = (
+            Scenario.counter("naive-majority", n=6, c=3, claimed_resilience=1)
+            .loss(0.1)
+            .delay(2)
+            .to_campaign_spec()
+        )
+        assert spec.loss == 0.1
+        assert spec.delay == 2
+        with pytest.raises(ParameterError):
+            Scenario.counter("trivial").loss(1.5)
+        with pytest.raises(ParameterError):
+            Scenario.counter("trivial").delay(-1)
+
+    def test_fault_schedule_defaults_to_fault_free_baseline(self):
+        spec = (
+            Scenario.counter("naive-majority", n=6, c=3, claimed_resilience=1)
+            .fault_schedule("churn", start=3, down=2)
+            .to_campaign_spec()
+        )
+        assert spec.fault_schedule == "churn"
+        assert spec.fault_schedule_params == (("down", 2), ("start", 3))
+        # No explicit adversary: a scheduled scenario runs a fault-free
+        # baseline (the schedule owns the faulty set).
+        assert spec.adversaries == ("none",)
+        assert all(run.faulty == () for run in spec.expand())
+
+    def test_fault_schedule_validates_eagerly(self):
+        with pytest.raises(ParameterError, match="no semantics declared"):
+            Scenario.counter("trivial").fault_schedule("no-such-schedule")
+        with pytest.raises(ParameterError, match="onset"):
+            Scenario.counter("trivial").fault_schedule("churn", onset=5)
+
     def test_empty_scenario_rejected(self):
         with pytest.raises(ParameterError, match="no algorithm"):
             Scenario().to_campaign_spec()

@@ -210,6 +210,54 @@ class TestDerivedSweep:
             for param, value in config.adversary_params:
                 assert value in declared[config.strategy][param]
 
+    def test_schedule_sweep_derives_from_the_catalogue(self) -> None:
+        from repro.network.parity import ALL_SCHEDULES, sample_schedule_configs
+        from repro.semantics import fault_schedule_names, fault_schedule_semantics
+
+        assert ALL_SCHEDULES == fault_schedule_names()
+        declared = {
+            name: {
+                param: set(values)
+                for param, values in fault_schedule_semantics(
+                    name
+                ).fuzz_param_choices
+            }
+            for name in fault_schedule_names()
+        }
+        for config in sample_schedule_configs(24, seed=3):
+            for param, value in config.params:
+                assert value in declared[config.schedule][param]
+
+
+class TestFaultScheduleSemantics:
+    def test_accessors_and_unknown_name(self) -> None:
+        from repro.semantics import (
+            fault_schedule_descriptions,
+            fault_schedule_names,
+            fault_schedule_semantics,
+        )
+
+        names = fault_schedule_names()
+        assert set(names) == {"churn", "rolling", "late-adversary"}
+        assert set(fault_schedule_descriptions()) == set(names)
+        for name in names:
+            spec = fault_schedule_semantics(name)
+            assert spec.scalar_deterministic
+            assert not spec.batch_covered
+            assert spec.build().name == name
+        with pytest.raises(ParameterError, match="no semantics declared"):
+            fault_schedule_semantics("meteor-strike")
+
+    def test_build_validates_parameters(self) -> None:
+        from repro.semantics import fault_schedule_semantics
+
+        churn = fault_schedule_semantics("churn")
+        schedule = churn.build(start=2, down=3)
+        assert schedule.windows[0].start == 2
+        assert schedule.windows[0].duration == 3
+        with pytest.raises(ParameterError):
+            churn.build(onset=2)
+
 
 class TestNoDuplicatedMetadata:
     """Derived modules carry no literal copies of catalogue metadata.
