@@ -50,6 +50,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print waived findings (with their justifications) too",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files changed against git HEAD (staged, unstaged "
+            "and untracked); falls back to a full run outside a git repo"
+        ),
+    )
+    parser.add_argument(
+        "--flow-graph",
+        dest="flow_graph",
+        metavar="FILE",
+        help=(
+            "write the interprocedural call graph and effect summaries "
+            "(the FLW evidence) as JSON"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
@@ -87,11 +104,18 @@ def command_lint(args: argparse.Namespace) -> int:
                 f"known: {', '.join(sorted(RULES))}"
             )
             return 2
-    report = run_lint(args.paths or None, rules=rules)
+    report = run_lint(
+        args.paths or None,
+        rules=rules,
+        changed_only=args.changed,
+        flow_graph_path=args.flow_graph,
+    )
     _print_report(report, show_waived=args.show_waived)
     if args.json_out:
         report.write_json(args.json_out)
         print(f"findings written to {args.json_out}")
+    if args.flow_graph:
+        print(f"flow graph written to {args.flow_graph}")
     return report.exit_code(strict=args.strict)
 
 
@@ -106,8 +130,11 @@ def register_lint_command(subparsers: Any) -> None:
             "wall-clock/entropy reads, RNG construction only at sanctioned "
             "derivation sites, no raw set iteration in hot paths, pure "
             "batch kernels, statically resolving catalogue bindings and "
-            "the ParameterError contract in registries.  Waive single "
-            "lines with '# repro-lint: allow[RULE-ID] -- justification'."
+            "the ParameterError contract in registries — plus the "
+            "interprocedural FLW flow pass proving RNG-stream lineage, "
+            "plane separation and the declared determinism classes over "
+            "the whole-package call graph.  Waive single lines with "
+            "'# repro-lint: allow[RULE-ID] -- justification'."
         ),
     )
     parser.set_defaults(handler=command_lint)

@@ -16,9 +16,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.lint.waivers import Waiver, parse_waivers
+
+if TYPE_CHECKING:
+    from repro.lint.flow.analysis import FlowAnalysis
+    from repro.semantics.flowfacts import KernelExpectation
 
 __all__ = [
     "LintContext",
@@ -149,7 +153,9 @@ class LintContext:
     #: :mod:`repro.semantics.catalog` lazily when a rule first asks".
     bindings_override: Sequence[str] | None = None
     descriptions_override: Sequence[str] | None = None
+    kernel_expectations_override: "Sequence[KernelExpectation] | None" = None
     _by_module: dict[str, ModuleUnit] = field(default_factory=dict, init=False)
+    _flow: "FlowAnalysis | None" = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._by_module = {
@@ -225,6 +231,26 @@ class LintContext:
             if module and attribute:
                 scope.setdefault(module, set()).add(attribute)
         return {module: frozenset(names) for module, names in scope.items()}
+
+    def kernel_expectations(self) -> "tuple[KernelExpectation, ...]":
+        """Per-kernel-class determinism obligations for the flow cross-check."""
+        if self.kernel_expectations_override is not None:
+            return tuple(self.kernel_expectations_override)
+        from repro.semantics.flowfacts import kernel_expectations
+
+        return kernel_expectations()
+
+    # ------------------------------------------------------------------ #
+    # Interprocedural analysis (shared by all FLW rules)
+    # ------------------------------------------------------------------ #
+
+    def flow(self) -> "FlowAnalysis":
+        """The run's memoised flow analysis (built on first use)."""
+        if self._flow is None:
+            from repro.lint.flow.analysis import analyze
+
+            self._flow = analyze(self)
+        return self._flow
 
     def iter_units(self) -> Iterator[ModuleUnit]:
         """All scanned units, in scan (sorted-path) order."""

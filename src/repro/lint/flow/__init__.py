@@ -1,0 +1,44 @@
+"""Interprocedural RNG-lineage and effect analysis (the ``FLW`` rules).
+
+The per-file rules of :mod:`repro.lint.rules` prove *local* invariants — a
+banned call here, a raw set iteration there.  This subpackage proves the
+*global* ones the parity harness otherwise only samples:
+
+* every random draw in an engine hot path descends from a named derived
+  stream (:mod:`repro.util.rng`), so replaying a seed replays the run;
+* the ``faults`` / ``adversary`` / algorithm-side stream *planes* never mix,
+  so perturbation randomness can never silently shift the draws of an
+  unperturbed historical trace;
+* a kernel the catalogue declares deterministic (``BIT_IDENTICAL`` /
+  ``batch_deterministic``) is RNG-free on **all** paths, interprocedurally;
+* effect summaries (draws-RNG, mutates-argument, writes-module-state,
+  performs-IO) respect the ``NullObserver`` zero-overhead and kernel-purity
+  contracts.
+
+The machinery: :mod:`~repro.lint.flow.callgraph` builds a whole-package call
+graph over the already-parsed units (resolving the catalogue's
+``"module:attr"`` bindings, so newly declared components are covered
+automatically); :mod:`~repro.lint.flow.lineage` runs the flow-sensitive
+stream-lineage lattice per function; :mod:`~repro.lint.flow.summaries`
+propagates effect summaries bottom-up over the graph; and
+:mod:`~repro.lint.flow.rules` plugs the findings into the ordinary rule
+registry — same waiver pragmas, same ``--json`` artifact, same CLI.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.analysis import FlowAnalysis, analyze
+from repro.lint.flow.callgraph import CallGraph, FunctionInfo
+from repro.lint.flow.lineage import Lineage, analyze_function
+from repro.lint.flow.summaries import EffectSummary, infer_summaries
+
+__all__ = [
+    "CallGraph",
+    "FlowAnalysis",
+    "FunctionInfo",
+    "Lineage",
+    "EffectSummary",
+    "analyze",
+    "analyze_function",
+    "infer_summaries",
+]

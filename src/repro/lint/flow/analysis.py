@@ -1,0 +1,68 @@
+"""The one-shot flow analysis a lint run shares across every FLW rule.
+
+Building the call graph, running the lineage pass over every function and
+propagating effect summaries is the expensive part of the flow layer, and
+all four FLW rules consume the same results — so :class:`LintContext`
+memoises one :class:`FlowAnalysis` per run (see ``LintContext.flow()``) and
+the rules only interpret it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.lineage import (
+    FunctionFlow,
+    Lineage,
+    analyze_class_attrs,
+    analyze_function,
+)
+from repro.lint.flow.summaries import EffectSummary, infer_summaries
+
+if TYPE_CHECKING:
+    from repro.lint.context import LintContext
+
+__all__ = ["FlowAnalysis", "analyze"]
+
+
+@dataclass
+class FlowAnalysis:
+    """Call graph + per-function lineage flows + effect summaries."""
+
+    graph: CallGraph
+    flows: dict[str, FunctionFlow]
+    summaries: dict[str, EffectSummary]
+
+    def edges(self) -> dict[str, list[str]]:
+        """Resolved call edges (caller qname -> callee qnames)."""
+        return {
+            qname: [site.callee for site in flow.call_sites if site.callee]
+            for qname, flow in self.flows.items()
+        }
+
+    def to_dict(self) -> dict:
+        """The ``--flow-graph`` JSON artifact: graph, edges and summaries."""
+        payload = self.graph.to_dict(edges=self.edges())
+        payload["summaries"] = [
+            self.summaries[qname].to_dict() for qname in sorted(self.summaries)
+        ]
+        return payload
+
+
+def analyze(context: "LintContext") -> FlowAnalysis:
+    """Run the full flow analysis over a lint context's parsed units."""
+    graph = CallGraph(list(context.iter_units()))
+    attr_cache: dict[str, Mapping[str, Lineage]] = {
+        info.qname: analyze_class_attrs(graph, info)
+        for info in graph.classes.values()
+    }
+    flows: dict[str, FunctionFlow] = {}
+    for function in graph.iter_functions():
+        attrs: Mapping[str, Lineage] = {}
+        if function.cls is not None:
+            attrs = attr_cache.get(f"{function.module}.{function.cls}", {})
+        flows[function.qname] = analyze_function(graph, function, attrs)
+    summaries = infer_summaries(graph, flows)
+    return FlowAnalysis(graph=graph, flows=flows, summaries=summaries)

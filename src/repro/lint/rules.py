@@ -840,3 +840,8 @@ class SyntaxErrorRule(Rule):
         "are proven for"
     )
     framework = True
+
+
+# The interprocedural FLW rules live in their own subpackage but register in
+# this registry; the import must come after Rule/register_rule are defined.
+from repro.lint.flow import rules as _flow_rules  # noqa: E402,F401

@@ -1,14 +1,18 @@
 """The lint driver: discover files, run rules, apply waivers, build a report.
 
-One AST parse per file; per-module rules run over every in-scope unit,
-project rules (catalogue binding resolution, metadata duplication) run once
-per invocation.  Waivers are applied last, so the JSON artifact records the
-waived findings alongside their justifications — an audit trail, not a
-silent hole.
+One AST parse per file *per process*: parsed units are cached keyed on
+``(path, mtime_ns, size)``, so the per-file rules and the interprocedural
+flow pass share one parse, and repeated in-process runs (the test suite, the
+``repro verify`` gate) re-parse only what changed on disk.  Per-module rules
+run over every in-scope unit, project rules (catalogue binding resolution,
+the FLW flow rules) run once per invocation.  Waivers are applied last, so
+the JSON artifact records the waived findings alongside their
+justifications — an audit trail, not a silent hole.
 """
 
 from __future__ import annotations
 
+import subprocess
 import time
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -17,9 +21,20 @@ from repro.lint.context import LintContext, ModuleUnit, parse_unit
 from repro.lint.findings import Finding, Report, sort_findings
 from repro.lint.rules import RULES, Rule, iter_rules
 
-__all__ = ["default_root", "discover_files", "lint_paths", "run_lint"]
+__all__ = [
+    "changed_files",
+    "default_root",
+    "discover_files",
+    "lint_paths",
+    "run_lint",
+]
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+#: Parsed-unit cache: resolved path -> ((mtime_ns, size), unit).  The waiver
+#: objects on a cached unit are mutated by ``_apply_waivers`` (``used``
+#: flags), so hits reset them before reuse.
+_UNIT_CACHE: dict[Path, tuple[tuple[int, int], ModuleUnit]] = {}
 
 
 def default_root() -> Path:
@@ -41,6 +56,63 @@ def discover_files(paths: Iterable[str | Path]) -> list[Path]:
         else:
             seen.setdefault(path.resolve(), None)
     return sorted(seen)
+
+
+def _load_unit(path: Path) -> ModuleUnit:
+    """Parse ``path`` through the cache (raises ``SyntaxError``)."""
+    stat = path.stat()
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _UNIT_CACHE.get(path)
+    if cached is not None and cached[0] == stamp:
+        unit = cached[1]
+        for waiver in unit.waivers:
+            waiver.used = False
+        return unit
+    unit = parse_unit(path)
+    _UNIT_CACHE[path] = (stamp, unit)
+    return unit
+
+
+def changed_files(root: Path | None = None) -> list[Path] | None:
+    """Python files changed against git ``HEAD`` (staged, unstaged, untracked).
+
+    Returns ``None`` when ``root`` (default: the current directory) is not
+    inside a git work tree or git is unavailable — callers then fall back to
+    a full run.
+    """
+    cwd = root if root is not None else Path.cwd()
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        listing = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    files: list[Path] = []
+    for line in listing.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:]
+        # Renames are listed as "old -> new"; lint the new path.
+        if " -> " in name:
+            name = name.split(" -> ", 1)[1]
+        name = name.strip().strip('"')
+        if not name.endswith(".py"):
+            continue
+        path = Path(top) / name
+        if path.exists():
+            files.append(path.resolve())
+    return sorted(set(files))
 
 
 def _apply_waivers(
@@ -125,23 +197,38 @@ def run_lint(
     rules: Sequence[str] | None = None,
     bindings_override: Sequence[str] | None = None,
     descriptions_override: Sequence[str] | None = None,
+    kernel_expectations_override: Sequence[object] | None = None,
+    changed_only: bool = False,
+    flow_graph_path: str | Path | None = None,
 ) -> Report:
     """Lint ``paths`` (default: the installed ``repro`` package tree).
 
     ``rules`` restricts the run to the given rule IDs (framework rules —
-    waiver hygiene, syntax — always apply).  The two ``*_override``
-    parameters inject catalogue facts for tests; by default the real
-    :mod:`repro.semantics.catalog` is consulted.
+    waiver hygiene, syntax — always apply).  The ``*_override`` parameters
+    inject catalogue facts for tests; by default the real
+    :mod:`repro.semantics.catalog` is consulted.  ``changed_only`` narrows
+    the file set to git-changed files (full run when not in a repo or
+    nothing changed); ``flow_graph_path`` writes the call-graph +
+    effect-summary JSON artifact after the rules run.
     """
     started = time.perf_counter()
     roots = [str(p) for p in paths] if paths else [str(default_root())]
     files = discover_files(roots)
+    if changed_only:
+        changed = changed_files()
+        if changed:
+            changed_set = set(changed)
+            narrowed = [file for file in files if file in changed_set]
+            if narrowed:
+                files = narrowed
+            # A change set disjoint from the requested tree means the edit
+            # was elsewhere; keep the full run rather than lint nothing.
 
     units: list[ModuleUnit] = []
     findings: list[Finding] = []
     for file in files:
         try:
-            units.append(parse_unit(file))
+            units.append(_load_unit(file))
         except SyntaxError as error:
             findings.append(
                 Finding(
@@ -157,6 +244,7 @@ def run_lint(
         units=units,
         bindings_override=bindings_override,
         descriptions_override=descriptions_override,
+        kernel_expectations_override=kernel_expectations_override,  # type: ignore[arg-type]
     )
 
     selected: list[Rule] = [
@@ -169,6 +257,15 @@ def run_lint(
             if rule.in_scope(unit):
                 findings.extend(rule.check(unit, context))
         findings.extend(rule.check_project(context))
+
+    if flow_graph_path is not None:
+        import json
+
+        payload = context.flow().to_dict()
+        Path(flow_graph_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     # A --rules subset leaves other rules' waivers legitimately unused, so
     # the dead-pragma warning only applies to full runs.

@@ -136,14 +136,30 @@ class NoAdversary(Adversary):
     def __init__(self) -> None:
         super().__init__(faulty=())
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         raise SimulationError("NoAdversary controls no nodes and never forges messages")
 
 
 class CrashAdversary(Adversary):
     """Faulty nodes appear stuck: they always broadcast the algorithm's default state."""
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         return algorithm.default_state()
 
 
@@ -165,7 +181,15 @@ class FixedStateAdversary(Adversary):
         """The fixed (un-coerced) state every faulty node broadcasts."""
         return self._state
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         return self._state
 
 
@@ -176,7 +200,15 @@ class RandomStateAdversary(Adversary):
     inconsistency plus uniformly random content.
     """
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         return algorithm.random_state(rng)
 
 
@@ -193,11 +225,25 @@ class SplitStateAdversary(Adversary):
         self._round_states: tuple[State, State] | None = None
         self._round_index = -1
 
-    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+    def on_round_start(  # noqa: D102
+        self,
+        round_index: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> None:
         self._round_states = (algorithm.random_state(rng), algorithm.random_state(rng))
         self._round_index = round_index
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         if self._round_states is None or round_index != self._round_index:
             self.on_round_start(round_index, states, algorithm, rng)
         assert self._round_states is not None
@@ -217,14 +263,28 @@ class MimicAdversary(Adversary):
         self._round_index = -1
         self._correct: list[int] = []
 
-    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+    def on_round_start(  # noqa: D102
+        self,
+        round_index: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> None:
         # forge() is hot — one call per (sender, receiver) pair — so the
         # sorted node list is hoisted here, once per round.  No randomness is
         # drawn: the RNG streams of seeded runs must not shift.
         self._round_index = round_index
         self._correct = sorted(states)
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         correct = (
             self._correct if round_index == self._round_index else sorted(states)
         )
@@ -251,13 +311,27 @@ class PhaseKingSkewAdversary(Adversary):
         self._round_index = -1
         self._correct: list[int] = []
 
-    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+    def on_round_start(  # noqa: D102
+        self,
+        round_index: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> None:
         # Hoists the per-forge sorted(states) scan to once per round; draws
         # no randomness so seeded RNG streams are unchanged.
         self._round_index = round_index
         self._correct = sorted(states)
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         correct = (
             self._correct if round_index == self._round_index else sorted(states)
         )
@@ -300,7 +374,13 @@ class AdaptiveSplitAdversary(Adversary):
         self._outputs: dict[int, int] = {}
         self._state_by_output: dict[int, State] = {}
 
-    def on_round_start(self, round_index, states, algorithm, rng):  # noqa: D102
+    def on_round_start(  # noqa: D102
+        self,
+        round_index: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> None:
         # forge() is called once per (sender, receiver) pair, so everything
         # derivable from the round's states is precomputed here: the per-node
         # outputs, the two camps, and — for _state_with_output — the first
@@ -327,7 +407,15 @@ class AdaptiveSplitAdversary(Adversary):
         else:
             self._camps = (0, 1 % algorithm.c)
 
-    def forge(self, round_index, sender, receiver, states, algorithm, rng):  # noqa: D102
+    def forge(  # noqa: D102
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int,
+        states: Mapping[int, State],
+        algorithm: SynchronousCountingAlgorithm,
+        rng: random.Random,
+    ) -> Any:
         cached = round_index == self._round_index
         receiver_state = states.get(receiver)
         if receiver_state is None:

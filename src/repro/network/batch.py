@@ -592,7 +592,15 @@ class CrashBatchKernel(AdversaryBatchKernel):
 
     strategy = "crash"
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         default = self.kernel.default_fields()
         return np.broadcast_to(default, shape + (self.kernel.fields,))
@@ -613,7 +621,15 @@ class FixedStateBatchKernel(AdversaryBatchKernel):
         coerced = kernel.algorithm.coerce_message(state)
         self._fields = np.asarray(kernel.encode(coerced), dtype=np.int64)
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         return np.broadcast_to(self._fields, shape + (self.kernel.fields,))
 
@@ -623,7 +639,15 @@ class RandomStateBatchKernel(AdversaryBatchKernel):
 
     strategy = "random-state"
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         return self.kernel.random_fields(rng, shape)
 
@@ -637,12 +661,26 @@ class SplitStateBatchKernel(AdversaryBatchKernel):
         super().__init__(kernel)
         self._pair: np.ndarray | None = None
 
-    def begin_round(self, round_index, states, correct_sorted, rng):
+    def begin_round(
+        self,
+        round_index: int,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         # One pair per trial per round, shared by all faulty senders —
         # exactly the scalar SplitStateAdversary.on_round_start draw.
         self._pair = self.kernel.random_fields(rng, (states.shape[0], 2))
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         assert self._pair is not None
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         parity = np.broadcast_to(receivers % 2, shape)
@@ -656,7 +694,15 @@ class MimicBatchKernel(AdversaryBatchKernel):
 
     strategy = "mimic"
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         num_correct = correct_sorted.shape[1]
         position = np.broadcast_to(
@@ -689,7 +735,15 @@ class PhaseKingSkewBatchKernel(AdversaryBatchKernel):
         self._offset = int(offset)
         self._layout = _boosted_layout(kernel)
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         shape = np.broadcast_shapes(senders.shape, receivers.shape)
         if self._layout is None:
             return self.kernel.random_fields(rng, shape)
@@ -744,7 +798,13 @@ class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
         self._correct_mask: np.ndarray | None = None
         self._first_pos: np.ndarray | None = None
 
-    def begin_round(self, round_index, states, correct_sorted, rng):
+    def begin_round(
+        self,
+        round_index: int,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         batch, n = states.shape[0], states.shape[1]
         c = self.kernel.algorithm.c
         k = correct_sorted.shape[1]
@@ -771,7 +831,15 @@ class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
         self._correct_mask = mask
         self._first_pos = first_pos
 
-    def forge(self, round_index, senders, receivers, states, correct_sorted, rng):
+    def forge(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        states: np.ndarray,
+        correct_sorted: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         assert self._camp0 is not None and self._camp1 is not None
         assert self._outputs is not None and self._correct_mask is not None
         assert self._first_pos is not None
@@ -799,7 +867,12 @@ class AdaptiveSplitBatchKernel(AdversaryBatchKernel):
             )
         return forged
 
-    def _fabricate(self, target, shape, rng):
+    def _fabricate(
+        self,
+        target: np.ndarray,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         # The scalar _fabricate_state for structured states: a random state
         # with the phase king registers pinned to (target, 1).
         fields = self.kernel.random_fields(rng, shape)
@@ -868,7 +941,7 @@ def build_adversary_kernel(
         ) from None
 
 
-def build_batch_kernel(algorithm: Any):
+def build_batch_kernel(algorithm: Any) -> "BatchKernel | PullBatchKernel | None":
     """The vectorised kernel for an algorithm instance, or ``None``.
 
     Dispatches to the broadcast kernels of :mod:`repro.counters.kernels` and

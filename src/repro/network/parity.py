@@ -252,8 +252,12 @@ def _algorithm_n(name: str, params: Mapping[str, Any]) -> int:
 
 
 def _scalar_trace(
-    algorithm, config: ParityConfig, sim_seed: int, faulty, observer: Any = None
-):
+    algorithm: Any,
+    config: ParityConfig,
+    sim_seed: int,
+    faulty: Sequence[int],
+    observer: Any = None,
+) -> Any:
     """One scalar-engine reference run for a sampled configuration."""
     from repro.network.pulling import PullSimulationConfig, run_pull_simulation
     from repro.network.simulator import SimulationConfig, run_simulation
@@ -471,7 +475,7 @@ def check_distributions(
         delay=delay,
     )
 
-    def times(traces):
+    def times(traces: Any) -> list[int]:
         values = []
         for trace in traces:
             result = stabilization_round(trace, min_tail=2)
@@ -621,7 +625,7 @@ def check_schedule(config: ScheduleConfig) -> list[str]:
     algorithm = default_registry().build(name, **algorithm_params)
     schedule = fault_schedule_semantics(config.schedule).build(**dict(config.params))
 
-    def execute():
+    def execute() -> Any:
         return run_simulation(
             algorithm,
             config=SimulationConfig(

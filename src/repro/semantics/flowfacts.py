@@ -1,0 +1,116 @@
+"""Catalogue facts exposed for the static flow analysis (FLW rules).
+
+The flow pass (:mod:`repro.lint.flow`) cross-checks *inferred* effect
+summaries against the *declared* determinism classes.  This module is the
+bridge: it folds :mod:`repro.semantics.catalog` into per-kernel-class
+expectations the linter can consume without touching dataclass internals.
+
+One kernel class may serve several catalogue entries (the boosted kernel
+backs both phase-king variants; :class:`SampledBoostedBatchKernel` backs the
+sampled — randomised — *and* the pseudo-random — deterministic — counters,
+depending on construction parameters).  The fold is therefore three-valued:
+
+``"pure"``
+    every entry binding the kernel declares it deterministic — the flow
+    pass must prove the kernel RNG-free on all paths (FLW003 on failure);
+``"draws"``
+    every entry declares randomness — no purity obligation;
+``"mixed"``
+    the entries disagree, so purity is configuration-dependent and cannot
+    be decided statically; the flow pass skips the kernel and the empirical
+    :func:`repro.semantics.verify` probes remain the evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelExpectation", "kernel_expectations"]
+
+#: Root methods the engines invoke per round, by component kind.
+_ALGORITHM_ROOTS = ("step",)
+_ADVERSARY_ROOTS = ("begin_round", "forge")
+
+
+@dataclass(frozen=True)
+class KernelExpectation:
+    """The determinism obligation one kernel class carries.
+
+    ``expectation`` is ``"pure"`` / ``"draws"`` / ``"mixed"`` as folded from
+    every catalogue entry naming this ``binding``; ``declared_by`` lists
+    those entries so a finding can cite the declarations it enforces.
+    """
+
+    binding: str
+    kind: str
+    expectation: str
+    declared_by: tuple[str, ...]
+    root_methods: tuple[str, ...]
+
+    @property
+    def module(self) -> str:
+        return self.binding.partition(":")[0]
+
+    @property
+    def class_name(self) -> str:
+        return self.binding.partition(":")[2]
+
+    def to_dict(self) -> dict:
+        return {
+            "binding": self.binding,
+            "kind": self.kind,
+            "expectation": self.expectation,
+            "declared_by": list(self.declared_by),
+            "root_methods": list(self.root_methods),
+        }
+
+
+def _fold(flags: list[bool]) -> str:
+    if all(flags):
+        return "pure"
+    if not any(flags):
+        return "draws"
+    return "mixed"
+
+
+def kernel_expectations() -> tuple[KernelExpectation, ...]:
+    """Every catalogue-bound kernel class with its folded obligation."""
+    from repro.semantics.catalog import (
+        ADVERSARY_SEMANTICS,
+        ALGORITHM_SEMANTICS,
+    )
+
+    algorithm_groups: dict[str, list] = {}
+    for spec in ALGORITHM_SEMANTICS.values():
+        algorithm_groups.setdefault(spec.kernel_binding, []).append(spec)
+    adversary_groups: dict[str, list] = {}
+    for spec in ADVERSARY_SEMANTICS.values():
+        if spec.kernel_binding is not None:
+            adversary_groups.setdefault(spec.kernel_binding, []).append(spec)
+
+    expectations: list[KernelExpectation] = []
+    for binding in sorted(algorithm_groups):
+        specs = algorithm_groups[binding]
+        expectations.append(
+            KernelExpectation(
+                binding=binding,
+                kind="algorithm",
+                expectation=_fold([spec.batch_deterministic for spec in specs]),
+                declared_by=tuple(sorted(spec.name for spec in specs)),
+                root_methods=_ALGORITHM_ROOTS,
+            )
+        )
+    for binding in sorted(adversary_groups):
+        specs = adversary_groups[binding]
+        expectations.append(
+            KernelExpectation(
+                binding=binding,
+                kind="adversary",
+                expectation=_fold(
+                    [spec.determinism.bit_identical for spec in specs]
+                ),
+                declared_by=tuple(sorted(spec.name for spec in specs)),
+                root_methods=_ADVERSARY_ROOTS,
+            )
+        )
+    return tuple(expectations)
